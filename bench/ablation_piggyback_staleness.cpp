@@ -1,0 +1,62 @@
+// Ablation (§IV-A): how stale can the piggybacked occupancy state get
+// before indirect routing degrades?  Sweeps the broadcast interval and
+// measures stale mis-picks, second-hop repairs, and satisfied bandwidth.
+#include <iostream>
+
+#include "core/rack_system.hpp"
+#include "core/report.hpp"
+#include "net/flow_sim.hpp"
+#include "sim/table.hpp"
+#include "workloads/usage.hpp"
+
+int main() {
+  using namespace photorack;
+
+  core::print_banner(std::cout, "Ablation: piggyback state staleness",
+                     "Section IV-A");
+
+  core::RackSystem system(rack::FabricKind::kParallelAwgrs);
+  const auto demand = workloads::FlowDemandModel::cpu_memory();
+
+  net::FlowGenerator gen = [&demand](sim::Rng& rng) {
+    net::FlowSpec spec;
+    spec.src = static_cast<int>(rng.below(350));
+    spec.dst = static_cast<int>((spec.src + 1 + rng.below(349)) % 350);
+    // Elephant-heavy mix so indirect routing is exercised hard.
+    spec.gbps = demand.sample_gbps(rng) + (rng.bernoulli(0.3) ? 300.0 : 0.0);
+    spec.duration = static_cast<sim::TimePs>(rng.exponential(15.0 * sim::kPsPerUs));
+    return spec;
+  };
+
+  sim::Table table({"Broadcast interval", "Satisfied bw", "Indirect share", "Mispicks",
+                    "2nd hops", "Control Gb/s"});
+  double worst_satisfied = 1.0;
+  for (const double interval_us : {0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    auto fabric = system.make_fabric();
+    net::FlowSimConfig cfg;
+    cfg.arrivals_per_us = 4.0;
+    cfg.sim_time = 300 * sim::kPsPerUs;
+    cfg.piggyback_interval = static_cast<sim::TimePs>(interval_us * sim::kPsPerUs);
+    net::FlowSimulator flow_sim(fabric, gen, cfg);
+    const auto report = flow_sim.run();
+    worst_satisfied = std::min(worst_satisfied, report.satisfied_fraction);
+
+    net::PiggybackView probe(fabric, cfg.piggyback_interval);
+    table.add_row({sim::fmt_fixed(interval_us, 1) + " us",
+                   sim::fmt_pct(report.satisfied_fraction, 2),
+                   sim::fmt_pct(report.indirect_fraction, 2),
+                   sim::fmt_int(static_cast<long long>(report.stale_mispicks)),
+                   sim::fmt_int(static_cast<long long>(report.second_hops)),
+                   sim::fmt_fixed(probe.control_gbps(1e6 / interval_us), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper-vs-measured (qualitative, Section IV-A):\n";
+  core::check_line(std::cout,
+                   "bandwidth stays satisfied even with very stale state", 1.0,
+                   worst_satisfied, 0.05);
+  std::cout << "note: the piggyback status vector is 1 B per wavelength per "
+               "source (the paper's 256 B example); even at a 0.1 us refresh "
+               "the control bandwidth above stays far below one wavelength.\n";
+  return 0;
+}

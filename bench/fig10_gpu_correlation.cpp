@@ -1,0 +1,48 @@
+// Reproduces Fig 10: GPU slowdown at +35 ns correlates with (i) the LLC
+// (L2) miss rate (r ~ 0.87) and (ii) HBM transactions per instruction
+// (r ~ 0.79), but not with the memory-instruction fraction.
+#include <iostream>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+#include "workloads/gpu_profiles.hpp"
+
+int main() {
+  using namespace photorack;
+
+  core::print_banner(std::cout, "Fig 10: GPU slowdown correlates",
+                     "Fig 10 (Section VI-B3)");
+
+  const auto sweep = core::run_gpu_sweep({0.0, 35.0});
+
+  std::vector<double> slow, missrate, txn_per_instr, mem_frac;
+  sim::Table table({"App", "Slowdown +35ns", "L2 missrate", "HBM txn/instr",
+                    "mem instr frac"});
+  for (const auto& app : workloads::gpu_apps()) {
+    const auto& r = sweep.find(app.name, 35.0);
+    table.add_row({app.name, sim::fmt_pct(r.slowdown),
+                   sim::fmt_pct(r.result.l2_miss_rate),
+                   sim::fmt_fixed(r.result.hbm_txn_per_instr, 3),
+                   sim::fmt_pct(r.result.mem_instr_fraction)});
+    slow.push_back(r.slowdown);
+    missrate.push_back(r.result.l2_miss_rate);
+    txn_per_instr.push_back(r.result.hbm_txn_per_instr);
+    mem_frac.push_back(r.result.mem_instr_fraction);
+  }
+  table.print(std::cout);
+
+  const double r_miss = sim::pearson(slow, missrate);
+  const double r_txn = sim::pearson(slow, txn_per_instr);
+  const double r_memfrac = sim::pearson(slow, mem_frac);
+
+  std::cout << "\npaper-vs-measured Pearson correlations:\n";
+  core::check_line(std::cout, "slowdown vs LLC miss rate", 0.87, r_miss);
+  core::check_line(std::cout, "slowdown vs HBM txn/instr", 0.79, r_txn);
+  std::cout << "slowdown vs mem-instr fraction (paper: no significant "
+               "correlation): r = "
+            << r_memfrac << '\n';
+  return 0;
+}

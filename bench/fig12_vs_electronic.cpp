@@ -1,0 +1,55 @@
+// Reproduces Fig 12: speedup of intra-rack disaggregation built on
+// photonics (+35 ns to memory) over the same rack built on modern
+// electronic switches (+85 ns; for GPUs the electronic fabric additionally
+// cannot carry native HBM bandwidth — see DESIGN.md).
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "sim/table.hpp"
+
+int main() {
+  using namespace photorack;
+
+  core::print_banner(std::cout, "Fig 12: photonic vs electronic disaggregation",
+                     "Fig 12 (Section VI-D)");
+
+  core::CpuSweepOptions opt;
+  opt.extra_latencies_ns = {0.0, core::kPhotonicExtraNs, core::kElectronicExtraNs};
+  const auto cpu = core::run_cpu_sweep(opt);
+  const auto summary = core::fig12_speedup(cpu);
+
+  std::cout << "CPU speedups (PARSEC counted at medium, NAS at class B):\n";
+  sim::Table ct({"Benchmark", "in-order speedup"});
+  for (const auto& [name, s] : summary.cpu_inorder) ct.add_row({name, sim::fmt_pct(s)});
+  ct.print(std::cout);
+
+  std::cout << "\nGPU speedups:\n";
+  sim::Table gt({"App", "speedup"});
+  for (const auto& [name, s] : summary.gpu) gt.add_row({name, sim::fmt_pct(s)});
+  gt.print(std::cout);
+
+  std::cout << "\npaper-vs-measured (Fig 12):\n";
+  core::check_line(std::cout, "CPU in-order avg speedup", 0.09, summary.cpu_inorder_avg,
+                   1.5);
+  core::check_line(std::cout, "CPU in-order max speedup (NW runs hotter here)", 0.41,
+                   summary.cpu_inorder_max, 0.8);
+  core::check_line(std::cout, "CPU OOO avg speedup", 0.15, summary.cpu_ooo_avg, 1.5);
+  core::check_line(std::cout, "CPU OOO max speedup (NW runs hotter here)", 0.45,
+                   summary.cpu_ooo_max, 1.0);
+  // The paper reports average == maximum == 61% for GPUs, which only a
+  // uniform full-fleet bandwidth throttle could produce; our per-app
+  // roofline spreads the speedups instead (EXPERIMENTS.md note 5).
+  core::check_line(std::cout, "GPU avg speedup", 0.61, summary.gpu_avg, 0.85);
+  core::check_line(std::cout, "GPU max speedup", 0.61, summary.gpu_max, 1.0);
+  std::cout << "photonic wins on every benchmark: "
+            << [&] {
+                 for (const auto& [n, s] : summary.cpu_inorder)
+                   if (s < -1e-9) return "NO";
+                 for (const auto& [n, s] : summary.gpu)
+                   if (s < -1e-9) return "NO";
+                 return "yes";
+               }()
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,95 @@
+// google-benchmark microbenchmarks of the simulator substrate itself:
+// event-queue throughput, cache access rate, DRAM model, trace generation,
+// full timing-simulation rate, and indirect-routing decision rate.
+#include <benchmark/benchmark.h>
+
+#include "core/rack_system.hpp"
+#include "cpusim/runner.hpp"
+#include "net/routing.hpp"
+#include "sim/event_queue.hpp"
+#include "workloads/cpu_profiles.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+using namespace photorack;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    long long sink = 0;
+    for (int i = 0; i < 1024; ++i)
+      q.schedule_at(i * 10, [&sink] { benchmark::DoNotOptimize(++sink); });
+    q.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_CacheHierarchyAccess(benchmark::State& state) {
+  cpusim::CacheHierarchy hierarchy;
+  sim::Rng rng(1);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    addr = rng() % (64ULL << 20);
+    benchmark::DoNotOptimize(hierarchy.access(addr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void BM_DramModel(benchmark::State& state) {
+  cpusim::DramModel dram;
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    addr += 64;
+    benchmark::DoNotOptimize(dram.access_ns(addr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramModel);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  workloads::SyntheticTrace trace(workloads::cpu_benchmarks().front().trace);
+  std::array<cpusim::Instr, 4096> batch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace.next_batch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(batch.size()));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_TimingSimulation(benchmark::State& state) {
+  const auto& bench = workloads::cpu_benchmarks().front();
+  for (auto _ : state) {
+    cpusim::SimConfig cfg;
+    cfg.warmup_instructions = 10'000;
+    cfg.measured_instructions = 100'000;
+    workloads::SyntheticTrace trace(bench.trace);
+    benchmark::DoNotOptimize(cpusim::run_simulation(trace, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * 110'000);
+}
+BENCHMARK(BM_TimingSimulation);
+
+void BM_IndirectRouting(benchmark::State& state) {
+  core::RackSystem system(rack::FabricKind::kParallelAwgrs);
+  auto fabric = system.make_fabric();
+  net::PiggybackView view(fabric, sim::kPsPerUs);
+  net::IndirectRouter router(fabric, view, 42);
+  sim::Rng rng(7);
+  const auto mcms = static_cast<std::uint64_t>(fabric.mcms());
+  for (auto _ : state) {
+    const int src = static_cast<int>(rng.below(mcms));
+    int dst = static_cast<int>(rng.below(mcms));
+    if (dst == src) dst = (dst + 1) % static_cast<int>(mcms);
+    auto result = router.route(src, dst, 200.0);  // forces indirect spill
+    benchmark::DoNotOptimize(result);
+    router.release(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndirectRouting);
+
+}  // namespace

@@ -1,0 +1,48 @@
+// Reproduces Table II: high-radix CMOS-compatible photonic switches, plus
+// the structural cascaded-AWGR model (K x M x N construction of [89]).
+#include <iostream>
+
+#include "core/report.hpp"
+#include "phot/awgr.hpp"
+#include "phot/switches.hpp"
+#include "sim/table.hpp"
+
+int main() {
+  using namespace photorack;
+
+  core::print_banner(std::cout, "Table II: high-radix photonic switches",
+                     "Table II (Section III-D)");
+
+  sim::Table table({"Switch", "Radix", "Lambdas/port", "Gbps/lambda", "Ins. loss (dB)",
+                    "Crosstalk (dB)", "Reconfig", "Ref"});
+  for (const auto& sw : phot::table2_switches()) {
+    table.add_row({sw.name, sim::fmt_int(sw.radix), sim::fmt_int(sw.wavelengths_per_port),
+                   sim::fmt_fixed(sw.gbps_per_wavelength.value, 0),
+                   sim::fmt_fixed(sw.insertion_loss.value, 1),
+                   sim::fmt_fixed(sw.crosstalk.value, 1),
+                   sw.requires_reconfiguration ? "yes" : "no (passive)", sw.reference});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCascaded AWGR construction (K x M x N = 3 x 12 x 11, [89]):\n";
+  phot::CascadedAwgr cascade;
+  const auto report = cascade.report();
+  sim::Table ctable({"Metric", "Value"});
+  ctable.add_row({"gross ports (K*M*N)", sim::fmt_int(report.gross_ports)});
+  ctable.add_row({"usable ports", sim::fmt_int(report.usable_ports)});
+  ctable.add_row({"wavelengths per port", sim::fmt_int(report.wavelengths_per_port)});
+  ctable.add_row({"worst-case insertion loss (dB)",
+                  sim::fmt_fixed(report.worst_insertion_loss.value, 2)});
+  ctable.add_row({"best-case insertion loss (dB)",
+                  sim::fmt_fixed(report.best_insertion_loss.value, 2)});
+  ctable.add_row({"crosstalk (dB)", sim::fmt_fixed(report.crosstalk.value, 1)});
+  ctable.print(std::cout);
+
+  std::cout << "\npaper-vs-measured:\n";
+  core::check_line(std::cout, "cascaded AWGR usable ports", 370, report.usable_ports, 0.05);
+  core::check_line(std::cout, "cascaded AWGR worst insertion loss dB", 15.0,
+                   report.worst_insertion_loss.value, 0.15);
+  core::check_line(std::cout, "cascaded AWGR crosstalk dB", -35.0, report.crosstalk.value,
+                   0.15);
+  return 0;
+}

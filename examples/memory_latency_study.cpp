@@ -1,0 +1,62 @@
+// Memory-latency study: run a handful of representative workloads across a
+// latency sweep on in-order and OOO cores — a small-scale version of the
+// paper's Fig 6/8 machinery suitable for exploring your own latencies.
+//
+//   $ ./examples/memory_latency_study [extra_ns ...]
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "cpusim/runner.hpp"
+#include "sim/table.hpp"
+#include "workloads/cpu_profiles.hpp"
+#include "workloads/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace photorack;
+
+  std::vector<double> extras = {25.0, 35.0, 85.0};
+  if (argc > 1) {
+    extras.clear();
+    for (int i = 1; i < argc; ++i) extras.push_back(std::atof(argv[i]));
+  }
+
+  const std::vector<std::string> picks = {
+      "PARSEC/streamcluster/large", "PARSEC/canneal/large", "Rodinia/nw/default",
+      "Rodinia/hotspot/default", "NAS/ft/C"};
+
+  for (const auto core_kind :
+       {cpusim::CoreKind::kInOrder, cpusim::CoreKind::kOutOfOrder}) {
+    std::cout << (core_kind == cpusim::CoreKind::kInOrder ? "\nin-order core\n"
+                                                          : "\nOOO core\n");
+    std::vector<std::string> headers = {"Benchmark", "base IPC", "LLC missrate"};
+    for (const double e : extras) headers.push_back("+" + sim::fmt_fixed(e, 0) + "ns");
+    sim::Table table(headers);
+
+    for (const auto& name : picks) {
+      const workloads::CpuBenchmark* bench = nullptr;
+      for (const auto& b : workloads::cpu_benchmarks())
+        if (b.full_name() == name) bench = &b;
+      if (!bench) continue;
+
+      cpusim::SimConfig cfg;
+      cfg.core.kind = core_kind;
+      cfg.warmup_instructions = 300'000;
+      cfg.measured_instructions = 1'000'000;
+      workloads::SyntheticTrace trace(bench->trace);
+      const auto baseline = cpusim::run_simulation(trace, cfg);
+
+      std::vector<std::string> row = {name, sim::fmt_fixed(baseline.ipc, 2),
+                                      sim::fmt_pct(baseline.llc_miss_rate)};
+      for (const double e : extras) {
+        cfg.dram.extra_ns = e;
+        workloads::SyntheticTrace t2(bench->trace);
+        const auto perturbed = cpusim::run_simulation(t2, cfg);
+        row.push_back(sim::fmt_pct(cpusim::slowdown(baseline, perturbed)));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: build the paper's photonic disaggregated rack, print its
+// headline properties, and measure one benchmark's slowdown on it.
+//
+//   $ ./examples/quickstart
+#include <iostream>
+
+#include "core/rack_system.hpp"
+#include "cpusim/runner.hpp"
+#include "workloads/cpu_profiles.hpp"
+#include "workloads/generators.hpp"
+
+int main() {
+  using namespace photorack;
+
+  // 1. Build the disaggregated rack: Perlmutter-like nodes, photonic MCMs,
+  //    six parallel AWGRs (the paper's case A).
+  core::RackSystem system(rack::FabricKind::kParallelAwgrs);
+
+  std::cout << "disaggregated rack summary\n";
+  std::cout << "  MCMs:                    " << system.total_mcms() << '\n';
+  std::cout << "  added memory latency:    " << system.added_memory_latency_ns()
+            << " ns\n";
+  std::cout << "  direct MCM-pair bw:      " << system.direct_pair_bandwidth_gbps()
+            << " Gb/s\n";
+  const auto power = system.power_overhead();
+  std::cout << "  photonic power:          " << power.total.value / 1000.0 << " kW ("
+            << power.overhead_vs_baseline * 100.0 << "% of rack)\n";
+
+  // 2. Run one benchmark with and without the rack's added latency.
+  const auto& bench = workloads::cpu_benchmarks().front();
+  cpusim::SimConfig baseline;
+  baseline.warmup_instructions = 200'000;
+  baseline.measured_instructions = 500'000;
+  cpusim::SimConfig disaggregated = baseline;
+  disaggregated.dram.extra_ns = system.added_memory_latency_ns();
+
+  workloads::SyntheticTrace trace_a(bench.trace);
+  workloads::SyntheticTrace trace_b(bench.trace);
+  const auto before = cpusim::run_simulation(trace_a, baseline);
+  const auto after = cpusim::run_simulation(trace_b, disaggregated);
+
+  std::cout << "\nbenchmark " << bench.full_name() << '\n';
+  std::cout << "  baseline IPC:            " << before.ipc << '\n';
+  std::cout << "  disaggregated IPC:       " << after.ipc << '\n';
+  std::cout << "  slowdown:                " << (cpusim::slowdown(before, after) * 100.0)
+            << "%\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Rack-design explorer: sweep MCM escape configurations (fibers x
+// wavelengths) and fabric choices, showing how the packing (Table III) and
+// the per-pair bandwidth respond — the §VII observation that higher escape
+// bandwidth means fewer chips per MCM and more parallel AWGRs.
+#include <iostream>
+
+#include "core/rack_system.hpp"
+#include "sim/table.hpp"
+
+int main() {
+  using namespace photorack;
+
+  std::cout << "MCM escape sweep (AWGR fabric)\n";
+  sim::Table table({"Fibers", "Lambdas/fiber", "Escape GB/s", "MCMs", "AWGRs",
+                    "Direct Gb/s", "GPUs/MCM", "DDR4 MCMs"});
+  for (const int fibers : {16, 24, 32, 48}) {
+    for (const int lambdas : {32, 64}) {
+      rack::McmConfig mcm;
+      mcm.fibers = fibers;
+      mcm.wavelengths_per_fiber = lambdas;
+      try {
+        core::RackSystem system(rack::FabricKind::kParallelAwgrs, {}, mcm);
+        const auto& design = system.design();
+        table.add_row(
+            {sim::fmt_int(fibers), sim::fmt_int(lambdas),
+             sim::fmt_fixed(mcm.escape().value, 0), sim::fmt_int(system.total_mcms()),
+             sim::fmt_int(design.awgr.parallel_awgrs),
+             sim::fmt_fixed(design.awgr.direct_pair_bandwidth.value, 0),
+             sim::fmt_int(design.mcm_plan.plan_for(rack::ChipType::kGpu).chips_per_mcm),
+             sim::fmt_int(design.mcm_plan.plan_for(rack::ChipType::kDdr4).mcm_count)});
+      } catch (const std::exception& e) {
+        table.add_row({sim::fmt_int(fibers), sim::fmt_int(lambdas),
+                       sim::fmt_fixed(mcm.escape().value, 0), "infeasible:", e.what()});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nFabric comparison at the paper's design point (32 x 64):\n";
+  sim::Table fab({"Fabric", "Added latency (ns)", "Direct pair bw (Gb/s)"});
+  for (const auto kind :
+       {rack::FabricKind::kParallelAwgrs, rack::FabricKind::kSpatialOrWss,
+        rack::FabricKind::kElectronicSwitches}) {
+    core::RackSystem system(kind);
+    const char* name = kind == rack::FabricKind::kParallelAwgrs ? "parallel AWGRs"
+                       : kind == rack::FabricKind::kSpatialOrWss
+                           ? "spatial/WSS (scheduled)"
+                           : "electronic (PCIe-class)";
+    fab.add_row({name, sim::fmt_fixed(system.added_memory_latency_ns(), 0),
+                 sim::fmt_fixed(system.direct_pair_bandwidth_gbps(), 0)});
+  }
+  fab.print(std::cout);
+  return 0;
+}

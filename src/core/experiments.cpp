@@ -1,0 +1,268 @@
+#include "core/experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "sim/stats.hpp"
+#include "sim/thread_pool.hpp"
+#include "workloads/generators.hpp"
+
+namespace photorack::core {
+
+namespace {
+
+bool near(double a, double b) { return std::fabs(a - b) < 1e-9; }
+
+}  // namespace
+
+const CpuRunRecord& CpuSweep::find(const std::string& full_name, cpusim::CoreKind core,
+                                   double extra_ns) const {
+  for (const auto& r : runs)
+    if (r.core == core && near(r.extra_ns, extra_ns) && r.bench->full_name() == full_name)
+      return r;
+  throw std::out_of_range("CpuSweep::find: no record for " + full_name);
+}
+
+std::vector<const CpuRunRecord*> CpuSweep::records(const std::string& suite,
+                                                   const std::string& input,
+                                                   cpusim::CoreKind core,
+                                                   double extra_ns) const {
+  std::vector<const CpuRunRecord*> out;
+  for (const auto& r : runs) {
+    if (r.core != core || !near(r.extra_ns, extra_ns)) continue;
+    if (!suite.empty() && r.bench->suite != suite) continue;
+    if (!input.empty() && r.bench->input != input) continue;
+    out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<double> CpuSweep::slowdowns(const std::string& suite, const std::string& input,
+                                        cpusim::CoreKind core, double extra_ns) const {
+  std::vector<double> out;
+  for (const auto* r : records(suite, input, core, extra_ns)) out.push_back(r->slowdown);
+  return out;
+}
+
+double CpuSweep::overall_mean_slowdown(cpusim::CoreKind core, double extra_ns) const {
+  return sim::mean_of(slowdowns("", "", core, extra_ns));
+}
+
+CpuSweep run_cpu_sweep(const CpuSweepOptions& opt) {
+  const auto& benches = workloads::cpu_benchmarks();
+
+  // Materialize the run matrix first so indices are stable for parallel_for.
+  CpuSweep sweep;
+  for (const auto& bench : benches)
+    for (const auto core : opt.cores)
+      for (const double extra : opt.extra_latencies_ns) {
+        CpuRunRecord rec;
+        rec.bench = &bench;
+        rec.core = core;
+        rec.extra_ns = extra;
+        sweep.runs.push_back(rec);
+      }
+
+  auto simulate = [&](std::size_t i) {
+    CpuRunRecord& rec = sweep.runs[i];
+    cpusim::SimConfig cfg;
+    cfg.core.kind = rec.core;
+    cfg.dram.extra_ns = rec.extra_ns;
+    cfg.warmup_instructions = opt.warmup_instructions;
+    cfg.measured_instructions = opt.measured_instructions;
+    workloads::SyntheticTrace trace(rec.bench->trace);
+    rec.result = cpusim::run_simulation(trace, cfg);
+  };
+
+  if (opt.parallel) {
+    sim::parallel_for(sweep.runs.size(), simulate);
+  } else {
+    for (std::size_t i = 0; i < sweep.runs.size(); ++i) simulate(i);
+  }
+
+  // Fill slowdowns against the extra=0 baselines.
+  std::map<std::pair<std::string, int>, double> baseline_ns;
+  for (const auto& r : sweep.runs)
+    if (near(r.extra_ns, 0.0))
+      baseline_ns[{r.bench->full_name(), static_cast<int>(r.core)}] = r.result.time_ns;
+  for (auto& r : sweep.runs) {
+    const auto it = baseline_ns.find({r.bench->full_name(), static_cast<int>(r.core)});
+    if (it == baseline_ns.end() || it->second <= 0.0)
+      throw std::logic_error("run_cpu_sweep: missing extra=0 baseline");
+    r.slowdown = r.result.time_ns / it->second - 1.0;
+  }
+  return sweep;
+}
+
+const GpuRunRecord& GpuSweep::find(const std::string& app_name, double extra_ns) const {
+  for (const auto& r : runs)
+    if (near(r.extra_ns, extra_ns) && r.app->name == app_name) return r;
+  throw std::out_of_range("GpuSweep::find: no record for " + app_name);
+}
+
+double GpuSweep::mean_slowdown(double extra_ns) const {
+  sim::RunningStats s;
+  for (const auto& r : runs)
+    if (near(r.extra_ns, extra_ns)) s.add(r.slowdown);
+  return s.mean();
+}
+
+double GpuSweep::max_slowdown(double extra_ns) const {
+  sim::RunningStats s;
+  for (const auto& r : runs)
+    if (near(r.extra_ns, extra_ns)) s.add(r.slowdown);
+  return s.max();
+}
+
+GpuSweep run_gpu_sweep(std::vector<double> extra_latencies_ns, double hbm_bandwidth_derate) {
+  const auto& apps = workloads::gpu_apps();
+  GpuSweep sweep;
+  std::map<std::string, double> baseline_us;
+  // Baselines always use the photonic (underated, extra=0) configuration.
+  for (const auto& app : apps) {
+    gpusim::GpuConfig gpu;
+    baseline_us[app.name] = gpusim::run_app(app, gpu).time_us;
+  }
+  for (const double extra : extra_latencies_ns) {
+    for (const auto& app : apps) {
+      gpusim::GpuConfig gpu;
+      gpu.extra_hbm_ns = extra;
+      gpu.hbm_bandwidth_derate = hbm_bandwidth_derate;
+      GpuRunRecord rec;
+      rec.app = &app;
+      rec.extra_ns = extra;
+      rec.result = gpusim::run_app(app, gpu);
+      rec.slowdown = rec.result.time_us / baseline_us[app.name] - 1.0;
+      sweep.runs.push_back(std::move(rec));
+    }
+  }
+  return sweep;
+}
+
+std::vector<Fig6Row> fig6_rows(const CpuSweep& sweep) {
+  std::vector<Fig6Row> rows;
+  const std::vector<std::pair<std::string, std::string>> groups = {
+      {"PARSEC", "small"}, {"PARSEC", "medium"}, {"PARSEC", "large"},
+      {"NAS", "A"},        {"NAS", "B"},         {"NAS", "C"},
+      {"Rodinia", "default"}};
+  for (const auto& [suite, input] : groups) {
+    Fig6Row row;
+    row.suite = suite;
+    row.input = input;
+    const auto io = sweep.slowdowns(suite, input, cpusim::CoreKind::kInOrder, 35.0);
+    const auto ooo = sweep.slowdowns(suite, input, cpusim::CoreKind::kOutOfOrder, 35.0);
+    row.avg_inorder = sim::mean_of(io);
+    row.max_inorder = sim::max_of(io);
+    row.avg_ooo = sim::mean_of(ooo);
+    row.max_ooo = sim::max_of(ooo);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+Fig7Result fig7_correlation(const CpuSweep& sweep, cpusim::CoreKind core) {
+  Fig7Result out;
+  auto collect = [&](const std::string& suite, const std::string& input,
+                     std::vector<Fig7Row>& rows) {
+    std::vector<double> s, m;
+    for (const auto* r : sweep.records(suite, input, core, 35.0)) {
+      Fig7Row row;
+      row.bench = r->bench->name + "/" + r->bench->input;
+      row.slowdown = r->slowdown;
+      row.llc_miss_rate = r->result.llc_miss_rate;
+      rows.push_back(row);
+      s.push_back(row.slowdown);
+      m.push_back(row.llc_miss_rate);
+    }
+    return sim::pearson(s, m);
+  };
+  out.pearson_parsec_large = collect("PARSEC", "large", out.parsec_large);
+  out.pearson_rodinia = collect("Rodinia", "default", out.rodinia);
+  std::vector<Fig7Row> all_parsec;
+  out.pearson_parsec_all_inputs = collect("PARSEC", "", all_parsec);
+  return out;
+}
+
+std::vector<Fig8Row> fig8_rows(const CpuSweep& sweep, cpusim::CoreKind core) {
+  std::vector<Fig8Row> rows;
+  const std::vector<std::pair<std::string, std::string>> groups = {
+      {"PARSEC", "small"}, {"PARSEC", "medium"}, {"PARSEC", "large"},
+      {"NAS", "A"},        {"NAS", "B"},         {"NAS", "C"},
+      {"Rodinia", "default"}};
+  for (const auto& [suite, input] : groups) {
+    Fig8Row row;
+    row.suite = suite;
+    row.input = input;
+    row.slowdown_25 = sim::mean_of(sweep.slowdowns(suite, input, core, 25.0));
+    row.slowdown_30 = sim::mean_of(sweep.slowdowns(suite, input, core, 30.0));
+    row.slowdown_35 = sim::mean_of(sweep.slowdowns(suite, input, core, 35.0));
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Fig11Row> fig11_rows(const CpuSweep& cpu, const GpuSweep& gpu) {
+  std::vector<Fig11Row> rows;
+  for (const auto& name : workloads::rodinia_cpu_gpu_intersection()) {
+    Fig11Row row;
+    row.bench = name;
+    row.inorder = cpu.find("Rodinia/" + name + "/default",
+                           cpusim::CoreKind::kInOrder, 35.0)
+                      .slowdown;
+    row.ooo = cpu.find("Rodinia/" + name + "/default",
+                       cpusim::CoreKind::kOutOfOrder, 35.0)
+                  .slowdown;
+    row.gpu = gpu.find(name, 35.0).slowdown;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+Fig12Summary fig12_speedup(const CpuSweep& cpu, double electronic_gpu_bandwidth_derate) {
+  Fig12Summary out;
+
+  auto cpu_part = [&](cpusim::CoreKind core,
+                      std::vector<std::pair<std::string, double>>& per_bench, double& avg,
+                      double& mx) {
+    std::vector<double> speedups;
+    for (const auto& bench : workloads::cpu_benchmarks()) {
+      // §VI-D restriction: count PARSEC only at "medium" to avoid counting
+      // those benchmarks three times.
+      if (bench.suite == "PARSEC" && bench.input != "medium") continue;
+      if (bench.suite == "NAS" && bench.input != "B") continue;
+      const auto& photonic = cpu.find(bench.full_name(), core, kPhotonicExtraNs);
+      const auto& electronic = cpu.find(bench.full_name(), core, kElectronicExtraNs);
+      const double speedup = electronic.result.time_ns / photonic.result.time_ns - 1.0;
+      per_bench.emplace_back(bench.full_name(), speedup);
+      speedups.push_back(speedup);
+    }
+    avg = sim::mean_of(speedups);
+    mx = sim::max_of(speedups);
+  };
+  cpu_part(cpusim::CoreKind::kInOrder, out.cpu_inorder, out.cpu_inorder_avg,
+           out.cpu_inorder_max);
+  cpu_part(cpusim::CoreKind::kOutOfOrder, out.cpu_ooo, out.cpu_ooo_avg, out.cpu_ooo_max);
+
+  // GPU comparison: the photonic design preserves full HBM escape bandwidth;
+  // electronic switching both adds 85 ns and derates deliverable bandwidth.
+  std::vector<double> speedups;
+  for (const auto& app : workloads::gpu_apps()) {
+    gpusim::GpuConfig photonic;
+    photonic.extra_hbm_ns = kPhotonicExtraNs;
+    gpusim::GpuConfig electronic;
+    electronic.extra_hbm_ns = kElectronicExtraNs;
+    electronic.hbm_bandwidth_derate = electronic_gpu_bandwidth_derate;
+    const double tp = gpusim::run_app(app, photonic).time_us;
+    const double te = gpusim::run_app(app, electronic).time_us;
+    const double speedup = te / tp - 1.0;
+    out.gpu.emplace_back(app.name, speedup);
+    speedups.push_back(speedup);
+  }
+  out.gpu_avg = sim::mean_of(speedups);
+  out.gpu_max = sim::max_of(speedups);
+  return out;
+}
+
+}  // namespace photorack::core

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpusim/runner.hpp"
+#include "gpusim/gpu_runner.hpp"
+#include "workloads/cpu_profiles.hpp"
+#include "workloads/gpu_profiles.hpp"
+
+namespace photorack::core {
+
+// ---------------------------------------------------------------------------
+// CPU sweep (feeds Figs 6, 7, 8, 11, 12)
+// ---------------------------------------------------------------------------
+
+struct CpuSweepOptions {
+  std::vector<double> extra_latencies_ns = {0.0, 35.0};  // always include 0
+  std::vector<cpusim::CoreKind> cores = {cpusim::CoreKind::kInOrder,
+                                         cpusim::CoreKind::kOutOfOrder};
+  std::uint64_t warmup_instructions = 1'000'000;
+  std::uint64_t measured_instructions = 2'000'000;
+  bool parallel = true;
+};
+
+struct CpuRunRecord {
+  const workloads::CpuBenchmark* bench = nullptr;
+  cpusim::CoreKind core = cpusim::CoreKind::kInOrder;
+  double extra_ns = 0.0;
+  cpusim::SimResult result;
+  double slowdown = 0.0;  // vs the same benchmark/core at extra = 0
+};
+
+class CpuSweep {
+ public:
+  std::vector<CpuRunRecord> runs;
+
+  [[nodiscard]] const CpuRunRecord& find(const std::string& full_name,
+                                         cpusim::CoreKind core, double extra_ns) const;
+  /// All slowdowns for (suite, input, core, extra); empty input = any.
+  [[nodiscard]] std::vector<double> slowdowns(const std::string& suite,
+                                              const std::string& input,
+                                              cpusim::CoreKind core,
+                                              double extra_ns) const;
+  [[nodiscard]] std::vector<const CpuRunRecord*> records(const std::string& suite,
+                                                         const std::string& input,
+                                                         cpusim::CoreKind core,
+                                                         double extra_ns) const;
+  /// Mean slowdown over every benchmark run (the paper's "across all
+  /// benchmarks" average: 15% in-order / 22% OOO at +35 ns).
+  [[nodiscard]] double overall_mean_slowdown(cpusim::CoreKind core, double extra_ns) const;
+};
+
+/// Run the benchmark registry through the timing simulator for every
+/// (core, extra latency) combination.
+[[nodiscard]] CpuSweep run_cpu_sweep(const CpuSweepOptions& opt = {});
+
+// ---------------------------------------------------------------------------
+// GPU sweep (feeds Figs 9, 10, 11, 12)
+// ---------------------------------------------------------------------------
+
+struct GpuRunRecord {
+  const gpusim::AppProfile* app = nullptr;
+  double extra_ns = 0.0;
+  gpusim::AppResult result;
+  double slowdown = 0.0;
+};
+
+struct GpuSweep {
+  std::vector<GpuRunRecord> runs;
+
+  [[nodiscard]] const GpuRunRecord& find(const std::string& app_name,
+                                         double extra_ns) const;
+  [[nodiscard]] double mean_slowdown(double extra_ns) const;
+  [[nodiscard]] double max_slowdown(double extra_ns) const;
+};
+
+[[nodiscard]] GpuSweep run_gpu_sweep(std::vector<double> extra_latencies_ns = {0.0, 25.0,
+                                                                               30.0, 35.0},
+                                     double hbm_bandwidth_derate = 1.0);
+
+// ---------------------------------------------------------------------------
+// Figure/table summaries
+// ---------------------------------------------------------------------------
+
+/// Fig 6: average/max slowdown per benchmark suite and input size at +35ns.
+struct Fig6Row {
+  std::string suite;
+  std::string input;
+  double avg_inorder = 0.0, max_inorder = 0.0;
+  double avg_ooo = 0.0, max_ooo = 0.0;
+};
+[[nodiscard]] std::vector<Fig6Row> fig6_rows(const CpuSweep& sweep);
+
+/// Fig 7: per-benchmark slowdown vs LLC miss rate + Pearson correlation.
+struct Fig7Row {
+  std::string bench;
+  double slowdown = 0.0;
+  double llc_miss_rate = 0.0;
+};
+struct Fig7Result {
+  std::vector<Fig7Row> parsec_large;
+  std::vector<Fig7Row> rodinia;
+  double pearson_parsec_large = 0.0;
+  double pearson_rodinia = 0.0;
+  double pearson_parsec_all_inputs = 0.0;
+};
+[[nodiscard]] Fig7Result fig7_correlation(const CpuSweep& sweep, cpusim::CoreKind core);
+
+/// Fig 8: slowdown sensitivity to 25/30/35 ns, per suite.
+struct Fig8Row {
+  std::string suite;
+  std::string input;
+  double slowdown_25 = 0.0, slowdown_30 = 0.0, slowdown_35 = 0.0;
+};
+[[nodiscard]] std::vector<Fig8Row> fig8_rows(const CpuSweep& sweep, cpusim::CoreKind core);
+
+/// Fig 11: Rodinia CPU-vs-GPU latency tolerance.
+struct Fig11Row {
+  std::string bench;
+  double inorder = 0.0, ooo = 0.0, gpu = 0.0;
+};
+[[nodiscard]] std::vector<Fig11Row> fig11_rows(const CpuSweep& cpu, const GpuSweep& gpu);
+
+/// Fig 12: speedup of the photonic rack (+35 ns) over the electronic rack
+/// (+85 ns; GPUs additionally bandwidth-derated — see DESIGN.md).
+struct Fig12Summary {
+  double cpu_inorder_avg = 0.0, cpu_inorder_max = 0.0;
+  double cpu_ooo_avg = 0.0, cpu_ooo_max = 0.0;
+  double gpu_avg = 0.0, gpu_max = 0.0;
+  std::vector<std::pair<std::string, double>> cpu_inorder;  // per benchmark
+  std::vector<std::pair<std::string, double>> cpu_ooo;
+  std::vector<std::pair<std::string, double>> gpu;
+};
+/// `electronic_gpu_bandwidth_derate` models §VI-D's observation that
+/// electronic lanes cannot carry native HBM bandwidth.
+[[nodiscard]] Fig12Summary fig12_speedup(const CpuSweep& cpu,
+                                         double electronic_gpu_bandwidth_derate = 0.62);
+
+inline constexpr double kPhotonicExtraNs = 35.0;
+inline constexpr double kElectronicExtraNs = 85.0;
+
+}  // namespace photorack::core

@@ -1,0 +1,24 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace photorack::core {
+
+void print_banner(std::ostream& os, const std::string& title,
+                  const std::string& paper_ref) {
+  os << '\n' << std::string(74, '=') << '\n';
+  os << title << '\n';
+  os << "reproduces: " << paper_ref << '\n';
+  os << std::string(74, '=') << '\n';
+}
+
+void check_line(std::ostream& os, const std::string& what, double paper, double measured,
+                double rel_tolerance) {
+  const double rel =
+      paper != 0.0 ? std::fabs(measured - paper) / std::fabs(paper) : std::fabs(measured);
+  const char* marker = rel <= rel_tolerance ? "[ok]   " : "[drift]";
+  os << marker << ' ' << what << ": paper=" << paper << " measured=" << measured << '\n';
+}
+
+}  // namespace photorack::core

@@ -1,0 +1,124 @@
+#include "cpusim/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace photorack::cpusim {
+
+SetAssocCache::SetAssocCache(CacheConfig cfg) : cfg_(cfg) {
+  const std::uint64_t sets = cfg_.sets();
+  if (sets == 0) throw std::invalid_argument("SetAssocCache: zero sets");
+  if (!std::has_single_bit(static_cast<unsigned>(cfg_.line_bytes)))
+    throw std::invalid_argument("SetAssocCache: line size must be a power of two");
+  // Power-of-two set counts index with a mask; anything else (e.g. the
+  // A100's 40 MB L2) falls back to modulo.
+  pow2_sets_ = std::has_single_bit(sets);
+  sets_ = sets;
+  set_mask_ = pow2_sets_ ? sets - 1 : 0;
+  line_shift_ = std::countr_zero(static_cast<unsigned>(cfg_.line_bytes));
+  tags_.assign(sets * static_cast<std::uint64_t>(cfg_.ways), kInvalid);
+  stamps_.assign(tags_.size(), 0);
+}
+
+bool SetAssocCache::access(std::uint64_t addr) {
+  ++accesses_;
+  ++clock_;
+  const std::uint64_t line = addr >> line_shift_;
+  const std::uint64_t set = pow2_sets_ ? (line & set_mask_) : (line % sets_);
+  const std::uint64_t tag = line;  // full line id: correct for both modes
+  const std::size_t base = static_cast<std::size_t>(set) * cfg_.ways;
+
+  std::size_t victim = base;
+  std::uint64_t oldest = ~0ULL;
+  for (std::size_t w = base; w < base + static_cast<std::size_t>(cfg_.ways); ++w) {
+    if (tags_[w] == tag) {
+      stamps_[w] = clock_;
+      return true;
+    }
+    if (tags_[w] == kInvalid) {
+      // Prefer an empty way; stamp 0 guarantees it wins the LRU scan below.
+      victim = w;
+      oldest = 0;
+    } else if (stamps_[w] < oldest) {
+      victim = w;
+      oldest = stamps_[w];
+    }
+  }
+  ++misses_;
+  tags_[victim] = tag;
+  stamps_[victim] = clock_;
+  return false;
+}
+
+void SetAssocCache::insert(std::uint64_t addr) {
+  ++clock_;
+  const std::uint64_t line = addr >> line_shift_;
+  const std::uint64_t set = pow2_sets_ ? (line & set_mask_) : (line % sets_);
+  const std::uint64_t tag = line;
+  const std::size_t base = static_cast<std::size_t>(set) * cfg_.ways;
+  std::size_t victim = base;
+  std::uint64_t oldest = ~0ULL;
+  for (std::size_t w = base; w < base + static_cast<std::size_t>(cfg_.ways); ++w) {
+    if (tags_[w] == tag) {
+      stamps_[w] = clock_;
+      return;
+    }
+    if (tags_[w] == kInvalid) {
+      victim = w;
+      oldest = 0;
+    } else if (stamps_[w] < oldest) {
+      victim = w;
+      oldest = stamps_[w];
+    }
+  }
+  tags_[victim] = tag;
+  stamps_[victim] = clock_;
+}
+
+bool SetAssocCache::contains(std::uint64_t addr) const {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::uint64_t set = pow2_sets_ ? (line & set_mask_) : (line % sets_);
+  const std::uint64_t tag = line;
+  const std::size_t base = static_cast<std::size_t>(set) * cfg_.ways;
+  for (std::size_t w = base; w < base + static_cast<std::size_t>(cfg_.ways); ++w)
+    if (tags_[w] == tag) return true;
+  return false;
+}
+
+void SetAssocCache::invalidate_all() {
+  tags_.assign(tags_.size(), kInvalid);
+  stamps_.assign(stamps_.size(), 0);
+}
+
+CacheHierarchy::CacheHierarchy(HierarchyConfig cfg)
+    : cfg_(cfg), l1_(cfg.l1), l2_(cfg.l2), llc_(cfg.llc) {}
+
+HitLevel CacheHierarchy::access(std::uint64_t addr) {
+  if (l1_.access(addr)) return HitLevel::kL1;
+  if (l2_.access(addr)) return HitLevel::kL2;
+  if (llc_.access(addr)) return HitLevel::kLlc;
+  return HitLevel::kMemory;
+}
+
+void CacheHierarchy::prefetch_fill(std::uint64_t addr) {
+  l2_.insert(addr);
+  llc_.insert(addr);
+}
+
+int CacheHierarchy::hit_latency(HitLevel level) const {
+  switch (level) {
+    case HitLevel::kL1: return cfg_.l1.latency_cycles;
+    case HitLevel::kL2: return cfg_.l2.latency_cycles;
+    case HitLevel::kLlc: return cfg_.llc.latency_cycles;
+    case HitLevel::kMemory: return cfg_.llc.latency_cycles;  // traversal before DRAM
+  }
+  return 0;
+}
+
+void CacheHierarchy::reset_stats() {
+  l1_.reset_stats();
+  l2_.reset_stats();
+  llc_.reset_stats();
+}
+
+}  // namespace photorack::cpusim

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace photorack::cpusim {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  int ways = 8;
+  int line_bytes = 64;
+  int latency_cycles = 4;  // load-to-use at this level
+
+  [[nodiscard]] std::uint64_t sets() const {
+    return size_bytes / (static_cast<std::uint64_t>(ways) * line_bytes);
+  }
+};
+
+/// Set-associative cache with true-LRU replacement (recency stamps).
+/// Addresses are byte addresses; the cache indexes by line.
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(CacheConfig cfg);
+
+  /// Returns true on hit; on miss the line is installed (evicting LRU).
+  bool access(std::uint64_t addr);
+
+  /// Install a line without touching the demand-access statistics (used by
+  /// the prefetcher's fills).
+  void insert(std::uint64_t addr);
+
+  /// Probe without modifying state.
+  [[nodiscard]] bool contains(std::uint64_t addr) const;
+
+  void invalidate_all();
+
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] double miss_rate() const {
+    return accesses_ ? static_cast<double>(misses_) / static_cast<double>(accesses_) : 0.0;
+  }
+  void reset_stats() { accesses_ = misses_ = 0; }
+
+ private:
+  CacheConfig cfg_;
+  std::uint64_t sets_ = 0;
+  std::uint64_t set_mask_ = 0;
+  bool pow2_sets_ = true;
+  int line_shift_;
+  // tag[set*ways + way]; kInvalid marks empty.  stamp holds last-use time.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+
+  static constexpr std::uint64_t kInvalid = ~0ULL;
+};
+
+/// Three-level hierarchy result: the lowest level that hit, or kMemory.
+enum class HitLevel : std::uint8_t { kL1, kL2, kLlc, kMemory };
+
+struct HierarchyConfig {
+  CacheConfig l1{32 * 1024, 8, 64, 4};
+  CacheConfig l2{512 * 1024, 8, 64, 14};
+  CacheConfig llc{32ULL * 1024 * 1024, 16, 64, 40};
+};
+
+/// Inclusive three-level cache hierarchy, as configured for the model HPC
+/// rack's Milan-like CPUs (§VI-B1: "we configure the cache hierarchy to
+/// match the CPUs of our model HPC rack").
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(HierarchyConfig cfg = {});
+
+  HitLevel access(std::uint64_t addr);
+
+  /// Prefetch fill: installs the line into L2 and LLC (not L1, matching
+  /// common L2-prefetcher placement) without counting demand statistics.
+  void prefetch_fill(std::uint64_t addr);
+
+  [[nodiscard]] const HierarchyConfig& config() const { return cfg_; }
+  [[nodiscard]] const SetAssocCache& l1() const { return l1_; }
+  [[nodiscard]] const SetAssocCache& l2() const { return l2_; }
+  [[nodiscard]] const SetAssocCache& llc() const { return llc_; }
+
+  /// Load-to-use latency (cycles) for a given hit level, excluding DRAM.
+  [[nodiscard]] int hit_latency(HitLevel level) const;
+
+  void reset_stats();
+
+ private:
+  HierarchyConfig cfg_;
+  SetAssocCache l1_;
+  SetAssocCache l2_;
+  SetAssocCache llc_;
+};
+
+}  // namespace photorack::cpusim

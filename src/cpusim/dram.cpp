@@ -1,0 +1,29 @@
+#include "cpusim/dram.hpp"
+
+#include <stdexcept>
+
+namespace photorack::cpusim {
+
+DramModel::DramModel(DramConfig cfg) : cfg_(cfg) {
+  if (cfg_.banks <= 0 || cfg_.row_bytes == 0)
+    throw std::invalid_argument("DramModel: bad geometry");
+  open_row_.assign(static_cast<std::size_t>(cfg_.banks), kNone);
+}
+
+double DramModel::access_ns(std::uint64_t addr) {
+  ++accesses_;
+  const std::uint64_t row = addr / cfg_.row_bytes;
+  // Rows interleave across banks so streaming spreads over the bank set.
+  const auto bank = static_cast<std::size_t>(row % static_cast<std::uint64_t>(cfg_.banks));
+  double latency;
+  if (open_row_[bank] == row) {
+    ++row_hits_;
+    latency = cfg_.row_hit_ns;
+  } else {
+    open_row_[bank] = row;
+    latency = cfg_.row_miss_ns;
+  }
+  return latency + cfg_.extra_ns;
+}
+
+}  // namespace photorack::cpusim

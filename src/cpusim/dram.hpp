@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace photorack::cpusim {
+
+/// Open-page DDR4 response-latency model.  Per-bank row buffers: an access
+/// to the currently open row costs `row_hit_ns`, anything else pays the
+/// precharge+activate path (`row_miss_ns`).  `extra_ns` is the
+/// disaggregation latency under study (0 baseline; 25/30/35 photonic;
+/// 85 electronic) applied to *every* access, exactly as the paper adds it
+/// between the LLC and main memory.
+struct DramConfig {
+  int banks = 16;
+  std::uint64_t row_bytes = 8 * 1024;
+  double row_hit_ns = 22.0;
+  double row_miss_ns = 52.0;
+  double extra_ns = 0.0;
+};
+
+class DramModel {
+ public:
+  explicit DramModel(DramConfig cfg = {});
+
+  /// Response latency in nanoseconds for a read/write at `addr`.
+  double access_ns(std::uint64_t addr);
+
+  [[nodiscard]] const DramConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+  [[nodiscard]] std::uint64_t row_hits() const { return row_hits_; }
+  [[nodiscard]] double row_hit_rate() const {
+    return accesses_ ? static_cast<double>(row_hits_) / static_cast<double>(accesses_) : 0.0;
+  }
+  void reset_stats() { accesses_ = row_hits_ = 0; }
+
+ private:
+  DramConfig cfg_;
+  std::vector<std::uint64_t> open_row_;  // per bank; kNone when closed
+
+  std::uint64_t accesses_ = 0;
+  std::uint64_t row_hits_ = 0;
+
+  static constexpr std::uint64_t kNone = ~0ULL;
+};
+
+}  // namespace photorack::cpusim

@@ -1,0 +1,92 @@
+#include "cpusim/prefetch.hpp"
+
+#include <cstdlib>
+
+namespace photorack::cpusim {
+
+StridePrefetcher::StridePrefetcher(PrefetchConfig cfg) : cfg_(cfg) {
+  table_.resize(static_cast<std::size_t>(cfg_.streams));
+}
+
+void StridePrefetcher::reset() {
+  for (auto& s : table_) s = Stream{};
+  tick_ = issued_ = trained_ = 0;
+}
+
+StridePrefetcher::Stream* StridePrefetcher::find_stream(std::uint64_t addr) {
+  // A miss belongs to a stream when it lands a small multiple of the
+  // stream's stride ahead.  The multiple must reach past the prefetch
+  // degree: once prefetching works, the next *miss* of the stream is
+  // degree+1 strides away, and it must still match.
+  const std::int64_t max_jump = cfg_.degree + 4;
+  for (auto& s : table_) {
+    if (!s.valid) continue;
+    const auto delta = static_cast<std::int64_t>(addr) -
+                       static_cast<std::int64_t>(s.last_addr);
+    if (s.stride != 0) {
+      if (delta != 0 && delta % s.stride == 0) {
+        const std::int64_t k = delta / s.stride;
+        if (k >= 1 && k <= max_jump) return &s;
+      }
+    } else if (std::llabs(delta) < (1 << 20)) {
+      return &s;  // untrained stream in the same neighbourhood
+    }
+  }
+  return nullptr;
+}
+
+StridePrefetcher::Stream* StridePrefetcher::victim() {
+  Stream* best = &table_[0];
+  for (auto& s : table_) {
+    if (!s.valid) return &s;
+    if (s.last_use < best->last_use) best = &s;
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> StridePrefetcher::on_miss(std::uint64_t addr) {
+  std::vector<std::uint64_t> out;
+  if (!cfg_.enabled) return out;
+  ++tick_;
+
+  Stream* s = find_stream(addr);
+  if (s == nullptr) {
+    s = victim();
+    *s = Stream{};
+    s->valid = true;
+    s->last_addr = addr;
+    s->last_use = tick_;
+    return out;
+  }
+
+  const auto delta =
+      static_cast<std::int64_t>(addr) - static_cast<std::int64_t>(s->last_addr);
+  const bool consistent = delta != 0 && s->stride != 0 && delta % s->stride == 0 &&
+                          delta / s->stride >= 1 &&
+                          delta / s->stride <= cfg_.degree + 4;
+  if (consistent) {
+    if (s->confidence < cfg_.train_threshold) {
+      ++s->confidence;
+      if (s->confidence == cfg_.train_threshold) ++trained_;
+    }
+  } else {
+    if (s->confidence >= cfg_.train_threshold && trained_ > 0) --trained_;
+    s->stride = delta;
+    s->confidence = delta != 0 ? 1 : 0;
+  }
+  s->last_addr = addr;
+  s->last_use = tick_;
+
+  if (s->confidence >= cfg_.train_threshold && s->stride != 0) {
+    out.reserve(static_cast<std::size_t>(cfg_.degree));
+    for (int i = 0; i < cfg_.degree; ++i) {
+      const std::int64_t ahead = s->stride * (cfg_.distance + i);
+      const auto target = static_cast<std::int64_t>(addr) + ahead;
+      if (target >= 0) out.push_back(static_cast<std::uint64_t>(target));
+    }
+    issued_ += out.size();
+  }
+  return out;
+}
+
+}  // namespace photorack::cpusim

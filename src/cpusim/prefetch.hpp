@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace photorack::cpusim {
+
+/// Stride prefetcher (reference-prediction-table style).  §VII argues that
+/// latency-tolerant compute — prefetching among the techniques cited
+/// [117][134][137] — makes disaggregation more attractive; this is the
+/// mechanism the ablation bench switches on.
+///
+/// The table tracks recent demand-miss addresses in a small set of
+/// streams; two consecutive matching deltas lock a stream, after which
+/// every miss issues `degree` prefetches `distance` strides ahead.
+struct PrefetchConfig {
+  bool enabled = false;
+  int streams = 16;     // tracked concurrent streams
+  int degree = 8;       // prefetches issued per triggering miss
+  int distance = 1;     // how many strides ahead the first prefetch lands
+  /// A stream must see this many consistent deltas before it trains.
+  int train_threshold = 2;
+};
+
+class StridePrefetcher {
+ public:
+  explicit StridePrefetcher(PrefetchConfig cfg = {});
+
+  /// Observe a demand miss; returns the addresses to prefetch (empty when
+  /// disabled or untrained).
+  [[nodiscard]] std::vector<std::uint64_t> on_miss(std::uint64_t addr);
+
+  [[nodiscard]] const PrefetchConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+  [[nodiscard]] std::uint64_t trained_streams() const { return trained_; }
+  void reset();
+
+ private:
+  struct Stream {
+    std::uint64_t last_addr = 0;
+    std::int64_t stride = 0;
+    int confidence = 0;
+    bool valid = false;
+    std::uint64_t last_use = 0;
+  };
+
+  PrefetchConfig cfg_;
+  std::vector<Stream> table_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t issued_ = 0;
+  std::uint64_t trained_ = 0;
+
+  [[nodiscard]] Stream* find_stream(std::uint64_t addr);
+  [[nodiscard]] Stream* victim();
+};
+
+}  // namespace photorack::cpusim

@@ -1,0 +1,52 @@
+#include "cpusim/runner.hpp"
+
+#include <stdexcept>
+
+namespace photorack::cpusim {
+
+SimResult run_simulation(TraceSource& trace, const SimConfig& cfg) {
+  CacheHierarchy hierarchy(cfg.hierarchy);
+  DramModel dram(cfg.dram);
+  Core core(cfg.core, hierarchy, dram);
+
+  if (cfg.prewarm_working_set && trace.footprint_bytes() > 0) {
+    const std::uint64_t footprint = trace.footprint_bytes();
+    const std::uint64_t span = std::min(footprint, cfg.prewarm_cap_bytes);
+    const auto line = static_cast<std::uint64_t>(cfg.hierarchy.l1.line_bytes);
+    for (std::uint64_t addr = footprint - span; addr < footprint; addr += line)
+      hierarchy.access(addr);
+  }
+
+  trace.reset();
+  core.run(trace, cfg.warmup_instructions);
+  core.reset_stats();
+  hierarchy.reset_stats();
+  dram.reset_stats();
+
+  core.run(trace, cfg.measured_instructions);
+  const CoreStats& s = core.stats();
+
+  SimResult r;
+  r.instructions = s.instructions;
+  r.cycles = s.cycles;
+  r.time_ns = s.cycles / cfg.core.freq_ghz;
+  r.ipc = s.ipc();
+  r.llc_miss_rate = s.llc_miss_rate();
+  r.llc_mpki = s.instructions
+                   ? 1000.0 * static_cast<double>(s.llc_misses) /
+                         static_cast<double>(s.instructions)
+                   : 0.0;
+  r.llc_miss_stall_cycles = s.llc_miss_stall_cycles;
+  r.mem_op_fraction = s.instructions ? static_cast<double>(s.mem_ops) /
+                                           static_cast<double>(s.instructions)
+                                     : 0.0;
+  r.dram_row_hit_rate = dram.row_hit_rate();
+  return r;
+}
+
+double slowdown(const SimResult& baseline, const SimResult& perturbed) {
+  if (baseline.time_ns <= 0.0) throw std::invalid_argument("slowdown: empty baseline");
+  return perturbed.time_ns / baseline.time_ns - 1.0;
+}
+
+}  // namespace photorack::cpusim

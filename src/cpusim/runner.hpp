@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cpusim/core.hpp"
+
+namespace photorack::cpusim {
+
+/// One simulated benchmark run.
+struct SimConfig {
+  CoreConfig core;
+  HierarchyConfig hierarchy;
+  DramConfig dram;
+  std::uint64_t warmup_instructions = 200'000;
+  std::uint64_t measured_instructions = 1'000'000;
+  /// Pre-walk the trace's footprint through the hierarchy before timing so
+  /// compulsory misses do not contaminate the measurement (the trace must
+  /// report footprint_bytes()).  At most `prewarm_cap_bytes` are walked;
+  /// beyond ~2x the LLC, residency is equivalent for cyclic patterns.
+  bool prewarm_working_set = true;
+  std::uint64_t prewarm_cap_bytes = 64ULL << 20;
+};
+
+struct SimResult {
+  std::uint64_t instructions = 0;
+  double cycles = 0.0;
+  double time_ns = 0.0;
+  double ipc = 0.0;
+  double llc_miss_rate = 0.0;          // misses / LLC accesses (as in Fig 7)
+  double llc_mpki = 0.0;               // misses per kilo-instruction
+  double llc_miss_stall_cycles = 0.0;  // Fig-relevant: grows 50-150% with +35ns
+  double mem_op_fraction = 0.0;
+  double dram_row_hit_rate = 0.0;
+};
+
+/// Run `trace` through the configured core.  Warmup primes the caches and
+/// DRAM row buffers without counting; measurement then covers exactly
+/// `measured_instructions`.
+[[nodiscard]] SimResult run_simulation(TraceSource& trace, const SimConfig& cfg);
+
+/// Convenience: relative slowdown of `perturbed` vs `baseline` execution
+/// time (0.15 = 15% slower).
+[[nodiscard]] double slowdown(const SimResult& baseline, const SimResult& perturbed);
+
+}  // namespace photorack::cpusim

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace photorack::cpusim {
+
+enum class OpKind : std::uint8_t { kAlu, kLoad, kStore };
+
+/// One dynamic instruction of a trace.  `dependent` marks a memory op whose
+/// address depends on the previous load's value (pointer chasing): such
+/// misses cannot overlap with each other in an out-of-order core.
+struct Instr {
+  OpKind kind = OpKind::kAlu;
+  std::uint64_t addr = 0;
+  bool dependent = false;
+};
+
+/// Trace producer.  Batched to keep the virtual-call overhead off the
+/// per-instruction hot path: implementations fill as much of `out` as they
+/// like and return the count (0 means end of trace; generators are
+/// typically endless).
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  virtual std::size_t next_batch(std::span<Instr> out) = 0;
+
+  /// Restart the trace from the beginning (same seed, same stream).
+  virtual void reset() = 0;
+
+  /// Total bytes the trace can touch (0 = unknown).  The runner uses this
+  /// to pre-warm the cache hierarchy so measurements reflect steady state
+  /// rather than compulsory misses.
+  [[nodiscard]] virtual std::uint64_t footprint_bytes() const { return 0; }
+};
+
+}  // namespace photorack::cpusim

@@ -1,0 +1,100 @@
+#include "disagg/allocator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace photorack::disagg {
+
+RackAllocator::RackAllocator(const rack::RackConfig& rack, AllocationPolicy policy,
+                             double memory_gb_per_node, double nic_gbps_per_node)
+    : policy_(policy),
+      nodes_(rack.nodes),
+      cpus_per_node_(rack.node.cpus),
+      gpus_per_node_(rack.node.gpus),
+      memory_gb_per_node_(memory_gb_per_node),
+      nic_gbps_per_node_(nic_gbps_per_node),
+      free_nodes_(rack.nodes) {
+  pools_.cpus_total = nodes_ * cpus_per_node_;
+  pools_.gpus_total = nodes_ * gpus_per_node_;
+  pools_.memory_gb_total = nodes_ * memory_gb_per_node_;
+  pools_.nic_gbps_total = nodes_ * nic_gbps_per_node_;
+}
+
+Allocation RackAllocator::allocate(const JobRequest& req) {
+  Allocation a;
+  if (req.cpus < 0 || req.gpus < 0 || req.memory_gb < 0 || req.nic_gbps < 0)
+    throw std::invalid_argument("allocate: negative request");
+
+  if (policy_ == AllocationPolicy::kStaticNodes) {
+    // A job gets the smallest node count covering its largest per-resource
+    // demand; everything else in those nodes is marooned.
+    int need = 0;
+    need = std::max(need, (req.cpus + cpus_per_node_ - 1) / std::max(1, cpus_per_node_));
+    need = std::max(need, gpus_per_node_ > 0
+                              ? (req.gpus + gpus_per_node_ - 1) / gpus_per_node_
+                              : 0);
+    need = std::max(
+        need, static_cast<int>(std::ceil(req.memory_gb / memory_gb_per_node_)));
+    need = std::max(need,
+                    static_cast<int>(std::ceil(req.nic_gbps / nic_gbps_per_node_)));
+    need = std::max(need, 1);
+    if (need > free_nodes_) return a;
+    free_nodes_ -= need;
+    a.placed = true;
+    a.nodes = need;
+    a.cpus = need * cpus_per_node_;
+    a.gpus = need * gpus_per_node_;
+    a.memory_gb = need * memory_gb_per_node_;
+    a.nic_gbps = need * nic_gbps_per_node_;
+    pools_.cpus_used += a.cpus;
+    pools_.gpus_used += a.gpus;
+    pools_.memory_gb_used += a.memory_gb;
+    pools_.nic_gbps_used += a.nic_gbps;
+    a.marooned_cpus = std::max(0.0, static_cast<double>(a.cpus - req.cpus));
+    a.marooned_memory_gb = std::max(0.0, a.memory_gb - req.memory_gb);
+    marooned_cpus_ += a.marooned_cpus;
+    marooned_memory_gb_ += a.marooned_memory_gb;
+  } else {
+    if (req.cpus > pools_.cpus_total - pools_.cpus_used) return a;
+    if (req.gpus > pools_.gpus_total - pools_.gpus_used) return a;
+    if (req.memory_gb > pools_.memory_gb_total - pools_.memory_gb_used) return a;
+    if (req.nic_gbps > pools_.nic_gbps_total - pools_.nic_gbps_used) return a;
+    a.placed = true;
+    a.cpus = req.cpus;
+    a.gpus = req.gpus;
+    a.memory_gb = req.memory_gb;
+    a.nic_gbps = req.nic_gbps;
+    pools_.cpus_used += a.cpus;
+    pools_.gpus_used += a.gpus;
+    pools_.memory_gb_used += a.memory_gb;
+    pools_.nic_gbps_used += a.nic_gbps;
+  }
+  a.id = next_id_++;
+  return a;
+}
+
+void RackAllocator::release(const Allocation& alloc) {
+  if (!alloc.placed) return;
+  pools_.cpus_used -= alloc.cpus;
+  pools_.gpus_used -= alloc.gpus;
+  pools_.memory_gb_used -= alloc.memory_gb;
+  pools_.nic_gbps_used -= alloc.nic_gbps;
+  if (policy_ == AllocationPolicy::kStaticNodes) {
+    free_nodes_ += alloc.nodes;
+    marooned_cpus_ -= alloc.marooned_cpus;
+    marooned_memory_gb_ -= alloc.marooned_memory_gb;
+  }
+  if (pools_.cpus_used < 0 || pools_.memory_gb_used < -1e-9)
+    throw std::logic_error("release: double free");
+}
+
+double RackAllocator::marooned_cpu_fraction() const {
+  return pools_.cpus_total ? marooned_cpus_ / pools_.cpus_total : 0.0;
+}
+
+double RackAllocator::marooned_memory_fraction() const {
+  return pools_.memory_gb_total > 0 ? marooned_memory_gb_ / pools_.memory_gb_total : 0.0;
+}
+
+}  // namespace photorack::disagg

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rack/chips.hpp"
+
+namespace photorack::disagg {
+
+/// Resources one job asks for.  Units: whole CPUs/GPUs, GB of memory,
+/// Gb/s of injection bandwidth.
+struct JobRequest {
+  int cpus = 0;
+  int gpus = 0;
+  double memory_gb = 0.0;
+  double nic_gbps = 0.0;
+};
+
+/// What a placement consumed.  For node-granular placement this is whole
+/// nodes; for disaggregated placement it is the exact request.
+struct Allocation {
+  bool placed = false;
+  int nodes = 0;  // node-granular only
+  int cpus = 0;
+  int gpus = 0;
+  double memory_gb = 0.0;
+  double nic_gbps = 0.0;
+  double marooned_cpus = 0.0;       // granted-but-unrequested (static nodes)
+  double marooned_memory_gb = 0.0;
+  std::uint64_t id = 0;
+};
+
+/// Aggregate pool state for one rack.
+struct PoolState {
+  int cpus_total = 0, cpus_used = 0;
+  int gpus_total = 0, gpus_used = 0;
+  double memory_gb_total = 0, memory_gb_used = 0;
+  double nic_gbps_total = 0, nic_gbps_used = 0;
+
+  [[nodiscard]] double cpu_utilization() const {
+    return cpus_total ? static_cast<double>(cpus_used) / cpus_total : 0.0;
+  }
+  [[nodiscard]] double gpu_utilization() const {
+    return gpus_total ? static_cast<double>(gpus_used) / gpus_total : 0.0;
+  }
+  [[nodiscard]] double memory_utilization() const {
+    return memory_gb_total > 0 ? memory_gb_used / memory_gb_total : 0.0;
+  }
+  [[nodiscard]] double nic_utilization() const {
+    return nic_gbps_total > 0 ? nic_gbps_used / nic_gbps_total : 0.0;
+  }
+};
+
+/// Allocation policy of the rack under study.
+///
+/// kStaticNodes: today's model — jobs receive whole, identical nodes; every
+/// resource in a granted node is unavailable to others even when unused
+/// ("marooned resources", §I).
+///
+/// kDisaggregated: the paper's model — each resource type is an independent
+/// rack-wide pool; jobs take exactly what they request.
+enum class AllocationPolicy { kStaticNodes, kDisaggregated };
+
+class RackAllocator {
+ public:
+  RackAllocator(const rack::RackConfig& rack, AllocationPolicy policy,
+                double memory_gb_per_node = 256.0, double nic_gbps_per_node = 800.0);
+
+  /// Try to place a job; marooned resources are tracked for static nodes.
+  [[nodiscard]] Allocation allocate(const JobRequest& req);
+  void release(const Allocation& alloc);
+
+  [[nodiscard]] const PoolState& pools() const { return pools_; }
+  [[nodiscard]] AllocationPolicy policy() const { return policy_; }
+  [[nodiscard]] int free_nodes() const { return free_nodes_; }
+
+  /// Resources granted but idle (static-node only): the utilization gap
+  /// that motivates disaggregation.
+  [[nodiscard]] double marooned_cpu_fraction() const;
+  [[nodiscard]] double marooned_memory_fraction() const;
+
+ private:
+  AllocationPolicy policy_;
+  int nodes_;
+  int cpus_per_node_;
+  int gpus_per_node_;
+  double memory_gb_per_node_;
+  double nic_gbps_per_node_;
+  int free_nodes_;
+  PoolState pools_;
+  std::uint64_t next_id_ = 1;
+
+  double marooned_cpus_ = 0.0;
+  double marooned_memory_gb_ = 0.0;
+};
+
+}  // namespace photorack::disagg

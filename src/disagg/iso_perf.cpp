@@ -1,0 +1,57 @@
+#include "disagg/iso_perf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace photorack::disagg {
+
+IsoPerfResult iso_performance(const rack::RackConfig& rack, const IsoPerfInputs& in) {
+  if (in.memory_reduction < 1.0 || in.nic_reduction < 1.0)
+    throw std::invalid_argument("iso_performance: reductions must be >= 1");
+  IsoPerfResult r;
+  r.baseline.cpus = rack.total_chips(rack::ChipType::kCpu);
+  r.baseline.gpus = rack.total_chips(rack::ChipType::kGpu);
+  r.baseline.ddr4 = rack.total_chips(rack::ChipType::kDdr4);
+  r.baseline.nics = rack.nodes * in.nic_modules_per_node;
+
+  // Iso-throughput: a fleet slowed by s needs (1+s)x the units.
+  r.disaggregated.cpus =
+      static_cast<int>(std::ceil(r.baseline.cpus * (1.0 + in.cpu_slowdown)));
+  r.disaggregated.gpus =
+      static_cast<int>(std::ceil(r.baseline.gpus * (1.0 + in.gpu_slowdown)));
+  r.disaggregated.ddr4 =
+      static_cast<int>(std::ceil(r.baseline.ddr4 / in.memory_reduction));
+  r.disaggregated.nics =
+      static_cast<int>(std::ceil(r.baseline.nics / in.nic_reduction));
+
+  r.reduction_fraction =
+      1.0 - static_cast<double>(r.disaggregated.total()) / r.baseline.total();
+
+  // Alternative: keep all resources and add one extra compute module per
+  // node (a CPU or a GPU+HBM), doubling per-node compute capability.
+  r.added_compute_modules = rack.nodes;
+  r.added_chip_fraction =
+      static_cast<double>(r.added_compute_modules) / r.baseline.total();
+  return r;
+}
+
+double derive_memory_reduction(const workloads::UsageModel& usage, int nodes,
+                               double percentile, int trials, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<double> rack_demand;
+  rack_demand.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    double total = 0.0;
+    for (int n = 0; n < nodes; ++n) total += usage.memory_capacity.sample(rng);
+    rack_demand.push_back(total);  // in units of per-node memory capacity
+  }
+  const double provisioned_nodes = sim::percentile(rack_demand, percentile);
+  // Baseline provisions `nodes` nodes' worth of DIMMs; the pool needs only
+  // the high-percentile rack-wide demand.
+  return provisioned_nodes > 0 ? static_cast<double>(nodes) / provisioned_nodes : 1.0;
+}
+
+}  // namespace photorack::disagg

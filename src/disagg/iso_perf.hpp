@@ -1,0 +1,60 @@
+#pragma once
+
+#include "rack/chips.hpp"
+#include "workloads/usage.hpp"
+
+namespace photorack::disagg {
+
+/// Module counts for the §VI-E iso-performance comparison.  "Modules" are
+/// the units the paper counts: CPU packages, GPU packages (HBM co-packaged
+/// with its GPU), DDR4 DIMMs, and NIC modules (two counted per baseline
+/// node — the §VI-E arithmetic: 128 + 512 + 1024 + 256 = 1920).
+struct ModuleCounts {
+  int cpus = 0;
+  int gpus = 0;
+  int ddr4 = 0;
+  int nics = 0;
+
+  [[nodiscard]] int total() const { return cpus + gpus + ddr4 + nics; }
+};
+
+struct IsoPerfInputs {
+  /// Average slowdowns from the §VI-B experiments; extra compute modules
+  /// make up for them.  Defaults are the paper's: in-order CPUs (worst
+  /// case) 15%, GPUs ~6%.
+  double cpu_slowdown = 0.15;
+  double gpu_slowdown = 0.06;
+  /// Resource reductions disaggregation permits, from production usage
+  /// ([15]): 4x fewer memory modules, 2x fewer NICs.
+  double memory_reduction = 4.0;
+  double nic_reduction = 2.0;
+  int nic_modules_per_node = 2;
+};
+
+struct IsoPerfResult {
+  ModuleCounts baseline;
+  ModuleCounts disaggregated;
+  double reduction_fraction = 0.0;  // paper: ~44%
+
+  /// Alternative plan (§VI-E): keep every baseline resource and add
+  /// `added_compute_modules` CPUs/GPUs instead, roughly doubling rack
+  /// compute throughput for a ~7% chip increase.
+  int added_compute_modules = 0;
+  double added_chip_fraction = 0.0;
+};
+
+/// The §VI-E comparison for a rack.
+[[nodiscard]] IsoPerfResult iso_performance(const rack::RackConfig& rack = {},
+                                            const IsoPerfInputs& inputs = {});
+
+/// Derive the memory-module reduction factor from a usage distribution:
+/// sample `nodes` per-node demands, provision the rack pool at the
+/// `percentile` of the rack-wide total, and compare module counts against
+/// one-DIMM-per-channel provisioning.  Statistical multiplexing across the
+/// rack is what makes the 4x of [15] conservative.
+[[nodiscard]] double derive_memory_reduction(const workloads::UsageModel& usage,
+                                             int nodes = 128, double percentile = 99.0,
+                                             int trials = 2000,
+                                             std::uint64_t seed = 2024);
+
+}  // namespace photorack::disagg

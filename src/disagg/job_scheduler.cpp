@@ -1,0 +1,79 @@
+#include "disagg/job_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace photorack::disagg {
+
+JobSimReport run_job_stream(const rack::RackConfig& rack, AllocationPolicy policy,
+                            const workloads::UsageModel& usage, const JobSimConfig& cfg) {
+  RackAllocator allocator(rack, policy);
+  sim::EventQueue queue;
+  sim::Rng arrival_rng(cfg.seed);
+  sim::Rng job_rng = arrival_rng.child(1);
+
+  JobSimReport report;
+  sim::RunningStats cpu_util, gpu_util, mem_util, marooned_cpu, marooned_mem;
+
+  const double mean_gap =
+      static_cast<double>(sim::kPsPerMs) / cfg.arrivals_per_ms;
+
+  // Job demands: breadth in nodes, then per-resource usage fractions drawn
+  // from the production distributions — exactly the §II-A picture where a
+  // job occupies N nodes but touches a small slice of their memory/NIC.
+  auto make_request = [&]() {
+    JobRequest req;
+    const auto breadth =
+        static_cast<int>(1 + job_rng.below(static_cast<std::uint64_t>(cfg.max_job_nodes)));
+    const double cpu_frac = usage.cpu_cores.sample(job_rng);
+    const double mem_frac = usage.memory_capacity.sample(job_rng);
+    const double nic_frac = usage.nic_bandwidth.sample(job_rng);
+    req.cpus = std::max(1, static_cast<int>(std::lround(breadth * rack.node.cpus * cpu_frac)));
+    // GPUs: half the jobs are GPU jobs asking for 1..4 GPUs per node.
+    req.gpus = job_rng.bernoulli(0.5)
+                   ? breadth * static_cast<int>(1 + job_rng.below(
+                                   static_cast<std::uint64_t>(rack.node.gpus)))
+                   : 0;
+    req.memory_gb = breadth * 256.0 * mem_frac;
+    req.nic_gbps = breadth * 800.0 * nic_frac;
+    return req;
+  };
+
+  std::function<void()> schedule_next = [&]() {
+    const auto gap = static_cast<sim::TimePs>(arrival_rng.exponential(mean_gap));
+    if (queue.now() + gap >= cfg.sim_time) return;
+    queue.schedule_after(gap, [&]() {
+      ++report.offered;
+      const JobRequest req = make_request();
+      auto alloc = std::make_shared<Allocation>(allocator.allocate(req));
+      if (alloc->placed) {
+        ++report.accepted;
+        const auto hold =
+            static_cast<sim::TimePs>(job_rng.exponential(
+                static_cast<double>(cfg.mean_duration)));
+        queue.schedule_after(std::max<sim::TimePs>(hold, 1),
+                             [&, alloc]() { allocator.release(*alloc); });
+      }
+      // Sample utilization at every arrival (an unbiased-enough probe for
+      // Poisson arrivals, by PASTA).
+      cpu_util.add(allocator.pools().cpu_utilization());
+      gpu_util.add(allocator.pools().gpu_utilization());
+      mem_util.add(allocator.pools().memory_utilization());
+      marooned_cpu.add(allocator.marooned_cpu_fraction());
+      marooned_mem.add(allocator.marooned_memory_fraction());
+      schedule_next();
+    });
+  };
+  schedule_next();
+  queue.run();
+
+  report.mean_cpu_utilization = cpu_util.mean();
+  report.mean_gpu_utilization = gpu_util.mean();
+  report.mean_memory_utilization = mem_util.mean();
+  report.mean_marooned_cpu = marooned_cpu.mean();
+  report.mean_marooned_memory = marooned_mem.mean();
+  return report;
+}
+
+}  // namespace photorack::disagg

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "disagg/allocator.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "workloads/usage.hpp"
+
+namespace photorack::disagg {
+
+/// Job-stream comparison of static-node vs disaggregated allocation: jobs
+/// with usage-distribution-shaped demands arrive Poisson, hold, and leave.
+/// The interesting outputs are acceptance ratio and how much capacity the
+/// static policy maroons (§I / §II-A motivation).
+struct JobSimConfig {
+  double arrivals_per_ms = 4.0;
+  sim::TimePs mean_duration = 20 * sim::kPsPerMs;
+  sim::TimePs sim_time = 2000 * sim::kPsPerMs;
+  std::uint64_t seed = 7;
+  int max_job_nodes = 16;  // job breadth drawn in [1, max]
+};
+
+struct JobSimReport {
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  double mean_cpu_utilization = 0.0;
+  double mean_gpu_utilization = 0.0;
+  double mean_memory_utilization = 0.0;
+  double mean_marooned_cpu = 0.0;     // fraction of rack CPUs idle-but-held
+  double mean_marooned_memory = 0.0;  // fraction of rack memory idle-but-held
+
+  [[nodiscard]] double acceptance() const {
+    return offered ? static_cast<double>(accepted) / static_cast<double>(offered) : 1.0;
+  }
+};
+
+/// Run the same deterministic job stream against one rack policy.
+[[nodiscard]] JobSimReport run_job_stream(const rack::RackConfig& rack,
+                                          AllocationPolicy policy,
+                                          const workloads::UsageModel& usage,
+                                          const JobSimConfig& cfg = {});
+
+}  // namespace photorack::disagg

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+namespace photorack::gpusim {
+
+/// NVIDIA A100-like device model (§VI-B3, [122]): 108 SMs at 1.41 GHz,
+/// 40 MB shared L2, 40 GB HBM2e at 1555.2 GB/s.  Latencies follow published
+/// microbenchmark numbers.  `extra_hbm_ns` is the disaggregation latency
+/// added between the GPU LLC (L2) and HBM, the quantity swept in Fig 9.
+struct GpuConfig {
+  int sms = 108;
+  double freq_ghz = 1.41;
+  std::uint64_t l2_bytes = 40ULL * 1024 * 1024;
+  int l2_ways = 16;
+  int sector_bytes = 32;          // memory transaction granularity
+  double hbm_bandwidth_gBps = 1555.2;
+  double l2_hit_latency_ns = 140.0;  // ~200 cycles
+  double hbm_latency_ns = 290.0;     // ~410 cycles
+  double extra_hbm_ns = 0.0;
+  /// Multiplier on deliverable HBM bandwidth; 1.0 for the photonic fabric
+  /// (which preserves full escape bandwidth, §V-A).  The §VI-D electronic
+  /// comparison derates this because electronic switch lanes cannot carry
+  /// native HBM bandwidth.
+  double hbm_bandwidth_derate = 1.0;
+
+  /// Peak warp-instruction issue rate for the whole device (warp
+  /// instructions per cycle): one scheduler issue per SM per cycle in this
+  /// model's granularity.
+  [[nodiscard]] double issue_per_cycle() const { return static_cast<double>(sms); }
+};
+
+}  // namespace photorack::gpusim

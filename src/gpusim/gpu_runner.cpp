@@ -1,0 +1,50 @@
+#include "gpusim/gpu_runner.hpp"
+
+#include <stdexcept>
+
+namespace photorack::gpusim {
+
+int AppProfile::total_launches() const {
+  int n = 0;
+  for (const auto& k : kernels) n += k.launches;
+  return n;
+}
+
+AppResult run_app(const AppProfile& app, const GpuConfig& gpu) {
+  if (app.kernels.empty()) throw std::invalid_argument("run_app: app has no kernels");
+  AppResult out;
+  out.name = app.name;
+
+  double total_instrs = 0.0, total_l2_txn = 0.0, total_hbm_txn = 0.0, total_mem_instr = 0.0;
+  for (const auto& launch : app.kernels) {
+    KernelResult kr = evaluate_kernel(launch.profile, gpu);
+    const double n = launch.launches;
+    out.time_us += kr.time_us * n;
+
+    const double instrs = launch.profile.warp_instructions * n;
+    const double l2_txn =
+        launch.profile.warp_instructions * launch.profile.mem_fraction *
+        launch.profile.sectors_per_access * n;
+    total_instrs += instrs;
+    total_mem_instr += instrs * launch.profile.mem_fraction;
+    total_l2_txn += l2_txn;
+    total_hbm_txn += l2_txn * kr.l2_miss_rate;
+    out.kernel_results.push_back(std::move(kr));
+  }
+  out.predicted_cycles = out.time_us * 1e3 * gpu.freq_ghz;
+  out.l2_miss_rate = total_l2_txn > 0 ? total_hbm_txn / total_l2_txn : 0.0;
+  out.hbm_txn_per_instr = total_instrs > 0 ? total_hbm_txn / total_instrs : 0.0;
+  out.mem_instr_fraction = total_instrs > 0 ? total_mem_instr / total_instrs : 0.0;
+  return out;
+}
+
+double app_slowdown(const AppProfile& app, GpuConfig gpu, double extra_ns) {
+  gpu.extra_hbm_ns = 0.0;
+  const AppResult base = run_app(app, gpu);
+  gpu.extra_hbm_ns = extra_ns;
+  const AppResult perturbed = run_app(app, gpu);
+  if (base.time_us <= 0.0) throw std::logic_error("app_slowdown: empty baseline");
+  return perturbed.time_us / base.time_us - 1.0;
+}
+
+}  // namespace photorack::gpusim

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/kernel_model.hpp"
+
+namespace photorack::gpusim {
+
+/// One kernel shape plus how many times the application launches it.  The
+/// paper's 24 applications contain 1525 kernel launches total; launches of
+/// the same shape share one evaluation.
+struct KernelLaunch {
+  KernelProfile profile;
+  int launches = 1;
+};
+
+struct AppProfile {
+  std::string name;
+  std::string suite;  // "Rodinia" | "Polybench" | "Tango"
+  std::vector<KernelLaunch> kernels;
+
+  [[nodiscard]] int total_launches() const;
+};
+
+/// Whole-application result (launch-weighted over kernels).
+struct AppResult {
+  std::string name;
+  double time_us = 0.0;
+  double predicted_cycles = 0.0;       // the paper compares total predicted cycles
+  double l2_miss_rate = 0.0;           // transaction-weighted
+  double hbm_txn_per_instr = 0.0;      // HBM transactions / total instructions
+  double mem_instr_fraction = 0.0;     // instruction-weighted
+  std::vector<KernelResult> kernel_results;  // one per distinct shape
+};
+
+/// Evaluate every kernel shape once and combine launch-weighted.
+[[nodiscard]] AppResult run_app(const AppProfile& app, const GpuConfig& gpu);
+
+/// Relative slowdown of the app at `extra_ns` vs a zero-extra baseline.
+[[nodiscard]] double app_slowdown(const AppProfile& app, GpuConfig gpu, double extra_ns);
+
+}  // namespace photorack::gpusim

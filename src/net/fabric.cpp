@@ -1,0 +1,91 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace photorack::net {
+
+WavelengthFabric::WavelengthFabric(int mcms, const rack::AwgrFabricPlan& plan)
+    : mcms_(mcms),
+      radix_(plan.awgr_radix),
+      gbps_per_lambda_(plan.direct_pair_bandwidth.value /
+                       std::max(1, plan.min_direct_lambdas_per_pair)),
+      lambdas_(plan.lambdas_per_port) {
+  if (mcms <= 0 || mcms > radix_)
+    throw std::invalid_argument("WavelengthFabric: MCM count must fit the AWGR radix");
+  if (lambdas_.empty()) throw std::invalid_argument("WavelengthFabric: no AWGRs in plan");
+  alloc_.assign(lambdas_.size(),
+                std::vector<double>(static_cast<std::size_t>(mcms_) * mcms_, 0.0));
+}
+
+bool WavelengthFabric::covers(int awgr, int src, int dst) const {
+  if (src == dst) return false;
+  // The port drives its first `lambdas_[awgr]` wavelength indices; the
+  // cyclic AWGR shuffle lambda = (src+dst) mod radix then determines which
+  // destinations those wavelengths land on.
+  return (src + dst) % radix_ < lambdas_[static_cast<std::size_t>(awgr)];
+}
+
+int WavelengthFabric::direct_lambdas(int src, int dst) const {
+  int n = 0;
+  for (int a = 0; a < parallel_awgrs(); ++a) n += covers(a, src, dst) ? 1 : 0;
+  return n;
+}
+
+double WavelengthFabric::direct_capacity(int src, int dst) const {
+  return direct_lambdas(src, dst) * gbps_per_lambda_;
+}
+
+double WavelengthFabric::free_direct(int src, int dst) const {
+  double free = 0.0;
+  for (int a = 0; a < parallel_awgrs(); ++a)
+    if (covers(a, src, dst))
+      free += gbps_per_lambda_ - alloc_[static_cast<std::size_t>(a)][idx(src, dst)];
+  return free;
+}
+
+double WavelengthFabric::allocated(int src, int dst) const {
+  double total = 0.0;
+  for (int a = 0; a < parallel_awgrs(); ++a)
+    total += alloc_[static_cast<std::size_t>(a)][idx(src, dst)];
+  return total;
+}
+
+double WavelengthFabric::allocate_direct(int src, int dst, double gbps) {
+  double granted = 0.0;
+  for (int a = 0; a < parallel_awgrs() && gbps > granted; ++a) {
+    if (!covers(a, src, dst)) continue;
+    auto& used = alloc_[static_cast<std::size_t>(a)][idx(src, dst)];
+    const double take = std::min(gbps - granted, gbps_per_lambda_ - used);
+    used += take;
+    granted += take;
+  }
+  return granted;
+}
+
+void WavelengthFabric::release_direct(int src, int dst, double gbps) {
+  for (int a = 0; a < parallel_awgrs() && gbps > 0.0; ++a) {
+    if (!covers(a, src, dst)) continue;
+    auto& used = alloc_[static_cast<std::size_t>(a)][idx(src, dst)];
+    const double give = std::min(gbps, used);
+    used -= give;
+    gbps -= give;
+  }
+  if (gbps > 1e-9) throw std::logic_error("release_direct: released more than allocated");
+}
+
+double WavelengthFabric::utilization() const {
+  double cap = 0.0, used = 0.0;
+  for (int a = 0; a < parallel_awgrs(); ++a) {
+    for (int s = 0; s < mcms_; ++s) {
+      for (int d = 0; d < mcms_; ++d) {
+        if (!covers(a, s, d)) continue;
+        cap += gbps_per_lambda_;
+        used += alloc_[static_cast<std::size_t>(a)][idx(s, d)];
+      }
+    }
+  }
+  return cap > 0.0 ? used / cap : 0.0;
+}
+
+}  // namespace photorack::net

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phot/units.hpp"
+#include "rack/rack_builder.hpp"
+
+namespace photorack::net {
+
+/// Wavelength-level state of the parallel-AWGR fabric (case (A) of §V-B).
+///
+/// Each of the `parallel_awgrs` AWGRs dedicates exactly one wavelength to
+/// every (source MCM, destination MCM) pair it covers; a wavelength carries
+/// `gbps_per_wavelength` and may be multiplexed by several flows (§IV-A).
+/// The fabric tracks allocated Gb/s per (awgr, src, dst) and exposes the
+/// occupancy queries that indirect routing needs.
+class WavelengthFabric {
+ public:
+  WavelengthFabric(int mcms, const rack::AwgrFabricPlan& plan);
+
+  [[nodiscard]] int mcms() const { return mcms_; }
+  [[nodiscard]] int parallel_awgrs() const { return static_cast<int>(lambdas_.size()); }
+  [[nodiscard]] double gbps_per_wavelength() const { return gbps_per_lambda_; }
+
+  /// True when AWGR `a` gives `src` a dedicated wavelength to `dst`.
+  /// Partially-filled ports (fewer wavelengths than the AWGR radix) cover
+  /// the cyclically-first subset of destinations.
+  [[nodiscard]] bool covers(int awgr, int src, int dst) const;
+
+  /// Number of direct wavelengths between a pair (across all AWGRs).
+  [[nodiscard]] int direct_lambdas(int src, int dst) const;
+
+  /// Total / free direct capacity between a pair, in Gb/s.
+  [[nodiscard]] double direct_capacity(int src, int dst) const;
+  [[nodiscard]] double free_direct(int src, int dst) const;
+  [[nodiscard]] double allocated(int src, int dst) const;
+
+  /// Reserve up to `gbps` of direct capacity; returns the amount actually
+  /// reserved (fills AWGRs in index order — deterministic).
+  double allocate_direct(int src, int dst, double gbps);
+
+  /// Release previously reserved direct capacity (same ordering).
+  void release_direct(int src, int dst, double gbps);
+
+  /// Aggregate utilization in [0,1] over all covered pairs.
+  [[nodiscard]] double utilization() const;
+
+ private:
+  int mcms_;
+  int radix_;
+  double gbps_per_lambda_;
+  std::vector<int> lambdas_;             // wavelengths per port, per AWGR
+  std::vector<std::vector<double>> alloc_;  // [awgr][src*mcms+dst] allocated Gb/s
+
+  [[nodiscard]] std::size_t idx(int src, int dst) const {
+    return static_cast<std::size_t>(src) * mcms_ + dst;
+  }
+};
+
+}  // namespace photorack::net

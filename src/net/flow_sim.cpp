@@ -1,0 +1,65 @@
+#include "net/flow_sim.hpp"
+
+#include <memory>
+
+namespace photorack::net {
+
+FlowSimulator::FlowSimulator(WavelengthFabric& fabric, FlowGenerator generator,
+                             FlowSimConfig cfg)
+    : fabric_(&fabric), generator_(std::move(generator)), cfg_(cfg) {}
+
+FlowSimReport FlowSimulator::run() {
+  sim::EventQueue queue;
+  sim::Rng rng(cfg_.seed);
+  PiggybackView view(*fabric_, cfg_.piggyback_interval);
+  IndirectRouter router(*fabric_, view, rng.child(1)());
+
+  FlowSimReport report;
+  sim::RunningStats offered, intermediates;
+  double requested_total = 0.0, satisfied_total = 0.0;
+  double direct_total = 0.0, indirect_total = 0.0;
+  double peak_util = 0.0;
+
+  const double mean_interarrival_ps =
+      static_cast<double>(sim::kPsPerUs) / cfg_.arrivals_per_us;
+  sim::Rng arrival_rng = rng.child(2);
+  sim::Rng flow_rng = rng.child(3);
+
+  // Active-flow bookkeeping lives in shared_ptrs captured by the departure
+  // events; the queue owns the closures.
+  std::function<void()> schedule_next_arrival = [&]() {
+    const auto gap =
+        static_cast<sim::TimePs>(arrival_rng.exponential(mean_interarrival_ps));
+    if (queue.now() + gap >= cfg_.sim_time) return;
+    queue.schedule_after(gap, [&]() {
+      view.maybe_refresh(queue.now());
+      const FlowSpec spec = generator_(flow_rng);
+      auto result = std::make_shared<RouteResult>(router.route(spec.src, spec.dst, spec.gbps));
+      ++report.flows;
+      if (result->fully_satisfied()) ++report.fully_satisfied;
+      offered.add(spec.gbps);
+      intermediates.add(result->intermediates_used);
+      requested_total += spec.gbps;
+      satisfied_total += result->satisfied();
+      direct_total += result->direct_gbps;
+      indirect_total += result->indirect_gbps;
+      peak_util = std::max(peak_util, fabric_->utilization());
+      queue.schedule_after(spec.duration, [&, result]() { router.release(*result); });
+      schedule_next_arrival();
+    });
+  };
+  schedule_next_arrival();
+  queue.run();
+
+  report.offered_gbps_mean = offered.mean();
+  report.satisfied_fraction = requested_total > 0 ? satisfied_total / requested_total : 1.0;
+  report.direct_fraction = satisfied_total > 0 ? direct_total / satisfied_total : 0.0;
+  report.indirect_fraction = satisfied_total > 0 ? indirect_total / satisfied_total : 0.0;
+  report.stale_mispicks = router.total_mispicks();
+  report.second_hops = router.total_second_hops();
+  report.mean_intermediates = intermediates.mean();
+  report.peak_utilization = peak_util;
+  return report;
+}
+
+}  // namespace photorack::net

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/routing.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace photorack::net {
+
+/// A traffic pattern for the flow-level simulator: called to produce the
+/// next flow (src, dst, demand Gb/s, holding time).  Patterns are supplied
+/// by benches (e.g. Cori-like CPU<->DDR4 demands from workloads::usage).
+struct FlowSpec {
+  int src = 0;
+  int dst = 0;
+  double gbps = 0.0;
+  sim::TimePs duration = 0;
+};
+
+using FlowGenerator = std::function<FlowSpec(sim::Rng&)>;
+
+struct FlowSimConfig {
+  double arrivals_per_us = 2.0;       // Poisson arrival rate
+  sim::TimePs sim_time = 200 * sim::kPsPerUs;
+  sim::TimePs piggyback_interval = 1 * sim::kPsPerUs;
+  std::uint64_t seed = 42;
+};
+
+struct FlowSimReport {
+  std::uint64_t flows = 0;
+  std::uint64_t fully_satisfied = 0;
+  double offered_gbps_mean = 0.0;
+  double satisfied_fraction = 0.0;    // sum satisfied / sum requested
+  double direct_fraction = 0.0;       // of satisfied bandwidth
+  double indirect_fraction = 0.0;
+  std::uint64_t stale_mispicks = 0;
+  std::uint64_t second_hops = 0;
+  double mean_intermediates = 0.0;
+  double peak_utilization = 0.0;
+
+  [[nodiscard]] double blocking_probability() const {
+    return flows ? 1.0 - static_cast<double>(fully_satisfied) / flows : 0.0;
+  }
+};
+
+/// Event-driven flow-level simulation over the AWGR fabric: Poisson flow
+/// arrivals, exponential-ish holding times from the generator, allocation
+/// through IndirectRouter, release on departure, periodic piggyback
+/// refresh.  Used by the §VI-A bandwidth bench and the routing tests.
+class FlowSimulator {
+ public:
+  FlowSimulator(WavelengthFabric& fabric, FlowGenerator generator, FlowSimConfig cfg = {});
+
+  FlowSimReport run();
+
+ private:
+  WavelengthFabric* fabric_;
+  FlowGenerator generator_;
+  FlowSimConfig cfg_;
+};
+
+}  // namespace photorack::net

@@ -1,0 +1,47 @@
+#include "net/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace photorack::net {
+
+CentralizedScheduler::CentralizedScheduler(const rack::SpatialFabricPlan& plan, Config cfg)
+    : plan_(&plan), cfg_(cfg), ports_in_use_(static_cast<std::size_t>(plan.switches), 0) {}
+
+CentralizedScheduler::Grant CentralizedScheduler::request_circuit(int src, int dst,
+                                                                  sim::TimePs now) {
+  Grant g;
+  // Shared switches between the endpoints.
+  const auto& cs = plan_->connections[static_cast<std::size_t>(src)];
+  const auto& cd = plan_->connections[static_cast<std::size_t>(dst)];
+  int best = -1;
+  for (int sw : cs) {
+    if (std::find(cd.begin(), cd.end(), sw) == cd.end()) continue;
+    if (ports_in_use_[static_cast<std::size_t>(sw)] + 2 > cfg_.ports_per_switch) continue;
+    if (best < 0 || ports_in_use_[static_cast<std::size_t>(sw)] <
+                        ports_in_use_[static_cast<std::size_t>(best)])
+      best = sw;
+  }
+  if (best < 0) return g;  // denied
+
+  // Serialize through the scheduler, then pay reconfiguration.
+  const sim::TimePs start = std::max(now, scheduler_free_at_);
+  const sim::TimePs decided = start + cfg_.decision_latency;
+  scheduler_free_at_ = decided;
+  g.granted = true;
+  g.switch_index = best;
+  g.ready_at = decided + cfg_.reconfiguration_time;
+  g.waited = g.ready_at - now;
+  ports_in_use_[static_cast<std::size_t>(best)] += 2;
+  ++reconfigs_;
+  latency_ns_.add(sim::to_ns(g.waited));
+  return g;
+}
+
+void CentralizedScheduler::release_circuit(int /*src*/, int /*dst*/, int switch_index) {
+  auto& used = ports_in_use_.at(static_cast<std::size_t>(switch_index));
+  if (used < 2) throw std::logic_error("release_circuit: nothing to release");
+  used -= 2;
+}
+
+}  // namespace photorack::net

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "rack/rack_builder.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace photorack::net {
+
+/// Centralized scheduler for spatial / wave-selective switches (case (B) of
+/// §VI-A).  Unlike the passive AWGR fabric, these switches must be
+/// *configured* before a source-destination circuit exists: requests are
+/// serialized through a central scheduler that adds decision latency, and
+/// each grant pays the switch reconfiguration time.  This class quantifies
+/// the overhead the AWGR design avoids.
+struct SchedulerConfig {
+  sim::TimePs decision_latency = 500 * sim::kPsPerNs;     // global optimization pass
+  sim::TimePs reconfiguration_time = 20 * sim::kPsPerUs;  // MEMS-class
+  int ports_per_switch = 256;
+};
+
+class CentralizedScheduler {
+ public:
+  using Config = SchedulerConfig;
+
+  struct Grant {
+    bool granted = false;
+    int switch_index = -1;
+    sim::TimePs ready_at = 0;   // when the circuit becomes usable
+    sim::TimePs waited = 0;     // queueing + decision + reconfig
+  };
+
+  CentralizedScheduler(const rack::SpatialFabricPlan& plan, Config cfg = {});
+
+  /// Request a circuit src->dst at time `now`.  Picks the least-loaded
+  /// shared switch; returns denied when src and dst share no switch or all
+  /// shared switches are port-exhausted.
+  [[nodiscard]] Grant request_circuit(int src, int dst, sim::TimePs now);
+
+  /// Release one circuit on `switch_index` between the pair.
+  void release_circuit(int src, int dst, int switch_index);
+
+  [[nodiscard]] std::uint64_t reconfigurations() const { return reconfigs_; }
+  [[nodiscard]] const sim::RunningStats& grant_latency_ns() const { return latency_ns_; }
+
+ private:
+  const rack::SpatialFabricPlan* plan_;
+  Config cfg_;
+  std::vector<int> ports_in_use_;     // per switch
+  sim::TimePs scheduler_free_at_ = 0;  // the scheduler is a serial resource
+  std::uint64_t reconfigs_ = 0;
+  sim::RunningStats latency_ns_;
+};
+
+}  // namespace photorack::net

@@ -1,0 +1,109 @@
+#include "phot/awgr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace photorack::phot {
+
+Awgr::Awgr(int ports) : n_(ports) {
+  if (ports <= 0) throw std::invalid_argument("Awgr: ports must be positive");
+}
+
+int Awgr::wavelength_for(int src, int dst) const {
+  if (src < 0 || src >= n_ || dst < 0 || dst >= n_)
+    throw std::out_of_range("Awgr::wavelength_for: port out of range");
+  return (src + dst) % n_;
+}
+
+int Awgr::output_for(int src, int lambda) const {
+  if (src < 0 || src >= n_ || lambda < 0 || lambda >= n_)
+    throw std::out_of_range("Awgr::output_for: out of range");
+  return (lambda - src % n_ + n_) % n_;
+}
+
+CascadedAwgr::CascadedAwgr(CascadedAwgrConfig cfg) : cfg_(cfg) {
+  if (cfg_.k <= 0 || cfg_.m <= 0 || cfg_.n <= 0)
+    throw std::invalid_argument("CascadedAwgr: stage sizes must be positive");
+  optimize_interconnect();
+}
+
+int CascadedAwgr::usable_ports() const {
+  return static_cast<int>(std::floor(gross_ports() * cfg_.usable_port_fraction));
+}
+
+double CascadedAwgr::port_penalty_db(int index, int size) const {
+  // Passband walk-off: ports far from the array center see their channel
+  // center drift off the carrier grid, adding loss.  Quadratic in the
+  // normalized distance from center, up to 1.5 dB at the array edge.
+  if (size <= 1) return 0.0;
+  const double center = (size - 1) / 2.0;
+  const double d = (static_cast<double>(index) - center) / center;
+  return 1.5 * d * d;
+}
+
+void CascadedAwgr::optimize_interconnect() {
+  // Each front AWGR has M outputs; output j carries penalty p_front(j).
+  // Each rear AWGR input i carries penalty p_rear(i).  The interconnect
+  // pattern is free, so pair the worst front outputs with the best rear
+  // inputs (sort ascending vs descending) — this provably minimizes the
+  // maximum pairwise sum (a classic minimax pairing argument).
+  const int m = cfg_.m;
+  std::vector<int> rear_order(m);
+  std::iota(rear_order.begin(), rear_order.end(), 0);
+  std::sort(rear_order.begin(), rear_order.end(), [&](int a, int b) {
+    return port_penalty_db(a, m) < port_penalty_db(b, m);
+  });
+  std::vector<int> front_order(m);
+  std::iota(front_order.begin(), front_order.end(), 0);
+  std::sort(front_order.begin(), front_order.end(), [&](int a, int b) {
+    return port_penalty_db(a, m) > port_penalty_db(b, m);
+  });
+  front_to_rear_.assign(m, 0);
+  for (int i = 0; i < m; ++i) front_to_rear_[front_order[i]] = rear_order[i];
+}
+
+Decibel CascadedAwgr::insertion_loss(int in_port, int out_port) const {
+  const int gross = gross_ports();
+  if (in_port < 0 || in_port >= gross || out_port < 0 || out_port >= gross)
+    throw std::out_of_range("CascadedAwgr::insertion_loss: port out of range");
+
+  // Path: DC switch -> front AWGR -> interconnect -> rear AWGR ->
+  // connectors.  The walk-off penalty a path pays is the front *output*
+  // position plus the rear *input* position it is wired to; the
+  // interconnect permutation is exactly what the optimizer chooses, so a
+  // lossy front output meets a low-loss rear input (the [89] optimization).
+  // Input-side coupling variation is folded into connector_loss.
+  const int m = cfg_.m;
+  const int front_out = out_port % m;
+  const int rear_in = front_to_rear_[static_cast<std::size_t>(front_out)];
+  const double base = cfg_.dc_switch_loss.value + cfg_.front_loss.value +
+                      cfg_.rear_loss.value + cfg_.connector_loss.value;
+  const double walkoff = port_penalty_db(front_out, m) + port_penalty_db(rear_in, m);
+  return Decibel{base + walkoff};
+}
+
+CascadedAwgrReport CascadedAwgr::report() const {
+  CascadedAwgrReport r;
+  r.gross_ports = gross_ports();
+  r.usable_ports = usable_ports();
+  r.wavelengths_per_port = r.usable_ports;  // N x N AWGR: N wavelengths/port
+  double worst = 0.0, best = 1e9;
+  const int m = cfg_.m;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const double loss = insertion_loss(i, j).value;
+      worst = std::max(worst, loss);
+      best = std::min(best, loss);
+    }
+  }
+  r.worst_insertion_loss = Decibel{worst};
+  r.best_insertion_loss = Decibel{best};
+  // Two cascaded stages of incoherent crosstalk add ~3 dB to the per-stage
+  // figure: power-sum of two equal contributors.
+  r.crosstalk = Decibel{cfg_.per_stage_crosstalk.value + 3.0};
+  return r;
+}
+
+}  // namespace photorack::phot

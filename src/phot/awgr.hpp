@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phot/units.hpp"
+
+namespace photorack::phot {
+
+/// An N x N arrayed waveguide grating router.  AWGRs are passive: input port
+/// `src` reaches output port `dst` on exactly one wavelength index, the
+/// cyclic shuffle lambda = (src + dst) mod N.  All-to-all connectivity with
+/// O(N) fibers (§III-D2, Fig 4).
+class Awgr {
+ public:
+  explicit Awgr(int ports);
+
+  [[nodiscard]] int ports() const { return n_; }
+
+  /// The single wavelength index carrying src -> dst.
+  [[nodiscard]] int wavelength_for(int src, int dst) const;
+
+  /// The output port that wavelength `lambda` injected at `src` exits from.
+  [[nodiscard]] int output_for(int src, int lambda) const;
+
+ private:
+  int n_;
+};
+
+/// Cascaded AWGR construction of [89] (§III-D2): N front M x M AWGRs feed
+/// M rear N x N AWGRs, acting as one MN x MN AWGR; K x K delivery-coupling
+/// switches scale further to KMN x KMN.  The paper instantiates
+/// K,M,N = 3,12,11 => 396 gross ports, of which 370 are usable after
+/// passband walk-off margins, with ~15 dB worst-case insertion loss and
+/// better than -35 dB crosstalk.
+struct CascadedAwgrConfig {
+  int k = 3;   // delivery-coupling switch size
+  int m = 12;  // front AWGR size (M x M)
+  int n = 11;  // rear AWGR count driver (N front AWGRs of size M)
+  double usable_port_fraction = 370.0 / 396.0;  // walk-off derating
+
+  // Per-stage optical budget (dB); worst case end-to-end is minimized by the
+  // interconnect optimizer below.
+  Decibel front_loss{4.5};
+  Decibel rear_loss{4.5};
+  Decibel dc_switch_loss{3.0};
+  Decibel connector_loss{1.5};          // fiber splices / couplers, total
+  Decibel per_stage_crosstalk{-38.0};   // per AWGR stage
+};
+
+struct CascadedAwgrReport {
+  int gross_ports = 0;       // K * M * N
+  int usable_ports = 0;      // after derating (370 for the paper's config)
+  int wavelengths_per_port = 0;
+  Decibel worst_insertion_loss{0};
+  Decibel best_insertion_loss{0};
+  Decibel crosstalk{0};
+};
+
+class CascadedAwgr {
+ public:
+  explicit CascadedAwgr(CascadedAwgrConfig cfg = {});
+
+  [[nodiscard]] const CascadedAwgrConfig& config() const { return cfg_; }
+  [[nodiscard]] CascadedAwgrReport report() const;
+
+  [[nodiscard]] int gross_ports() const { return cfg_.k * cfg_.m * cfg_.n; }
+  [[nodiscard]] int usable_ports() const;
+
+  /// End-to-end insertion loss for a port pair after the interconnect
+  /// pattern optimization.  Port-dependent losses model the walk-off of
+  /// passband centers: edge ports of each AWGR are lossier than center
+  /// ports; the front-to-rear interconnect is chosen so high-loss front
+  /// outputs meet low-loss rear inputs (§III-D2).
+  [[nodiscard]] Decibel insertion_loss(int in_port, int out_port) const;
+
+ private:
+  CascadedAwgrConfig cfg_;
+  std::vector<int> front_to_rear_;  // optimized permutation per front output
+
+  [[nodiscard]] double port_penalty_db(int index, int size) const;
+  void optimize_interconnect();
+};
+
+}  // namespace photorack::phot

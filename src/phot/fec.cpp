@@ -1,0 +1,79 @@
+#include "phot/fec.hpp"
+
+#include <cmath>
+
+namespace photorack::phot {
+
+namespace {
+
+/// P[at least one error burst] for n bits at bit error rate p, treating a
+/// burst as a correlated run seeded by one independent error event.  For the
+/// tiny probabilities involved, 1-(1-p)^n evaluated via expm1/log1p keeps
+/// full precision down to 1e-30.
+double prob_at_least_one(double p, double n_bits) {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  return -std::expm1(n_bits * std::log1p(-p));
+}
+
+}  // namespace
+
+FecOutcome FecModel::evaluate(double raw_ber) const {
+  FecOutcome out{};
+  out.raw_ber = raw_ber;
+  const double flit_bits = static_cast<double>(cfg_.flit_bytes) * 8.0;
+
+  // Burst events per flit: each independent seed error starts one burst.
+  const double p_one = prob_at_least_one(raw_ber, flit_bits);
+  out.flit_error_prob = p_one;
+
+  // FEC corrects any single burst; failure needs >=2 bursts in one flit, so
+  // the flit failure probability decreases quadratically (the paper's
+  // "1e-6 becomes 1e-12" example).
+  out.post_fec_flit_fail = p_one * p_one;
+
+  // Mis-corrected flits are almost always caught by the 64-bit CRC; escapes
+  // require the corrupted flit to alias the CRC: 2^-crc_bits.
+  const double crc_alias = std::pow(2.0, -static_cast<double>(cfg_.crc_bits));
+  out.crc_escape_prob = out.post_fec_flit_fail * crc_alias;
+
+  // Express escapes per transferred bit.
+  out.effective_ber = out.crc_escape_prob / flit_bits;
+
+  // Everything the CRC catches becomes a retransmission.
+  out.retransmit_rate = out.post_fec_flit_fail * (1.0 - crc_alias);
+  out.bandwidth_loss = cfg_.fec_overhead_fraction + out.retransmit_rate;
+  return out;
+}
+
+bool FecModel::meets_target(double raw_ber, double target) const {
+  return evaluate(raw_ber).effective_ber <= target;
+}
+
+double FecModel::max_raw_ber_for_target(double target) const {
+  double lo = 1e-30, hi = 1e-1;
+  if (!meets_target(lo, target)) return 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = std::sqrt(lo * hi);  // geometric bisection
+    if (meets_target(mid, target))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+Nanoseconds FecModel::total_latency(Gbps lane_rate) const {
+  // Serialization of one flit at the lane rate, plus the FEC pipeline.
+  const double flit_bits = static_cast<double>(cfg_.flit_bytes) * 8.0;
+  const double serialization_ns = flit_bits / lane_rate.value;  // bits / (bits/ns)
+  return Nanoseconds{serialization_ns + cfg_.fec_latency.value};
+}
+
+double fit_rate(double effective_ber, Gbps data_rate) {
+  // bits per hour at the given rate, times escapes per bit, times 1e9 hours.
+  const double bits_per_hour = data_rate.value * 1e9 * 3600.0;
+  return effective_ber * bits_per_hour * 1e9;
+}
+
+}  // namespace photorack::phot

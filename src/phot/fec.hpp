@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+#include "phot/units.hpp"
+
+namespace photorack::phot {
+
+/// Lightweight FEC + CRC model following §III-C3 (the CXL / PCIe-Gen6 style
+/// scheme): per-flit FEC corrects any single error burst of up to
+/// `correctable_burst_bits`; flits with two or more bursts are mis-corrected
+/// and then caught by a strong CRC, which triggers a link-level
+/// retransmission.  The target is the 1e-18 memory-class BER of §III-A.
+struct FecConfig {
+  int flit_bytes = 256;             // PCIe Gen6 flit
+  int correctable_burst_bits = 16;  // single burst corrected
+  int crc_bits = 64;                // strong per-flit CRC ("64-flit CRC")
+  double fec_overhead_fraction = 0.001;  // <0.1% bandwidth loss (§III-C3)
+  Nanoseconds fec_latency{2.5};          // 2-3 ns all-inclusive FEC math
+};
+
+struct FecOutcome {
+  double raw_ber;             // physical-layer bit error rate
+  double flit_error_prob;     // P[>=1 burst in a flit] before correction
+  double post_fec_flit_fail;  // P[>=2 bursts] ~ mis-corrected flits
+  double crc_escape_prob;     // mis-corrections that also pass CRC
+  double effective_ber;       // escapes expressed per transferred bit
+  double retransmit_rate;     // flit retransmission probability
+  double bandwidth_loss;      // FEC overhead + retransmissions
+};
+
+class FecModel {
+ public:
+  explicit FecModel(FecConfig cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] const FecConfig& config() const { return cfg_; }
+
+  /// Error statistics for a given raw (pre-FEC) BER.  The paper's worked
+  /// example: a flit BER of 1e-6 becomes ~1e-12 after correction because two
+  /// independent bursts are needed to defeat the FEC.
+  [[nodiscard]] FecOutcome evaluate(double raw_ber) const;
+
+  /// True when the post-CRC effective BER meets `target` (1e-18 for memory).
+  [[nodiscard]] bool meets_target(double raw_ber, double target = 1e-18) const;
+
+  /// Worst raw BER that still meets the target (bisection on evaluate()).
+  [[nodiscard]] double max_raw_ber_for_target(double target = 1e-18) const;
+
+  /// Serialization + FEC latency at a given per-lane rate (§III-C3: ~10 ns
+  /// serialization at 200 Gb/s plus 2-3 ns of FEC; 5 ns + FEC at >=400 Gb/s).
+  [[nodiscard]] Nanoseconds total_latency(Gbps lane_rate) const;
+
+ private:
+  FecConfig cfg_;
+};
+
+/// Failures-in-time for a given effective BER and sustained data rate:
+/// FIT = expected escaped-error events per 1e9 hours.
+[[nodiscard]] double fit_rate(double effective_ber, Gbps data_rate);
+
+}  // namespace photorack::phot

@@ -1,0 +1,29 @@
+#include "phot/latency_budget.hpp"
+
+namespace photorack::phot {
+
+LatencyBudget photonic_budget(const BudgetInputs& in) {
+  LatencyBudget budget;
+  budget.parts.push_back({"OEO conversion", in.propagation.oeo});
+  budget.parts.push_back(
+      {"fiber propagation",
+       Nanoseconds{in.propagation.ns_per_meter * in.reach.value}});
+  const FecModel fec(in.fec);
+  const Nanoseconds ser_fec = fec.total_latency(in.lane_rate);
+  budget.parts.push_back({"serialization + FEC", ser_fec});
+  return budget;
+}
+
+LatencyBudget electronic_budget(const BudgetInputs& in) {
+  // Propagation over copper is comparable to fiber at intra-rack distances
+  // (§VI-D), so the electronic path shares every photonic term except the
+  // OEO conversion, replaced by SERDES of similar magnitude — and then adds
+  // the switch hops.
+  LatencyBudget budget = photonic_budget(in);
+  budget.parts.push_back(
+      {"switch hops (" + std::to_string(in.electronic_hops) + ")",
+       Nanoseconds{in.electronic_per_hop.value * in.electronic_hops}});
+  return budget;
+}
+
+}  // namespace photorack::phot

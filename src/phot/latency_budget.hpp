@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "phot/fec.hpp"
+#include "phot/links.hpp"
+
+namespace photorack::phot {
+
+/// End-to-end latency budget composition for a disaggregated memory access
+/// (§III-C2/C3 and §VI-D).  Decomposes the headline 35 ns (photonic) and
+/// 85 ns (electronic) figures into their physical parts so design
+/// variations (reach, lane rate, hop count) can be explored.
+struct LatencyContribution {
+  std::string name;
+  Nanoseconds value{0};
+};
+
+struct LatencyBudget {
+  std::vector<LatencyContribution> parts;
+
+  [[nodiscard]] Nanoseconds total() const {
+    Nanoseconds t{0};
+    for (const auto& p : parts) t += p.value;
+    return t;
+  }
+};
+
+struct BudgetInputs {
+  Meters reach{4.0};          // round-trip fiber within the rack
+  Gbps lane_rate{400};        // per-lane serialization rate
+  FecConfig fec{};            // CXL/PCIe-Gen6-style FEC
+  int electronic_hops = 4;    // switch hops for the electronic alternative
+  Nanoseconds electronic_per_hop{12.5};
+  PropagationModel propagation{};
+};
+
+/// Photonic path: OEO conversion + fiber propagation + serialization + FEC.
+/// The paper folds serialization/FEC into its 35 ns "all-in" figure; the
+/// breakdown makes that assumption explicit and checkable.
+[[nodiscard]] LatencyBudget photonic_budget(const BudgetInputs& in = {});
+
+/// Electronic path: the same physical terms plus per-hop switch latency.
+[[nodiscard]] LatencyBudget electronic_budget(const BudgetInputs& in = {});
+
+}  // namespace photorack::phot

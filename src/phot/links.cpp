@@ -1,0 +1,49 @@
+#include "phot/links.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace photorack::phot {
+
+int LinkTechnology::links_for_escape(GBps escape) const {
+  const Gbps need = to_gbits(escape);
+  return static_cast<int>(std::ceil(need.value / bandwidth.value));
+}
+
+Watts LinkTechnology::power_for_escape(GBps escape) const {
+  return power_of(energy, to_gbits(escape));
+}
+
+namespace {
+
+const std::array<LinkTechnology, 5>& registry() {
+  // Table I of the paper.  The 2 TB/s sizing column is computed, not stored:
+  // see links_for_escape()/power_for_escape().
+  static const std::array<LinkTechnology, 5> kLinks = {{
+      {"100G-Ethernet", Gbps{100}, PjPerBit{30}, Gbps{25}, 4, false, "[80][81]"},
+      {"400G-Ethernet", Gbps{400}, PjPerBit{30}, Gbps{100}, 4, false, "[82]"},
+      {"TeraPHY-768G", Gbps{768}, PjPerBit{0.9}, Gbps{32}, 24, true, "[73]"},
+      {"Comb-1T", Gbps{1024}, PjPerBit{0.45}, Gbps{16}, 64, true, "[83]"},
+      {"Comb-2T", Gbps{2048}, PjPerBit{0.3}, Gbps{16}, 128, true, "[83]"},
+  }};
+  return kLinks;
+}
+
+}  // namespace
+
+std::span<const LinkTechnology> table1_links() { return registry(); }
+
+const LinkTechnology& link_by_name(const std::string& name) {
+  for (const auto& l : registry())
+    if (l.name == name) return l;
+  throw std::out_of_range("unknown link technology: " + name);
+}
+
+int CombLaserSource::sources_for(int fibers, int channels) const {
+  if (usable_lines <= 0) throw std::logic_error("comb source with no lines");
+  const int combs_per_fiber = (channels + usable_lines - 1) / usable_lines;
+  return fibers * combs_per_fiber;
+}
+
+}  // namespace photorack::phot

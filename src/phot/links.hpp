@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "phot/units.hpp"
+
+namespace photorack::phot {
+
+/// One WDM photonic link technology (a row of the paper's Table I).
+struct LinkTechnology {
+  std::string name;
+  Gbps bandwidth;          // per-link aggregate
+  PjPerBit energy;         // link energy, including laser where published
+  Gbps gbps_per_channel;   // per-wavelength rate
+  int channels = 1;        // wavelengths per fiber
+  bool co_packaged = false;  // DWDM parts must be co-packaged (Fig 3)
+  std::string reference;
+
+  /// Number of links (fibers) needed to provide `escape` of MCM escape
+  /// bandwidth (Table I column 4; the paper sizes for 2 TB/s).
+  [[nodiscard]] int links_for_escape(GBps escape) const;
+
+  /// Aggregate transceiver power at full utilization of that escape
+  /// (Table I column 5).
+  [[nodiscard]] Watts power_for_escape(GBps escape) const;
+};
+
+/// The five technologies of Table I, in paper order:
+/// 100G Ethernet, 400G Ethernet, Ayar TeraPHY 768G, 1.024T comb, 2.048T comb.
+[[nodiscard]] std::span<const LinkTechnology> table1_links();
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+[[nodiscard]] const LinkTechnology& link_by_name(const std::string& name);
+
+/// Propagation/conversion latency model of §III-C2.
+struct PropagationModel {
+  double ns_per_meter = 5.0;   // light in fiber at ~0.75c
+  Nanoseconds oeo = Nanoseconds{15.0};  // electrical-optical-electrical conversion
+
+  /// One-way added latency over `reach` of fiber (no intermediate OEO within
+  /// a rack, §III-C2).
+  [[nodiscard]] Nanoseconds added_latency(Meters reach) const {
+    return Nanoseconds{oeo.value + ns_per_meter * reach.value};
+  }
+};
+
+/// The paper's headline intra-rack figure: 15 ns OEO + 4 m x 5 ns/m = 35 ns.
+[[nodiscard]] inline Nanoseconds intra_rack_added_latency() {
+  using namespace literals;
+  return PropagationModel{}.added_latency(4.0_m);
+}
+
+/// Comb laser source (§III-B): one source supplies many wavelengths.
+struct CombLaserSource {
+  int usable_lines = 64;
+  double wall_plug_efficiency = 0.41;  // Kim et al. turn-key Kerr comb
+  Watts optical_power_per_line = Watts{0.002};
+
+  [[nodiscard]] Watts electrical_power() const {
+    return Watts{optical_power_per_line.value * usable_lines / wall_plug_efficiency};
+  }
+  /// Sources needed to light `fibers` fibers of `channels` wavelengths.
+  [[nodiscard]] int sources_for(int fibers, int channels) const;
+};
+
+}  // namespace photorack::phot

@@ -1,0 +1,20 @@
+#include "phot/power.hpp"
+
+namespace photorack::phot {
+
+PowerBreakdown photonic_power_overhead(const PhotonicPowerConfig& cfg,
+                                       const BaselineRackPower& base) {
+  PowerBreakdown out;
+  const double total_gbps = static_cast<double>(cfg.mcms) * cfg.wavelengths_per_mcm *
+                            cfg.gbps_per_wavelength.value;
+  // lasers_always_on means the full escape bandwidth burns transceiver energy
+  // regardless of utilization — the paper's pessimistic assumption.  A
+  // utilization-gated variant would scale this term down.
+  out.transceivers = power_of(cfg.transceiver_pair_energy, Gbps{total_gbps});
+  out.switches = cfg.all_switches_power;
+  out.total = out.transceivers + out.switches;
+  out.overhead_vs_baseline = out.total.value / base.total().value;
+  return out;
+}
+
+}  // namespace photorack::phot

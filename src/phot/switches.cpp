@@ -1,0 +1,67 @@
+#include "phot/switches.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace photorack::phot {
+
+const char* to_string(SwitchKind kind) {
+  switch (kind) {
+    case SwitchKind::kMachZehnder: return "Mach-Zehnder";
+    case SwitchKind::kMemsActuated: return "MEMS-actuated";
+    case SwitchKind::kMicroringWss: return "Microring-WSS";
+    case SwitchKind::kCascadedAwgr: return "Cascaded-AWGR";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::array<OpticalSwitchTech, 4>& registry() {
+  using sim::kPsPerUs;
+  // Table II.  Reconfiguration times: MEMS ~ tens of microseconds, MZI and
+  // microring ~ tens of nanoseconds; AWGR is passive (§III-D3 notes that
+  // even milliseconds would be acceptable given HPC job dynamics).
+  static const std::array<OpticalSwitchTech, 4> kSwitches = {{
+      {SwitchKind::kMachZehnder, "Mach-Zehnder 32x32", 32, 1, Gbps{439},
+       Decibel{12.8}, Decibel{-26.6}, true, true, 50 * sim::kPsPerNs, "[85]"},
+      {SwitchKind::kMemsActuated, "MEMS 240x240", 240, 1, Gbps{25},
+       Decibel{9.8}, Decibel{-70.0}, true, true, 20 * kPsPerUs, "[86]"},
+      {SwitchKind::kMicroringWss, "Microring 128x128", 128, 128, Gbps{42},
+       Decibel{10.0}, Decibel{-35.0}, true, true, 30 * sim::kPsPerNs, "[87][88]"},
+      {SwitchKind::kCascadedAwgr, "Cascaded AWGR 370x370", 370, 370, Gbps{25},
+       Decibel{15.0}, Decibel{-35.0}, false, false, 0, "[89]"},
+  }};
+  return kSwitches;
+}
+
+}  // namespace
+
+std::span<const OpticalSwitchTech> table2_switches() { return registry(); }
+
+const OpticalSwitchTech& switch_by_kind(SwitchKind kind) {
+  for (const auto& s : registry())
+    if (s.kind == kind) return s;
+  throw std::out_of_range("unknown switch kind");
+}
+
+std::span<const StudySwitchConfig> table4_study_configs() {
+  // Table IV exactly as printed: state-of-the-art radix and wavelengths per
+  // port, all conservatively run at 25 Gb/s per wavelength.  For the rack
+  // study §V-B then merges spatial and wave-selective into a single
+  // 256-port/256-wavelength model (see merged_spatial_wss_config()).
+  static const std::array<StudySwitchConfig, 3> kConfigs = {{
+      {"Cascaded AWGRs", SwitchKind::kCascadedAwgr, 370, 370, Gbps{25}},
+      {"Spatial", SwitchKind::kMemsActuated, 240, 240, Gbps{25}},
+      {"Wave-Selective", SwitchKind::kMicroringWss, 256, 256, Gbps{25}},
+  }};
+  return kConfigs;
+}
+
+StudySwitchConfig merged_spatial_wss_config() {
+  // §V-B: "because of their relative small difference ... we treat both
+  // wave-selective and spatial switches as 256 ports with 256 wavelengths".
+  return {"Spatial/WSS merged", SwitchKind::kMicroringWss, 256, 256, Gbps{25}};
+}
+
+}  // namespace photorack::phot

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "phot/units.hpp"
+#include "sim/time.hpp"
+
+namespace photorack::phot {
+
+/// Switching families considered in §III-D / Table II.
+enum class SwitchKind {
+  kMachZehnder,     // spatial, 32x32, co-integration friendly
+  kMemsActuated,    // spatial, 240x240, high drive voltage
+  kMicroringWss,    // wavelength-selective, projected 128x128 / 256
+  kCascadedAwgr,    // passive all-to-all, 370x370, no reconfiguration
+};
+
+[[nodiscard]] const char* to_string(SwitchKind kind);
+
+/// A row of Table II plus the behavioural parameters the simulator needs.
+struct OpticalSwitchTech {
+  SwitchKind kind;
+  std::string name;
+  int radix = 0;                    // ports
+  int wavelengths_per_port = 1;
+  Gbps gbps_per_wavelength{25};
+  Decibel insertion_loss{0};
+  Decibel crosstalk{0};
+  bool requires_reconfiguration = true;   // AWGRs are passive
+  bool requires_central_scheduler = true; // spatial/WSS need global view
+  sim::TimePs reconfiguration_time = 0;   // 0 for AWGR
+  std::string reference;
+
+  /// Full per-port bandwidth.
+  [[nodiscard]] Gbps port_bandwidth() const {
+    return Gbps{gbps_per_wavelength.value * wavelengths_per_port};
+  }
+  /// Aggregate switch capacity.
+  [[nodiscard]] Gbps aggregate_bandwidth() const {
+    return Gbps{port_bandwidth().value * radix};
+  }
+};
+
+/// The four demonstrated switch technologies of Table II (MZI 32x32,
+/// MEMS 240x240, microring 8x8 scaled to 128x128, cascaded AWGR 370x370).
+[[nodiscard]] std::span<const OpticalSwitchTech> table2_switches();
+
+[[nodiscard]] const OpticalSwitchTech& switch_by_kind(SwitchKind kind);
+
+/// The three §V-B study configurations (Table IV): cascaded AWGR 370/370,
+/// spatial treated as 256x256 with 256 wavelengths, wave-selective likewise.
+/// All at 25 Gb/s per wavelength.
+struct StudySwitchConfig {
+  std::string name;
+  SwitchKind kind;
+  int radix;
+  int wavelengths_per_port;
+  Gbps gbps_per_wavelength{25};
+};
+
+[[nodiscard]] std::span<const StudySwitchConfig> table4_study_configs();
+
+/// §V-B merges spatial and wave-selective switches into one 256-port,
+/// 256-wavelength model for the rack design; this is that configuration.
+[[nodiscard]] StudySwitchConfig merged_spatial_wss_config();
+
+}  // namespace photorack::phot

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cmath>
+#include <compare>
+
+namespace photorack::phot {
+
+/// Strong unit wrappers.  These are deliberately minimal: the value is a
+/// double, arithmetic within a unit works, and cross-unit conversions are
+/// explicit functions so a Gb/s can never silently mix with a GB/s (a unit
+/// slip that matters a lot in this paper: link rates are Gb/s, memory
+/// bandwidths GB/s).
+template <class Tag>
+struct Unit {
+  double value = 0.0;
+
+  constexpr Unit() = default;
+  constexpr explicit Unit(double v) : value(v) {}
+
+  constexpr auto operator<=>(const Unit&) const = default;
+
+  constexpr Unit operator+(Unit o) const { return Unit{value + o.value}; }
+  constexpr Unit operator-(Unit o) const { return Unit{value - o.value}; }
+  constexpr Unit operator*(double k) const { return Unit{value * k}; }
+  constexpr Unit operator/(double k) const { return Unit{value / k}; }
+  constexpr double operator/(Unit o) const { return value / o.value; }
+  constexpr Unit& operator+=(Unit o) {
+    value += o.value;
+    return *this;
+  }
+  constexpr Unit& operator-=(Unit o) {
+    value -= o.value;
+    return *this;
+  }
+};
+
+struct GbpsTag {};
+struct GBpsTag {};
+struct WattsTag {};
+struct PjPerBitTag {};
+struct NsTag {};
+struct DbTag {};
+struct MetersTag {};
+
+using Gbps = Unit<GbpsTag>;          // gigabits per second
+using GBps = Unit<GBpsTag>;          // gigabytes per second
+using Watts = Unit<WattsTag>;
+using PjPerBit = Unit<PjPerBitTag>;  // picojoules per bit
+using Nanoseconds = Unit<NsTag>;
+using Decibel = Unit<DbTag>;
+using Meters = Unit<MetersTag>;
+
+[[nodiscard]] constexpr GBps to_gbytes(Gbps g) { return GBps{g.value / 8.0}; }
+[[nodiscard]] constexpr Gbps to_gbits(GBps g) { return Gbps{g.value * 8.0}; }
+
+/// Energy-rate product: pJ/bit × Gb/s = mW; returns watts.
+[[nodiscard]] constexpr Watts power_of(PjPerBit e, Gbps bw) {
+  return Watts{e.value * bw.value * 1e-3};
+}
+
+/// dB <-> linear ratio helpers for loss/crosstalk budgets.
+[[nodiscard]] inline double db_to_linear(Decibel d) { return std::pow(10.0, d.value / 10.0); }
+[[nodiscard]] inline Decibel linear_to_db(double ratio) { return Decibel{10.0 * std::log10(ratio)}; }
+
+namespace literals {
+constexpr Gbps operator""_gbps(long double v) { return Gbps{static_cast<double>(v)}; }
+constexpr Gbps operator""_gbps(unsigned long long v) { return Gbps{static_cast<double>(v)}; }
+constexpr GBps operator""_gBps(long double v) { return GBps{static_cast<double>(v)}; }
+constexpr GBps operator""_gBps(unsigned long long v) { return GBps{static_cast<double>(v)}; }
+constexpr Watts operator""_W(long double v) { return Watts{static_cast<double>(v)}; }
+constexpr Watts operator""_W(unsigned long long v) { return Watts{static_cast<double>(v)}; }
+constexpr Nanoseconds operator""_ns(long double v) { return Nanoseconds{static_cast<double>(v)}; }
+constexpr Nanoseconds operator""_ns(unsigned long long v) {
+  return Nanoseconds{static_cast<double>(v)};
+}
+constexpr Meters operator""_m(long double v) { return Meters{static_cast<double>(v)}; }
+constexpr Meters operator""_m(unsigned long long v) { return Meters{static_cast<double>(v)}; }
+}  // namespace literals
+
+}  // namespace photorack::phot

@@ -1,0 +1,150 @@
+#include "phot/wss.hpp"
+
+#include <stdexcept>
+
+namespace photorack::phot {
+
+std::vector<int> WssAssignment::lambdas_for(int src, int dst) const {
+  std::vector<int> out;
+  for (const auto& g : grants)
+    if (g.src == src && g.dst == dst) out.push_back(g.lambda);
+  return out;
+}
+
+namespace {
+
+/// Bipartite edge-colouring state: for each (port, colour), the peer port
+/// of the edge carrying that colour, or -1.
+class Colouring {
+ public:
+  Colouring(int ports, int colours)
+      : colours_(colours),
+        src_peer_(static_cast<std::size_t>(ports) * colours, -1),
+        dst_peer_(static_cast<std::size_t>(ports) * colours, -1) {}
+
+  [[nodiscard]] int free_colour_at_src(int u) const { return free_colour(src_peer_, u); }
+  [[nodiscard]] int free_colour_at_dst(int v) const { return free_colour(dst_peer_, v); }
+  [[nodiscard]] int src_peer(int u, int c) const { return src_peer_[idx(u, c)]; }
+  [[nodiscard]] int dst_peer(int v, int c) const { return dst_peer_[idx(v, c)]; }
+
+  void set(int u, int v, int c) {
+    src_peer_[idx(u, c)] = v;
+    dst_peer_[idx(v, c)] = u;
+  }
+  void clear(int u, int v, int c) {
+    src_peer_[idx(u, c)] = -1;
+    dst_peer_[idx(v, c)] = -1;
+  }
+
+  /// Colour edge (u, v) with colour a, flipping a Kempe chain if needed.
+  /// Precondition: u has some free colour a, v has some free colour b.
+  void colour_edge(int u, int v) {
+    const int a = free_colour_at_src(u);
+    const int b = free_colour_at_dst(v);
+    if (a < 0 || b < 0) throw std::logic_error("colour_edge: no free colour");
+    if (a == b) {
+      set(u, v, a);
+      return;
+    }
+    // Alternating (a, b) path starting at v: recolour every a-edge to b and
+    // every b-edge to a.  In a bipartite graph this path cannot reach u
+    // (entering the source side always uses colour a, which is free at u),
+    // so afterwards colour a is free at both endpoints.  The path is
+    // collected first and flipped afterwards: flipping in place would
+    // overwrite the (port, colour) slots the walk still needs to follow.
+    struct PathEdge {
+      int u, v, colour;
+    };
+    std::vector<PathEdge> path;
+    int node = v;
+    bool on_dst_side = true;
+    int want = a;  // colour of the next edge to follow
+    while (true) {
+      const int peer = on_dst_side ? dst_peer(node, want) : src_peer(node, want);
+      if (peer < 0) break;
+      path.push_back(on_dst_side ? PathEdge{peer, node, want}
+                                 : PathEdge{node, peer, want});
+      node = peer;
+      on_dst_side = !on_dst_side;
+      want = (want == a) ? b : a;
+    }
+    for (const auto& e : path) clear(e.u, e.v, e.colour);
+    for (const auto& e : path) set(e.u, e.v, e.colour == a ? b : a);
+    set(u, v, a);
+  }
+
+ private:
+  int colours_;
+  std::vector<int> src_peer_;
+  std::vector<int> dst_peer_;
+
+  [[nodiscard]] std::size_t idx(int port, int c) const {
+    return static_cast<std::size_t>(port) * colours_ + c;
+  }
+  [[nodiscard]] int free_colour(const std::vector<int>& peers, int port) const {
+    for (int c = 0; c < colours_; ++c)
+      if (peers[idx(port, c)] < 0) return c;
+    return -1;
+  }
+};
+
+}  // namespace
+
+WssAssignment assign_wavelengths(int ports, int wavelengths,
+                                 std::span<const WssDemand> demands) {
+  if (ports <= 0 || wavelengths <= 0)
+    throw std::invalid_argument("assign_wavelengths: bad switch geometry");
+
+  std::vector<int> src_total(static_cast<std::size_t>(ports), 0);
+  std::vector<int> dst_total(static_cast<std::size_t>(ports), 0);
+  for (const auto& d : demands) {
+    if (d.src < 0 || d.src >= ports || d.dst < 0 || d.dst >= ports)
+      throw std::invalid_argument("assign_wavelengths: port out of range");
+    if (d.lambdas <= 0) throw std::invalid_argument("assign_wavelengths: empty demand");
+    src_total[static_cast<std::size_t>(d.src)] += d.lambdas;
+    dst_total[static_cast<std::size_t>(d.dst)] += d.lambdas;
+  }
+
+  WssAssignment out;
+  for (int p = 0; p < ports; ++p) {
+    if (src_total[static_cast<std::size_t>(p)] > wavelengths ||
+        dst_total[static_cast<std::size_t>(p)] > wavelengths) {
+      out.complete = false;  // infeasible: a port is over-subscribed
+      return out;
+    }
+  }
+
+  // The colouring tracks only one edge per (port, colour); multi-lambda
+  // demands become that many unit edges.  Because per-port degrees are
+  // <= wavelengths, colour_edge always finds free colours (König).
+  Colouring colouring(ports, wavelengths);
+  std::vector<std::vector<int>> granted_before;
+  for (const auto& d : demands)
+    for (int k = 0; k < d.lambdas; ++k) colouring.colour_edge(d.src, d.dst);
+
+  // Read the final colouring back out as grants.
+  for (int u = 0; u < ports; ++u) {
+    for (int c = 0; c < wavelengths; ++c) {
+      const int v = colouring.src_peer(u, c);
+      if (v >= 0) out.grants.push_back({u, v, c});
+    }
+  }
+  out.complete = true;
+  return out;
+}
+
+bool is_conflict_free(int ports, int wavelengths, const WssAssignment& assignment) {
+  std::vector<char> src_used(static_cast<std::size_t>(ports) * wavelengths, 0);
+  std::vector<char> dst_used(static_cast<std::size_t>(ports) * wavelengths, 0);
+  for (const auto& g : assignment.grants) {
+    if (g.src < 0 || g.src >= ports || g.dst < 0 || g.dst >= ports) return false;
+    if (g.lambda < 0 || g.lambda >= wavelengths) return false;
+    auto& s = src_used[static_cast<std::size_t>(g.src) * wavelengths + g.lambda];
+    auto& d = dst_used[static_cast<std::size_t>(g.dst) * wavelengths + g.lambda];
+    if (s || d) return false;
+    s = d = 1;
+  }
+  return true;
+}
+
+}  // namespace photorack::phot

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace photorack::phot {
+
+/// Wavelength-assignment problem for a wave-selective switch (§III-D2).
+///
+/// A WSS can steer *any subset* of wavelengths from each input port to each
+/// output port — but two inputs must never deliver the same wavelength to
+/// the same output, and an input cannot emit one wavelength twice.  Given
+/// per-pair wavelength demands, the controller must pick concrete
+/// wavelength indices respecting both constraints.
+///
+/// This is exactly bipartite edge colouring: demands form a multigraph
+/// between input and output ports, wavelengths are colours, and König's
+/// theorem guarantees that any demand with per-port totals <= W wavelengths
+/// is satisfiable with W colours.  assign_wavelengths() implements the
+/// constructive proof (Kempe-chain augmentation), so it finds a complete
+/// conflict-free assignment whenever one exists.
+struct WssDemand {
+  int src = 0;
+  int dst = 0;
+  int lambdas = 1;  // wavelengths wanted between the pair
+};
+
+struct WssGrant {
+  int src = 0;
+  int dst = 0;
+  int lambda = 0;  // concrete wavelength index
+};
+
+struct WssAssignment {
+  std::vector<WssGrant> grants;
+  bool complete = false;  // every demanded wavelength was assigned
+
+  /// Grants between one pair (for callers inspecting a route).
+  [[nodiscard]] std::vector<int> lambdas_for(int src, int dst) const;
+};
+
+/// Assign concrete wavelengths on a `ports` x `ports` WSS with
+/// `wavelengths` usable indices per port.  Throws std::invalid_argument for
+/// out-of-range ports or non-positive demands; returns complete=false when
+/// a port's total demand exceeds the wavelength count (the only infeasible
+/// case, per König).
+[[nodiscard]] WssAssignment assign_wavelengths(int ports, int wavelengths,
+                                               std::span<const WssDemand> demands);
+
+/// Validity check used by tests and callers: no wavelength reused at any
+/// source or destination.
+[[nodiscard]] bool is_conflict_free(int ports, int wavelengths,
+                                    const WssAssignment& assignment);
+
+}  // namespace photorack::phot

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "phot/units.hpp"
+
+namespace photorack::rack {
+
+/// The five disaggregatable chip types of the model rack (§V, Table III).
+enum class ChipType : std::uint8_t { kCpu, kGpu, kNic, kHbm, kDdr4 };
+inline constexpr std::array<ChipType, 5> kAllChipTypes = {
+    ChipType::kCpu, ChipType::kGpu, ChipType::kNic, ChipType::kHbm, ChipType::kDdr4};
+
+[[nodiscard]] const char* to_string(ChipType t);
+
+/// Per-chip properties relevant to packing and power.
+struct ChipSpec {
+  ChipType type;
+  phot::GBps escape_bandwidth;  // native escape the MCM must preserve
+  phot::Watts power;
+  int per_node = 0;  // count in one baseline compute node
+  /// Physical packaging cap on chips of this type per MCM (0 = unlimited).
+  /// DDR4 is the one type whose Table III count is packaging-limited, not
+  /// escape-limited: 27 DIMMs is what fits one MCM controller's fan-out.
+  int max_per_mcm = 0;
+};
+
+/// Baseline node of the model system (§V): one AMD Milan CPU with eight
+/// DDR4-3200 channels (256 GB, 204.8 GB/s), four NVIDIA A100 GPUs each with
+/// 40 GB HBM at 1555.2 GB/s and 12 NVLink3 links (25 GB/s per direction),
+/// four PCIe Gen4 links (31.5 GB/s) CPU<->GPU, four Slingshot-11 NICs at
+/// 200 Gb/s per direction.
+struct NodeConfig {
+  int cpus = 1;
+  int gpus = 4;
+  int nics = 4;
+  int hbm_stacks = 4;    // one per GPU
+  int ddr4_modules = 8;  // one per memory channel
+
+  phot::GBps ddr4_per_module{25.6};     // 3200 MT/s x 8 B
+  phot::GBps hbm_per_stack{1555.2};
+  phot::GBps nvlink_per_gpu{300.0};     // 12 links x 25 GB/s
+  phot::GBps pcie_per_link{31.5};       // Gen4 x16
+  phot::GBps nic_per_port{25.0};        // 200 Gb/s per direction
+
+  /// Escape bandwidth each chip needs preserved when disaggregated.
+  [[nodiscard]] phot::GBps chip_escape(ChipType t) const;
+
+  /// ChipSpec for each type, with powers used by the §VI-C comparison.
+  [[nodiscard]] ChipSpec chip_spec(ChipType t) const;
+
+  [[nodiscard]] int chips_per_node(ChipType t) const;
+};
+
+/// A rack of the baseline system: 128 GPU-accelerated nodes.
+struct RackConfig {
+  NodeConfig node;
+  int nodes = 128;
+
+  [[nodiscard]] int total_chips(ChipType t) const {
+    return nodes * node.chips_per_node(t);
+  }
+};
+
+}  // namespace photorack::rack

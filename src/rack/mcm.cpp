@@ -1,0 +1,38 @@
+#include "rack/mcm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace photorack::rack {
+
+const McmTypePlan& McmPlan::plan_for(ChipType t) const {
+  for (const auto& p : types)
+    if (p.type == t) return p;
+  throw std::out_of_range("McmPlan: no plan for chip type");
+}
+
+McmPlan pack_rack(const RackConfig& rack, const McmConfig& mcm) {
+  McmPlan plan;
+  plan.mcm = mcm;
+  const double escape = mcm.escape().value;
+
+  for (ChipType t : kAllChipTypes) {
+    const ChipSpec spec = rack.node.chip_spec(t);
+    McmTypePlan p;
+    p.type = t;
+    p.per_chip_escape = spec.escape_bandwidth;
+    int fit = static_cast<int>(std::floor(escape / spec.escape_bandwidth.value));
+    if (fit < 1)
+      throw std::runtime_error("MCM escape cannot satisfy a single chip of this type");
+    if (spec.max_per_mcm > 0) fit = std::min(fit, spec.max_per_mcm);
+    p.chips_per_mcm = fit;
+    const int total = rack.total_chips(t);
+    p.mcm_count = (total + fit - 1) / fit;
+    p.per_chip_share = phot::GBps{escape / fit};
+    plan.total_mcms += p.mcm_count;
+    plan.types.push_back(p);
+  }
+  return plan;
+}
+
+}  // namespace photorack::rack

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "phot/units.hpp"
+#include "rack/chips.hpp"
+
+namespace photorack::rack {
+
+/// Photonic MCM escape configuration (§V-A): 32 fibers per MCM, 64
+/// wavelengths of 25 Gb/s each => 2048 wavelengths, 6400 GB/s escape.
+struct McmConfig {
+  int fibers = 32;
+  int wavelengths_per_fiber = 64;
+  phot::Gbps gbps_per_wavelength{25};
+
+  [[nodiscard]] int total_wavelengths() const { return fibers * wavelengths_per_fiber; }
+  [[nodiscard]] phot::Gbps escape_gbps() const {
+    return phot::Gbps{static_cast<double>(total_wavelengths()) * gbps_per_wavelength.value};
+  }
+  [[nodiscard]] phot::GBps escape() const { return phot::to_gbytes(escape_gbps()); }
+};
+
+/// Packing of one chip type onto MCMs.
+struct McmTypePlan {
+  ChipType type;
+  int chips_per_mcm = 0;
+  int mcm_count = 0;
+  phot::GBps per_chip_escape{0};
+  /// Escape bandwidth share each chip actually gets on a full MCM; the
+  /// design guarantees share >= per_chip_escape ("does not restrict chip
+  /// escape bandwidth").
+  phot::GBps per_chip_share{0};
+};
+
+/// Full rack packing: Table III.
+struct McmPlan {
+  McmConfig mcm;
+  std::vector<McmTypePlan> types;  // in kAllChipTypes order
+  int total_mcms = 0;
+
+  [[nodiscard]] const McmTypePlan& plan_for(ChipType t) const;
+};
+
+/// Pack every chip of the rack into single-type MCMs so that each chip keeps
+/// at least its native escape bandwidth (§V-A).  chips_per_mcm =
+/// floor(MCM escape / chip escape), clamped by the type's packaging cap;
+/// mcm_count = ceil(total chips / chips_per_mcm).
+[[nodiscard]] McmPlan pack_rack(const RackConfig& rack = {}, const McmConfig& mcm = {});
+
+}  // namespace photorack::rack

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace photorack::sim {
+
+/// Discrete-event simulation kernel.
+///
+/// Events are closures ordered by (time, insertion sequence); ties in time
+/// fire in insertion order, which makes every simulation in this project
+/// deterministic regardless of heap internals.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `at` (must be >= now()).
+  /// Returns a monotonically increasing event id usable with cancel().
+  std::uint64_t schedule_at(TimePs at, Handler fn);
+
+  /// Schedule `fn` `delay` picoseconds after the current time.
+  std::uint64_t schedule_after(TimePs delay, Handler fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Lazily cancel a pending event.  Cancelled events are skipped when they
+  /// reach the head of the queue.  Returns false if the id was never
+  /// scheduled (cancelling an already-fired event returns true and is a
+  /// no-op).
+  bool cancel(std::uint64_t event_id);
+
+  /// Run a single event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `until` (exclusive) is reached.
+  /// Returns the number of events executed.
+  std::uint64_t run(TimePs until = INT64_MAX);
+
+  [[nodiscard]] TimePs now() const { return now_; }
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::uint64_t pending() const { return live_count_; }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePs time;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<std::uint64_t> cancelled_;  // sorted ids pending skip
+  TimePs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t live_count_ = 0;
+  std::uint64_t executed_ = 0;
+
+  [[nodiscard]] bool is_cancelled(std::uint64_t seq) const;
+  void forget_cancelled(std::uint64_t seq);
+};
+
+}  // namespace photorack::sim

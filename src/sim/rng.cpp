@@ -1,0 +1,68 @@
+#include "sim/rng.hpp"
+
+namespace photorack::sim {
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Lemire 2019: unbiased bounded integers without division in the hot path.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() {
+  if (have_gauss_) {
+    have_gauss_ = false;
+    return gauss_;
+  }
+  // Box–Muller, polar-free form; deterministic given the stream.
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  gauss_ = r * std::sin(theta);
+  have_gauss_ = true;
+  return r * std::cos(theta);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  // Rejection-inversion sampling (W. Hormann, G. Derflinger 1996).
+  // Falls back to uniform for s ~ 0.
+  if (n <= 1) return 1;
+  if (s < 1e-9) return 1 + below(n);
+  const double nd = static_cast<double>(n);
+  auto h = [s](double x) {
+    // integral of x^-s
+    if (s == 1.0) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto h_inv = [s](double y) {
+    if (s == 1.0) return std::exp(y);
+    return std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double hx0 = h(0.5) - 1.0;
+  const double hn = h(nd + 0.5);
+  for (;;) {
+    const double u = hx0 + uniform() * (hn - hx0);
+    const double x = h_inv(u);
+    const auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1 || k > n) continue;
+    const double kd = static_cast<double>(k);
+    if (u >= h(kd + 0.5) - std::pow(kd, -s)) continue;
+    return k;
+  }
+}
+
+}  // namespace photorack::sim

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace photorack::sim {
+
+/// splitmix64: used to expand a single 64-bit seed into xoshiro state and to
+/// derive independent child seeds.  Reference: Vigna, http://prng.di.unimi.it
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, and (unlike std:: distributions)
+/// guaranteed to produce identical streams on every platform.  All
+/// stochastic components in photorack draw from this generator so results
+/// are bit-reproducible.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+    have_gauss_ = false;
+  }
+
+  /// Derive an independent child generator; child(i) streams do not overlap
+  /// with the parent in any realistic horizon.
+  [[nodiscard]] Rng child(std::uint64_t stream_id) const {
+    std::uint64_t mix = state_[0] ^ (stream_id * 0xd1342543de82ef95ULL + 0x2545F4914F6CDD1DULL);
+    return Rng(mix);
+  }
+
+  constexpr std::uint64_t operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return UINT64_MAX; }
+
+  /// Uniform in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).  Uses Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (deterministic across platforms).
+  double normal();
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Lognormal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Exponential with given mean.
+  double exponential(double mean) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Geometric-like: number in [1, n] with Zipf(s) weights, via inverse CDF
+  /// on a precomputed table is avoided; this uses rejection-inversion
+  /// (good enough for workload generators).
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+  bool have_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace photorack::sim

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace photorack::sim {
+
+/// Numerically stable streaming moments (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson product-moment correlation coefficient of two equally long series.
+/// This is the statistic the paper uses for Figs 7 and 10.  Returns 0 for
+/// degenerate inputs (fewer than two points or zero variance).
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Linear interpolation percentile; q in [0, 100].  Copies and sorts.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+/// Arithmetic and geometric means over a span (0 if empty).
+[[nodiscard]] double mean_of(std::span<const double> v);
+[[nodiscard]] double geomean_of(std::span<const double> v);
+[[nodiscard]] double max_of(std::span<const double> v);
+
+/// Fixed-width histogram on [lo, hi); out-of-range values clamp to the edge
+/// bins.  Used for flow-demand and latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+  [[nodiscard]] double count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double total() const { return total_; }
+  /// Fraction of mass at or below x (piecewise-constant CDF).
+  [[nodiscard]] double cdf(double x) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace photorack::sim

@@ -1,0 +1,120 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace photorack::workloads {
+
+SyntheticTrace::SyntheticTrace(TraceConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  if (cfg_.patterns.empty()) throw std::invalid_argument("SyntheticTrace: no patterns");
+  if (cfg_.working_set < 4096) throw std::invalid_argument("SyntheticTrace: tiny working set");
+  double total = 0.0;
+  for (const auto& p : cfg_.patterns) total += p.weight;
+  if (total <= 0.0) throw std::invalid_argument("SyntheticTrace: zero total weight");
+  double acc = 0.0;
+  for (const auto& p : cfg_.patterns) {
+    acc += p.weight / total;
+    cumulative_weight_.push_back(acc);
+  }
+  cumulative_weight_.back() = 1.0;
+  state_.resize(cfg_.patterns.size());
+  reset();
+}
+
+std::uint64_t SyntheticTrace::footprint_bytes() const {
+  std::uint64_t fp = cfg_.working_set;
+  for (const auto& p : cfg_.patterns) fp = std::max(fp, p.region_bytes);
+  return fp;
+}
+
+void SyntheticTrace::reset() {
+  rng_.reseed(cfg_.seed);
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    state_[i] = PatternState{};
+    // Stagger stream starts so patterns do not collide on address 0.
+    state_[i].cursor = (cfg_.working_set / (state_.size() + 1)) * i;
+  }
+}
+
+std::uint64_t SyntheticTrace::gen_address(std::size_t pi, bool& dependent) {
+  const PatternSpec& p = cfg_.patterns[pi];
+  PatternState& st = state_[pi];
+  const std::uint64_t ws = p.region_bytes ? p.region_bytes : cfg_.working_set;
+  dependent = false;
+
+  switch (p.kind) {
+    case CpuPattern::kStreaming: {
+      const std::uint64_t addr = st.cursor % ws;
+      st.cursor += 8;  // one double per element
+      return addr;
+    }
+    case CpuPattern::kStrided: {
+      const std::uint64_t addr = st.cursor % ws;
+      st.cursor += p.stride_bytes;
+      return addr;
+    }
+    case CpuPattern::kRandom:
+      return (rng_.below(ws / 8)) * 8;
+    case CpuPattern::kPointerChase:
+      // A random walk whose next address depends on the loaded value: the
+      // cache behaviour matches kRandom but the core cannot overlap these.
+      dependent = true;
+      return (rng_.below(ws / 8)) * 8;
+    case CpuPattern::kStencil: {
+      // `stencil_streams` parallel walks offset through the grid, advancing
+      // together — the classic neighbour-point access shape.
+      const int s = st.stencil_next;
+      st.stencil_next = (s + 1) % p.stencil_streams;
+      if (st.stencil_next == 0) st.cursor += 8;
+      const std::uint64_t offset =
+          (ws / static_cast<std::uint64_t>(p.stencil_streams)) * static_cast<std::uint64_t>(s);
+      return (st.cursor + offset) % ws;
+    }
+    case CpuPattern::kTiled: {
+      if (st.tile_left == 0) {
+        st.tile_left = static_cast<int>(
+            (p.tile_bytes / 64) * static_cast<std::uint64_t>(p.tile_reuse));
+        st.tile_base = rng_.below(std::max<std::uint64_t>(1, ws / p.tile_bytes)) * p.tile_bytes;
+      }
+      --st.tile_left;
+      return st.tile_base + rng_.below(p.tile_bytes / 8) * 8;
+    }
+    case CpuPattern::kZipf: {
+      const std::uint64_t lines = std::max<std::uint64_t>(2, ws / 64);
+      const std::uint64_t rank = rng_.zipf(lines, p.zipf_s) - 1;
+      // Scatter ranks over the set space so hot lines do not share sets.
+      const std::uint64_t line = (rank * 0x9E3779B97F4A7C15ULL) % lines;
+      return line * 64;
+    }
+  }
+  return 0;
+}
+
+cpusim::Instr SyntheticTrace::make_mem_op() {
+  cpusim::Instr ins;
+  const double u = rng_.uniform();
+  std::size_t pi = 0;
+  while (pi + 1 < cumulative_weight_.size() && u > cumulative_weight_[pi]) ++pi;
+  bool dependent = false;
+  ins.addr = gen_address(pi, dependent);
+  if (!dependent && cfg_.patterns[pi].dependent_fraction > 0.0)
+    dependent = rng_.bernoulli(cfg_.patterns[pi].dependent_fraction);
+  ins.dependent = dependent;
+  ins.kind = rng_.bernoulli(cfg_.store_fraction) ? cpusim::OpKind::kStore
+                                                 : cpusim::OpKind::kLoad;
+  if (dependent) ins.kind = cpusim::OpKind::kLoad;  // chases are loads
+  return ins;
+}
+
+std::size_t SyntheticTrace::next_batch(std::span<cpusim::Instr> out) {
+  for (auto& slot : out) {
+    if (rng_.bernoulli(cfg_.mem_fraction)) {
+      slot = make_mem_op();
+    } else {
+      slot = cpusim::Instr{cpusim::OpKind::kAlu, 0, false};
+    }
+  }
+  return out.size();
+}
+
+}  // namespace photorack::workloads

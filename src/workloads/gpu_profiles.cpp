@@ -1,0 +1,208 @@
+#include "workloads/gpu_profiles.hpp"
+
+#include <stdexcept>
+
+namespace photorack::workloads {
+
+namespace {
+
+using gpusim::AppProfile;
+using gpusim::GpuPattern;
+using gpusim::KernelLaunch;
+using gpusim::KernelProfile;
+
+constexpr std::uint64_t MB = 1024ULL * 1024;
+
+/// Compact kernel-shape builder.
+KernelProfile kern(std::string name, double warp_instrs, double mem_frac,
+                   std::uint64_t ws, GpuPattern pattern, double sectors, int warps,
+                   double outstanding) {
+  KernelProfile k;
+  k.name = std::move(name);
+  k.warp_instructions = warp_instrs;
+  k.mem_fraction = mem_frac;
+  k.working_set = ws;
+  k.pattern = pattern;
+  k.sectors_per_access = sectors;
+  k.active_warps_per_sm = warps;
+  k.outstanding_per_warp = outstanding;
+  return k;
+}
+
+AppProfile app(std::string suite, std::string name, std::vector<KernelLaunch> kernels) {
+  AppProfile a;
+  a.name = std::move(name);
+  a.suite = std::move(suite);
+  a.kernels = std::move(kernels);
+  return a;
+}
+
+std::vector<AppProfile> build_registry() {
+  std::vector<AppProfile> v;
+
+  // ------------------------- Rodinia (11 apps) -------------------------
+  // Latency-sensitive graph/DP codes use uncoalesced gathers at modest
+  // occupancy; grid codes are streaming and mostly bandwidth-bound.
+  v.push_back(app("Rodinia", "backprop",
+                  {{kern("bp_layerforward", 4e6, 0.30, 96 * MB, GpuPattern::kStreaming,
+                         4.0, 32, 4.2),
+                    1},
+                   {kern("bp_adjust_weights", 4e6, 0.32, 96 * MB, GpuPattern::kStreaming,
+                         4.0, 32, 3.8),
+                    1}}));
+  v.push_back(app("Rodinia", "bfs",
+                  {{kern("bfs_kernel", 1.5e6, 0.3, 512 * MB, GpuPattern::kRandom, 11.7,
+                         16, 1.6),
+                    12},
+                   {kern("bfs_update", 1.0e6, 0.25, 512 * MB, GpuPattern::kStreaming, 4.0,
+                         32, 4.0),
+                    12}}));
+  v.push_back(app("Rodinia", "gaussian",
+                  {{kern("gauss_fan1", 0.4e6, 0.22, 64 * MB, GpuPattern::kStrided, 6.0, 24,
+                         3.0),
+                    287},
+                   {kern("gauss_fan2", 0.9e6, 0.28, 64 * MB, GpuPattern::kTiled, 4.0, 32,
+                         4.0),
+                    287}}));
+  v.push_back(app("Rodinia", "hotspot",
+                  {{kern("hotspot_step", 2.5e6, 0.38, 48 * MB, GpuPattern::kTiled, 2.7, 40,
+                         5.0),
+                    92}}));
+  v.push_back(app("Rodinia", "kmeans",
+                  {{kern("kmeans_point", 3e6, 0.32, 128 * MB, GpuPattern::kStreaming, 4.0,
+                         32, 4.0),
+                    15},
+                   {kern("kmeans_swap", 1e6, 0.30, 128 * MB, GpuPattern::kStrided, 6.0, 24,
+                         3.4),
+                    15}}));
+  v.push_back(app("Rodinia", "lavaMD",
+                  {{kern("lavamd_neighbors", 8e6, 0.3, 24 * MB, GpuPattern::kTiled, 2.4,
+                         48, 6.0),
+                    1}}));
+  v.push_back(app("Rodinia", "lud",
+                  {{kern("lud_diagonal", 0.3e6, 0.36, 16 * MB, GpuPattern::kTiled, 2.2, 16,
+                         3.0),
+                    100},
+                   {kern("lud_internal", 1.2e6, 0.4, 64 * MB, GpuPattern::kTiled, 2.4, 40,
+                         4.0),
+                    100}}));
+  v.push_back(app("Rodinia", "nn",
+                  {{kern("nn_distance", 1.2e6, 0.3, 256 * MB, GpuPattern::kRandom, 10.1,
+                         16, 1.8),
+                    1}}));
+  v.push_back(app("Rodinia", "nw",
+                  {{kern("nw_diagonal", 0.5e6, 0.3, 256 * MB, GpuPattern::kStrided, 10.7,
+                         12, 1.4),
+                    255}}));
+  v.push_back(app("Rodinia", "pathfinder",
+                  {{kern("pathfinder_dp", 2e6, 0.30, 96 * MB, GpuPattern::kStreaming, 4.0,
+                         24, 3.2),
+                    5}}));
+  v.push_back(app("Rodinia", "srad",
+                  {{kern("srad_prepare", 1.5e6, 0.28, 96 * MB, GpuPattern::kStreaming, 4.0,
+                         32, 3.0),
+                    20},
+                   {kern("srad_update", 1.5e6, 0.30, 96 * MB, GpuPattern::kTiled, 4.0, 32,
+                         3.5),
+                    20}}));
+
+  // ------------------------ Polybench (10 apps) ------------------------
+  // Linear-algebra kernels that "stress the GPU cache and main memory":
+  // matrix-vector shapes are latency/bandwidth-sensitive, matrix-matrix
+  // shapes are compute/bandwidth-bound.
+  v.push_back(app("Polybench", "2mm",
+                  {{kern("mm2_k1", 6e6, 0.34, 192 * MB, GpuPattern::kTiled, 2.6, 48, 6.0),
+                    1},
+                   {kern("mm2_k2", 6e6, 0.34, 192 * MB, GpuPattern::kTiled, 2.6, 48, 6.0),
+                    1}}));
+  v.push_back(app("Polybench", "3mm",
+                  {{kern("mm3_k", 6e6, 0.34, 192 * MB, GpuPattern::kTiled, 2.6, 48, 6.0),
+                    3}}));
+  v.push_back(app("Polybench", "atax",
+                  {{kern("atax_ax", 1.2e6, 0.28, 256 * MB, GpuPattern::kStrided, 7.7, 20,
+                         2.0),
+                    1},
+                   {kern("atax_aty", 1.2e6, 0.28, 256 * MB, GpuPattern::kStrided, 7.7, 20,
+                         2.0),
+                    1}}));
+  v.push_back(app("Polybench", "bicg",
+                  {{kern("bicg_q", 1.2e6, 0.28, 256 * MB, GpuPattern::kStrided, 7.7, 20,
+                         2.0),
+                    1},
+                   {kern("bicg_s", 1.2e6, 0.28, 256 * MB, GpuPattern::kStrided, 7.7, 20,
+                         2.0),
+                    1}}));
+  v.push_back(app("Polybench", "gemm",
+                  {{kern("gemm_tiled", 10e6, 0.33, 256 * MB, GpuPattern::kTiled, 2.5, 48,
+                         7.0),
+                    1}}));
+  v.push_back(app("Polybench", "gesummv",
+                  {{kern("gesummv_k", 1.6e6, 0.3, 256 * MB, GpuPattern::kStrided, 7.6, 20,
+                         2.1),
+                    1}}));
+  v.push_back(app("Polybench", "mvt",
+                  {{kern("mvt_k1", 1.2e6, 0.28, 256 * MB, GpuPattern::kStrided, 7.7, 20,
+                         2.0),
+                    1},
+                   {kern("mvt_k2", 1.2e6, 0.28, 256 * MB, GpuPattern::kStrided, 7.7, 20,
+                         2.0),
+                    1}}));
+  v.push_back(app("Polybench", "syr2k",
+                  {{kern("syr2k_k", 8e6, 0.24, 192 * MB, GpuPattern::kStreaming, 4.0, 40,
+                         4.5),
+                    1}}));
+  v.push_back(app("Polybench", "syrk",
+                  {{kern("syrk_k", 8e6, 0.24, 192 * MB, GpuPattern::kStreaming, 4.0, 40,
+                         4.5),
+                    1}}));
+  v.push_back(app("Polybench", "correlation",
+                  {{kern("corr_mean", 1e6, 0.30, 128 * MB, GpuPattern::kStreaming, 4.0, 32,
+                         3.6),
+                    2},
+                   {kern("corr_reduce", 2e6, 0.30, 128 * MB, GpuPattern::kStrided, 6.0, 24,
+                         3.2),
+                    2}}));
+
+  // -------------------------- Tango (3 apps) --------------------------
+  // Deep networks: conv layers are compute/bandwidth-heavy; recurrent
+  // cells launch many small latency-sensitive kernels.
+  v.push_back(app("Tango", "AlexNet",
+                  {{kern("alexnet_conv", 12e6, 0.18, 96 * MB, GpuPattern::kTiled, 4.0, 48,
+                         6.0),
+                    10},
+                   {kern("alexnet_fc", 2e6, 0.30, 128 * MB, GpuPattern::kStreaming, 4.0,
+                         32, 3.0),
+                    12}}));
+  v.push_back(app("Tango", "GRU",
+                  {{kern("gru_cell", 0.8e6, 0.32, 96 * MB, GpuPattern::kStreaming, 4.0, 24,
+                         3.0),
+                    120}}));
+  v.push_back(app("Tango", "LSTM",
+                  {{kern("lstm_cell", 0.8e6, 0.34, 96 * MB, GpuPattern::kStreaming, 4.0,
+                         24, 2.7),
+                    140}}));
+  return v;
+}
+
+}  // namespace
+
+const std::vector<gpusim::AppProfile>& gpu_apps() {
+  static const std::vector<gpusim::AppProfile> kRegistry = build_registry();
+  return kRegistry;
+}
+
+std::vector<gpusim::AppProfile> gpu_apps_of_suite(const std::string& suite) {
+  std::vector<gpusim::AppProfile> out;
+  for (const auto& a : gpu_apps())
+    if (a.suite == suite) out.push_back(a);
+  if (out.empty()) throw std::out_of_range("unknown GPU suite: " + suite);
+  return out;
+}
+
+int total_gpu_kernel_launches() {
+  int n = 0;
+  for (const auto& a : gpu_apps()) n += a.total_launches();
+  return n;
+}
+
+}  // namespace photorack::workloads

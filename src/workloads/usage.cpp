@@ -1,0 +1,90 @@
+#include "workloads/usage.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace photorack::workloads {
+
+namespace {
+
+/// Inverse standard-normal CDF (Acklam's rational approximation; relative
+/// error < 1.2e-9, deterministic — good enough for quantile fitting).
+double probit(double p) {
+  if (p <= 0.0 || p >= 1.0) throw std::invalid_argument("probit: p in (0,1) required");
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > 1 - plow) {
+    q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+}  // namespace
+
+QuantileLognormal::QuantileLognormal(double p, double value_p, double q, double value_q,
+                                     double clamp_max)
+    : clamp_max_(clamp_max) {
+  if (!(p < q) || value_p <= 0.0 || value_q <= value_p)
+    throw std::invalid_argument("QuantileLognormal: need p<q and 0<value_p<value_q");
+  const double zp = probit(p), zq = probit(q);
+  sigma_ = (std::log(value_q) - std::log(value_p)) / (zq - zp);
+  mu_ = std::log(value_p) - zp * sigma_;
+}
+
+double QuantileLognormal::sample(sim::Rng& rng) const {
+  const double x = rng.lognormal(mu_, sigma_);
+  return clamp_max_ > 0.0 ? std::min(x, clamp_max_) : x;
+}
+
+double QuantileLognormal::quantile(double q) const {
+  return std::exp(mu_ + sigma_ * probit(q));
+}
+
+UsageModel UsageModel::cori() {
+  return UsageModel{
+      // p50 and p75 of per-node memory-capacity use: Cori Haswell-like.
+      QuantileLognormal(0.50, 0.095, 0.75, 0.174),
+      // memory bandwidth: p75 = 0.46 GB/s of 204.8 GB/s = 0.22%.
+      QuantileLognormal(0.50, 0.0008, 0.75, 0.00225),
+      // NIC bandwidth: p75 = 1.25%.
+      QuantileLognormal(0.50, 0.004, 0.75, 0.0125),
+      // cores: "half of the time no more than half of their compute cores".
+      QuantileLognormal(0.50, 0.50, 0.75, 0.85),
+  };
+}
+
+FlowDemandModel FlowDemandModel::cpu_memory() {
+  // p97 = 25 Gb/s (one wavelength), p99.5 = 125 Gb/s (the direct budget).
+  return FlowDemandModel(QuantileLognormal(0.97, 25.0, 0.995, 125.0, 0.0));
+}
+
+FlowDemandModel FlowDemandModel::nic_memory() {
+  // NIC<->memory traffic is lighter: "virtually all the time" under the
+  // direct budget; p97 = 12 Gb/s, p99.9 = 125 Gb/s.
+  return FlowDemandModel(QuantileLognormal(0.97, 12.0, 0.999, 125.0, 0.0));
+}
+
+double FlowDemandModel::sample_gbps(sim::Rng& rng) const { return dist_.sample(rng); }
+
+}  // namespace photorack::workloads

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+
+#include "sim/rng.hpp"
+
+namespace photorack::workloads {
+
+/// A clamped-lognormal resource-usage distribution parameterized directly
+/// by two quantiles, the form in which §II-A reports production telemetry
+/// (e.g. "three quarters of the time, Haswell nodes use less than 17.4% of
+/// memory capacity").  This is the NERSC-Cori substitute distribution.
+class QuantileLognormal {
+ public:
+  /// Construct from (p, value_p) and (q, value_q) with 0 < p < q < 1.
+  QuantileLognormal(double p, double value_p, double q, double value_q,
+                    double clamp_max = 1.0);
+
+  [[nodiscard]] double sample(sim::Rng& rng) const;
+  /// Analytic quantile (inverse CDF), before clamping.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double mu() const { return mu_; }
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+  double clamp_max_;
+};
+
+/// Per-node usage model of an open-science production system, fit to the
+/// §II-A quantiles.  All values are fractions of the node's capacity.
+struct UsageModel {
+  QuantileLognormal memory_capacity;   // p75 = 17.4% (Haswell-like)
+  QuantileLognormal memory_bandwidth;  // p75 = 0.46 GB/s of 204.8 GB/s
+  QuantileLognormal nic_bandwidth;     // p75 = 1.25%
+  QuantileLognormal cpu_cores;         // p50 = 50% of cores busy
+
+  [[nodiscard]] static UsageModel cori();
+};
+
+/// Flow-demand distribution (Gb/s) between MCM pairs for the §VI-A
+/// bandwidth evaluation, fit so that a single 25 Gb/s wavelength suffices
+/// ~97% of the time and the 125 Gb/s direct budget ~99.5% of the time, as
+/// the paper reports for CPU<->DDR4 traffic.
+class FlowDemandModel {
+ public:
+  [[nodiscard]] static FlowDemandModel cpu_memory();
+  [[nodiscard]] static FlowDemandModel nic_memory();
+
+  [[nodiscard]] double sample_gbps(sim::Rng& rng) const;
+  [[nodiscard]] double quantile(double q) const { return dist_.quantile(q); }
+
+ private:
+  explicit FlowDemandModel(QuantileLognormal dist) : dist_(dist) {}
+  QuantileLognormal dist_;
+};
+
+}  // namespace photorack::workloads

@@ -1,0 +1,149 @@
+#include "phot/awgr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace photorack::phot {
+namespace {
+
+TEST(Awgr, WavelengthIsCyclicShuffle) {
+  Awgr awgr(8);
+  EXPECT_EQ(awgr.wavelength_for(0, 0), 0);
+  EXPECT_EQ(awgr.wavelength_for(3, 6), 1);
+  EXPECT_EQ(awgr.wavelength_for(7, 7), 6);
+}
+
+TEST(Awgr, EachSourceSeesAllWavelengthsExactlyOnce) {
+  // Property: from any source, the N destinations use N distinct lambdas.
+  Awgr awgr(16);
+  for (int src = 0; src < 16; ++src) {
+    std::set<int> lambdas;
+    for (int dst = 0; dst < 16; ++dst) lambdas.insert(awgr.wavelength_for(src, dst));
+    EXPECT_EQ(lambdas.size(), 16u);
+  }
+}
+
+TEST(Awgr, NoWavelengthCollisionAtOutputs) {
+  // Property: at any output port, every input arrives on a distinct lambda
+  // (this is what makes the AWGR all-to-all contention-free per pair).
+  Awgr awgr(16);
+  for (int dst = 0; dst < 16; ++dst) {
+    std::set<int> lambdas;
+    for (int src = 0; src < 16; ++src) lambdas.insert(awgr.wavelength_for(src, dst));
+    EXPECT_EQ(lambdas.size(), 16u);
+  }
+}
+
+TEST(Awgr, OutputForInvertsWavelengthFor) {
+  Awgr awgr(11);
+  for (int src = 0; src < 11; ++src)
+    for (int dst = 0; dst < 11; ++dst)
+      EXPECT_EQ(awgr.output_for(src, awgr.wavelength_for(src, dst)), dst);
+}
+
+TEST(Awgr, RangeChecks) {
+  Awgr awgr(4);
+  EXPECT_THROW(awgr.wavelength_for(4, 0), std::out_of_range);
+  EXPECT_THROW(awgr.wavelength_for(0, -1), std::out_of_range);
+  EXPECT_THROW(Awgr(0), std::invalid_argument);
+}
+
+TEST(CascadedAwgrTest, PaperConfiguration) {
+  CascadedAwgr cascade;  // K,M,N = 3,12,11
+  EXPECT_EQ(cascade.gross_ports(), 396);
+  EXPECT_EQ(cascade.usable_ports(), 370);
+  const auto report = cascade.report();
+  EXPECT_EQ(report.wavelengths_per_port, 370);
+  // ~15 dB worst-case loss, below -35 dB crosstalk (Table II).
+  EXPECT_NEAR(report.worst_insertion_loss.value, 15.0, 1.0);
+  EXPECT_LE(report.crosstalk.value, -35.0 + 0.5);
+}
+
+TEST(CascadedAwgrTest, InterconnectOptimizationHelps) {
+  // The optimized pattern's worst loss must beat the naive worst case
+  // (both stages at the array edge simultaneously).
+  CascadedAwgrConfig cfg;
+  CascadedAwgr cascade(cfg);
+  const double base = cfg.dc_switch_loss.value + cfg.front_loss.value +
+                      cfg.rear_loss.value + cfg.connector_loss.value;
+  const double naive_worst = base + 1.5 + 1.5;
+  EXPECT_LT(cascade.report().worst_insertion_loss.value, naive_worst - 0.5);
+}
+
+TEST(CascadedAwgrTest, LossWithinBudgetForAllPorts) {
+  CascadedAwgr cascade;
+  for (int i = 0; i < cascade.config().m; ++i) {
+    for (int j = 0; j < cascade.config().m; ++j) {
+      const double loss = cascade.insertion_loss(i, j).value;
+      EXPECT_GT(loss, 10.0);
+      EXPECT_LT(loss, 17.0);
+    }
+  }
+}
+
+TEST(CascadedAwgrTest, ScalesWithStageSizes) {
+  CascadedAwgrConfig big;
+  big.k = 4;
+  big.m = 12;
+  big.n = 30;
+  big.usable_port_fraction = 1.0;
+  CascadedAwgr cascade(big);
+  EXPECT_EQ(cascade.gross_ports(), 1440);  // the 1440x1440 prototype of [98]
+}
+
+TEST(CascadedAwgrTest, RejectsBadConfig) {
+  CascadedAwgrConfig bad;
+  bad.m = 0;
+  EXPECT_THROW(CascadedAwgr{bad}, std::invalid_argument);
+}
+
+/// Property sweep over AWGR sizes: the cyclic-shuffle invariants (each
+/// source sees all wavelengths once; each output receives each wavelength
+/// from exactly one source; output_for inverts wavelength_for) hold for
+/// every radix, including primes and powers of two.
+class AwgrCyclicProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AwgrCyclicProperty, ShuffleInvariants) {
+  const int n = GetParam();
+  Awgr awgr(n);
+  for (int src = 0; src < n; ++src) {
+    std::set<int> lambdas;
+    for (int dst = 0; dst < n; ++dst) {
+      const int l = awgr.wavelength_for(src, dst);
+      ASSERT_GE(l, 0);
+      ASSERT_LT(l, n);
+      lambdas.insert(l);
+      ASSERT_EQ(awgr.output_for(src, l), dst);
+    }
+    ASSERT_EQ(lambdas.size(), static_cast<std::size_t>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radixes, AwgrCyclicProperty,
+                         ::testing::Values(2, 3, 7, 8, 11, 16, 37, 64, 128, 370));
+
+/// Property: the interconnect optimization never loses to the identity
+/// wiring, across a range of front-stage sizes.
+class AwgrOptimizationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AwgrOptimizationProperty, OptimizedWorstCaseBeatsIdentity) {
+  CascadedAwgrConfig cfg;
+  cfg.m = GetParam();
+  CascadedAwgr cascade(cfg);
+  const double base = cfg.dc_switch_loss.value + cfg.front_loss.value +
+                      cfg.rear_loss.value + cfg.connector_loss.value;
+  // Identity wiring worst case: both stages at the array edge.
+  const double identity_worst = base + 1.5 + 1.5;
+  double optimized_worst = 0.0;
+  for (int j = 0; j < cfg.m; ++j)
+    optimized_worst = std::max(optimized_worst, cascade.insertion_loss(0, j).value);
+  EXPECT_LE(optimized_worst, identity_worst);
+  if (cfg.m >= 4) EXPECT_LT(optimized_worst, identity_worst - 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(FrontSizes, AwgrOptimizationProperty,
+                         ::testing::Values(2, 4, 6, 8, 12, 16, 24, 32));
+
+}  // namespace
+}  // namespace photorack::phot

@@ -1,0 +1,123 @@
+#include "cpusim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photorack::cpusim {
+namespace {
+
+TEST(Cache, ColdMissThenHit) {
+  SetAssocCache cache({1024, 2, 64, 1});
+  EXPECT_FALSE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1038));  // same 64B line
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.accesses(), 3u);
+}
+
+TEST(Cache, LruEvictsOldest) {
+  // 2-way, 8 sets of 64B lines: three lines mapping to one set evict LRU.
+  SetAssocCache cache({1024, 2, 64, 1});
+  const std::uint64_t set_stride = 8 * 64;
+  cache.access(0 * set_stride);
+  cache.access(1 * set_stride);
+  cache.access(0 * set_stride);        // touch A: B is now LRU
+  cache.access(2 * set_stride);        // evicts B
+  EXPECT_TRUE(cache.contains(0 * set_stride));
+  EXPECT_FALSE(cache.contains(1 * set_stride));
+  EXPECT_TRUE(cache.contains(2 * set_stride));
+}
+
+TEST(Cache, WorkingSetWithinCapacityAllHits) {
+  SetAssocCache cache({64 * 1024, 8, 64, 1});
+  for (int pass = 0; pass < 3; ++pass)
+    for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 64) cache.access(addr);
+  // First pass misses everything; later passes hit everything.
+  EXPECT_EQ(cache.misses(), 1024u);
+  EXPECT_EQ(cache.accesses(), 3 * 1024u);
+}
+
+TEST(Cache, CyclicScanBeyondCapacityThrashes) {
+  // Classic LRU pathology the paper's streamcluster-large case rides on.
+  SetAssocCache cache({64 * 1024, 8, 64, 1});
+  for (int pass = 0; pass < 3; ++pass)
+    for (std::uint64_t addr = 0; addr < 128 * 1024; addr += 64) cache.access(addr);
+  EXPECT_DOUBLE_EQ(cache.miss_rate(), 1.0);
+}
+
+TEST(Cache, NonPowerOfTwoSets) {
+  // 40 MB / 16 ways / 32 B lines = 81920 sets (A100 L2 geometry).
+  SetAssocCache cache({40ULL * 1024 * 1024, 16, 32, 1});
+  EXPECT_FALSE(cache.access(123456));
+  EXPECT_TRUE(cache.access(123456));
+  for (std::uint64_t a = 0; a < 1024 * 1024; a += 32) cache.access(a);
+  EXPECT_TRUE(cache.contains(123456 / 32 * 32));
+}
+
+TEST(Cache, InvalidateAllClears) {
+  SetAssocCache cache({1024, 2, 64, 1});
+  cache.access(0x40);
+  cache.invalidate_all();
+  EXPECT_FALSE(cache.contains(0x40));
+}
+
+TEST(Cache, RejectsNonPowerOfTwoLines) {
+  EXPECT_THROW(SetAssocCache({1024, 2, 48, 1}), std::invalid_argument);
+}
+
+TEST(Hierarchy, InclusiveLookupOrder) {
+  CacheHierarchy h;
+  EXPECT_EQ(h.access(0x5000), HitLevel::kMemory);  // cold
+  EXPECT_EQ(h.access(0x5000), HitLevel::kL1);      // now resident everywhere
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  HierarchyConfig cfg;
+  cfg.l1 = {1024, 2, 64, 4};        // tiny L1: 8 sets
+  cfg.l2 = {64 * 1024, 8, 64, 14};  // roomy L2
+  CacheHierarchy h(cfg);
+  h.access(0x0);
+  // Blow the L1 set containing 0x0 (stride = sets*line = 512B).
+  for (int i = 1; i <= 4; ++i) h.access(static_cast<std::uint64_t>(i) * 512);
+  EXPECT_EQ(h.access(0x0), HitLevel::kL2);
+}
+
+TEST(Hierarchy, HitLatenciesAreOrdered) {
+  CacheHierarchy h;
+  EXPECT_LT(h.hit_latency(HitLevel::kL1), h.hit_latency(HitLevel::kL2));
+  EXPECT_LT(h.hit_latency(HitLevel::kL2), h.hit_latency(HitLevel::kLlc));
+}
+
+TEST(Hierarchy, StatsReset) {
+  CacheHierarchy h;
+  h.access(0x100);
+  h.reset_stats();
+  EXPECT_EQ(h.l1().accesses(), 0u);
+  EXPECT_EQ(h.llc().misses(), 0u);
+}
+
+/// Property sweep: for a cyclic streaming scan, the LLC miss rate is ~0
+/// when the working set fits and ~1 when it exceeds capacity.
+class StreamingMissRate : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamingMissRate, ThresholdAtCapacity) {
+  const std::uint64_t ws = GetParam();
+  CacheHierarchy h;
+  const std::uint64_t llc = h.config().llc.size_bytes;
+  // Warm pass, then measure a pass.
+  for (std::uint64_t a = 0; a < ws; a += 64) h.access(a);
+  h.reset_stats();
+  for (std::uint64_t a = 0; a < ws; a += 64) h.access(a);
+  const double mr = h.llc().miss_rate();
+  if (ws <= llc / 2) {
+    EXPECT_LT(mr, 0.05) << "ws=" << ws;
+  } else if (ws >= llc * 2) {
+    EXPECT_GT(mr, 0.95) << "ws=" << ws;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkingSets, StreamingMissRate,
+                         ::testing::Values(1ULL << 20, 4ULL << 20, 8ULL << 20,
+                                           16ULL << 20, 64ULL << 20, 128ULL << 20));
+
+}  // namespace
+}  // namespace photorack::cpusim

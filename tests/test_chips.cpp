@@ -1,0 +1,68 @@
+#include "rack/chips.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photorack::rack {
+namespace {
+
+TEST(Chips, PerlmutterNodeDefaults) {
+  NodeConfig node;
+  EXPECT_EQ(node.cpus, 1);
+  EXPECT_EQ(node.gpus, 4);
+  EXPECT_EQ(node.nics, 4);
+  EXPECT_EQ(node.ddr4_modules, 8);
+  EXPECT_EQ(node.hbm_stacks, 4);
+}
+
+TEST(Chips, CpuEscapeBandwidth) {
+  // 8 x 25.6 (DDR4) + 4 x 31.5 (PCIe to GPUs) + 4 x 25 (NICs) = 430.8 GB/s.
+  NodeConfig node;
+  EXPECT_NEAR(node.chip_escape(ChipType::kCpu).value, 430.8, 1e-9);
+}
+
+TEST(Chips, GpuEscapeBandwidth) {
+  // 1555.2 (HBM) + 300 (NVLink) + 31.5 (PCIe) = 1886.7 GB/s.
+  NodeConfig node;
+  EXPECT_NEAR(node.chip_escape(ChipType::kGpu).value, 1886.7, 1e-9);
+}
+
+TEST(Chips, MemoryEscapeMatchesModuleBandwidth) {
+  NodeConfig node;
+  EXPECT_DOUBLE_EQ(node.chip_escape(ChipType::kDdr4).value, 25.6);
+  EXPECT_DOUBLE_EQ(node.chip_escape(ChipType::kHbm).value, 1555.2);
+  // CPU memory bandwidth totals 204.8 GB/s across eight channels.
+  EXPECT_DOUBLE_EQ(node.chip_escape(ChipType::kDdr4).value * node.ddr4_modules, 204.8);
+}
+
+TEST(Chips, NicEscapeIsPcieAttachment) {
+  NodeConfig node;
+  EXPECT_DOUBLE_EQ(node.chip_escape(ChipType::kNic).value, 31.5);
+}
+
+TEST(Chips, RackTotals) {
+  RackConfig rack;
+  EXPECT_EQ(rack.nodes, 128);
+  EXPECT_EQ(rack.total_chips(ChipType::kCpu), 128);
+  EXPECT_EQ(rack.total_chips(ChipType::kGpu), 512);
+  EXPECT_EQ(rack.total_chips(ChipType::kNic), 512);
+  EXPECT_EQ(rack.total_chips(ChipType::kHbm), 512);
+  EXPECT_EQ(rack.total_chips(ChipType::kDdr4), 1024);
+}
+
+TEST(Chips, SpecsCarryPackagingCap) {
+  NodeConfig node;
+  EXPECT_EQ(node.chip_spec(ChipType::kDdr4).max_per_mcm, 27);
+  EXPECT_EQ(node.chip_spec(ChipType::kGpu).max_per_mcm, 0);  // escape-limited
+}
+
+TEST(Chips, SpecPowersArePositive) {
+  NodeConfig node;
+  for (const auto t : kAllChipTypes) EXPECT_GT(node.chip_spec(t).power.value, 0.0);
+}
+
+TEST(Chips, ToStringCoversAllTypes) {
+  for (const auto t : kAllChipTypes) EXPECT_STRNE(to_string(t), "?");
+}
+
+}  // namespace
+}  // namespace photorack::rack

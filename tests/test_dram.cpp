@@ -1,0 +1,85 @@
+#include "cpusim/dram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace photorack::cpusim {
+namespace {
+
+TEST(Dram, FirstAccessIsRowMiss) {
+  DramModel dram;
+  EXPECT_DOUBLE_EQ(dram.access_ns(0), dram.config().row_miss_ns);
+}
+
+TEST(Dram, SameRowHits) {
+  DramModel dram;
+  dram.access_ns(0);
+  EXPECT_DOUBLE_EQ(dram.access_ns(64), dram.config().row_hit_ns);
+  EXPECT_DOUBLE_EQ(dram.access_ns(4096), dram.config().row_hit_ns);  // still row 0
+}
+
+TEST(Dram, DifferentRowSameBankMisses) {
+  DramConfig cfg;
+  DramModel dram(cfg);
+  dram.access_ns(0);
+  // row k and row k + banks share a bank.
+  EXPECT_DOUBLE_EQ(dram.access_ns(cfg.row_bytes * cfg.banks),
+                   cfg.row_miss_ns);
+}
+
+TEST(Dram, BanksKeepIndependentRows) {
+  DramConfig cfg;
+  DramModel dram(cfg);
+  dram.access_ns(0);                 // bank 0, row 0
+  dram.access_ns(cfg.row_bytes);     // bank 1, row 1
+  // Returning to row 0 (bank 0) must still hit: bank 1 did not disturb it.
+  EXPECT_DOUBLE_EQ(dram.access_ns(64), cfg.row_hit_ns);
+}
+
+TEST(Dram, ExtraLatencyIsAdditive) {
+  DramConfig cfg;
+  cfg.extra_ns = 35.0;
+  DramModel dram(cfg);
+  EXPECT_DOUBLE_EQ(dram.access_ns(0), cfg.row_miss_ns + 35.0);
+  EXPECT_DOUBLE_EQ(dram.access_ns(64), cfg.row_hit_ns + 35.0);
+}
+
+TEST(Dram, StreamingHasHighRowHitRate) {
+  DramModel dram;
+  for (std::uint64_t a = 0; a < 1 << 20; a += 64) dram.access_ns(a);
+  EXPECT_GT(dram.row_hit_rate(), 0.95);
+}
+
+TEST(Dram, RandomHasLowRowHitRate) {
+  DramModel dram;
+  sim::Rng rng(5);
+  for (int i = 0; i < 20000; ++i) dram.access_ns(rng.below(1ULL << 30));
+  EXPECT_LT(dram.row_hit_rate(), 0.05);
+}
+
+TEST(Dram, StatsResetWorks) {
+  DramModel dram;
+  dram.access_ns(0);
+  dram.reset_stats();
+  EXPECT_EQ(dram.accesses(), 0u);
+  EXPECT_EQ(dram.row_hits(), 0u);
+}
+
+TEST(Dram, RejectsBadGeometry) {
+  DramConfig bad;
+  bad.banks = 0;
+  EXPECT_THROW(DramModel{bad}, std::invalid_argument);
+}
+
+/// The latency band that makes the paper's numbers work: +35 ns must sit
+/// between ~50% and ~170% of the baseline exposed DRAM latency, so that
+/// "LLC miss cycles increase by 50% to 150%".
+TEST(Dram, ThirtyFiveNsIsLargeRelativeToBaseline) {
+  DramConfig cfg;
+  EXPECT_GT(35.0 / cfg.row_miss_ns, 0.5);
+  EXPECT_LT(35.0 / cfg.row_hit_ns, 1.7);
+}
+
+}  // namespace
+}  // namespace photorack::cpusim

@@ -1,0 +1,103 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace photorack::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 0);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) q.schedule_at(5, [&order, i] { order.push_back(i); });
+  q.run();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  TimePs seen = -1;
+  q.schedule_at(100, [&] { q.schedule_after(50, [&] { seen = q.now(); }); });
+  q.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule_at(100, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule_at(50, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(20, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(1234));
+}
+
+TEST(EventQueue, RunUntilStopsBeforeBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(20, [&] { ++fired; });
+  q.schedule_at(30, [&] { ++fired; });
+  const auto n = q.run(/*until=*/20);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  q.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 100) q.schedule_after(1, step);
+  };
+  q.schedule_at(0, step);
+  q.run();
+  EXPECT_EQ(chain, 100);
+  EXPECT_EQ(q.now(), 99);
+  EXPECT_EQ(q.executed(), 100u);
+}
+
+TEST(EventQueue, PendingCountsLiveEvents) {
+  EventQueue q;
+  const auto a = q.schedule_at(10, [] {});
+  q.schedule_at(20, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace photorack::sim

@@ -1,0 +1,149 @@
+// Integration/regression tests pinning the reproduction's headline shapes.
+// These run reduced instruction counts to stay fast; the bench binaries run
+// the full configurations.
+#include "core/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace photorack::core {
+namespace {
+
+/// One shared reduced-size sweep for all tests in this file.
+class ExperimentsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CpuSweepOptions opt;
+    opt.extra_latencies_ns = {0.0, 25.0, 35.0, 85.0};
+    opt.warmup_instructions = 300'000;
+    opt.measured_instructions = 600'000;
+    sweep_ = new CpuSweep(run_cpu_sweep(opt));
+    gpu_ = new GpuSweep(run_gpu_sweep({0.0, 35.0}));
+  }
+  static void TearDownTestSuite() {
+    delete sweep_;
+    delete gpu_;
+    sweep_ = nullptr;
+    gpu_ = nullptr;
+  }
+  static CpuSweep* sweep_;
+  static GpuSweep* gpu_;
+};
+
+CpuSweep* ExperimentsTest::sweep_ = nullptr;
+GpuSweep* ExperimentsTest::gpu_ = nullptr;
+
+TEST_F(ExperimentsTest, SweepCoversFullMatrix) {
+  // 61 benchmarks x 2 cores x 4 latencies.
+  EXPECT_EQ(sweep_->runs.size(), 61u * 2 * 4);
+}
+
+TEST_F(ExperimentsTest, BaselinesHaveZeroSlowdown) {
+  for (const auto& r : sweep_->runs)
+    if (r.extra_ns == 0.0) EXPECT_NEAR(r.slowdown, 0.0, 1e-12);
+}
+
+TEST_F(ExperimentsTest, SlowdownsAreNonNegative) {
+  for (const auto& r : sweep_->runs) EXPECT_GE(r.slowdown, -1e-9) << r.bench->full_name();
+}
+
+TEST_F(ExperimentsTest, OverallAveragesInPaperBand) {
+  // Paper: 15% in-order, 22% OOO.  Allow a generous band — the shape
+  // matters, not the third digit.
+  const double io = sweep_->overall_mean_slowdown(cpusim::CoreKind::kInOrder, 35.0);
+  const double ooo = sweep_->overall_mean_slowdown(cpusim::CoreKind::kOutOfOrder, 35.0);
+  EXPECT_GT(io, 0.07);
+  EXPECT_LT(io, 0.25);
+  EXPECT_GT(ooo, 0.10);
+  EXPECT_LT(ooo, 0.35);
+  EXPECT_GT(ooo, io);  // OOO suffers more in relative terms
+}
+
+TEST_F(ExperimentsTest, NasIsNegligiblyAffected) {
+  const double nas =
+      sim::mean_of(sweep_->slowdowns("NAS", "", cpusim::CoreKind::kInOrder, 35.0));
+  EXPECT_LT(nas, 0.05);
+}
+
+TEST_F(ExperimentsTest, NwIsTheWorstCpuBenchmark) {
+  const auto& nw = sweep_->find("Rodinia/nw/default", cpusim::CoreKind::kInOrder, 35.0);
+  EXPECT_GT(nw.slowdown, 0.6);
+  for (const auto& r : sweep_->runs)
+    if (r.core == cpusim::CoreKind::kInOrder && r.extra_ns == 35.0)
+      EXPECT_LE(r.slowdown, nw.slowdown + 1e-9) << r.bench->full_name();
+}
+
+TEST_F(ExperimentsTest, StreamclusterInputSizeStory) {
+  const auto& small =
+      sweep_->find("PARSEC/streamcluster/small", cpusim::CoreKind::kInOrder, 35.0);
+  const auto& large =
+      sweep_->find("PARSEC/streamcluster/large", cpusim::CoreKind::kInOrder, 35.0);
+  EXPECT_LT(small.result.llc_miss_rate, 0.05);
+  EXPECT_GT(large.result.llc_miss_rate, 0.60);
+  EXPECT_LT(small.slowdown, 0.05);
+  EXPECT_GT(large.slowdown, 0.40);
+}
+
+TEST_F(ExperimentsTest, MissRateCorrelationIsStrong) {
+  const auto fig7 = fig7_correlation(*sweep_, cpusim::CoreKind::kInOrder);
+  EXPECT_GT(fig7.pearson_parsec_large, 0.6);
+  EXPECT_GT(fig7.pearson_rodinia, 0.6);
+}
+
+TEST_F(ExperimentsTest, LatencySensitivityIsMonotone) {
+  for (const auto core : {cpusim::CoreKind::kInOrder, cpusim::CoreKind::kOutOfOrder}) {
+    const double s25 = sweep_->overall_mean_slowdown(core, 25.0);
+    const double s35 = sweep_->overall_mean_slowdown(core, 35.0);
+    EXPECT_LT(s25, s35);
+    EXPECT_NEAR(s25 / s35, 25.0 / 35.0, 0.25);  // roughly proportional
+  }
+}
+
+TEST_F(ExperimentsTest, Fig6RowsCoverAllGroups) {
+  const auto rows = fig6_rows(*sweep_);
+  EXPECT_EQ(rows.size(), 7u);  // 3 PARSEC + 3 NAS + 1 Rodinia
+  for (const auto& row : rows) EXPECT_GE(row.max_inorder, row.avg_inorder);
+}
+
+TEST_F(ExperimentsTest, GpuAverageNearPaper) {
+  const double avg = gpu_->mean_slowdown(35.0);
+  EXPECT_GT(avg, 0.02);
+  EXPECT_LT(avg, 0.10);  // paper: 5.35%
+  EXPECT_LT(gpu_->max_slowdown(35.0), 0.15);
+}
+
+TEST_F(ExperimentsTest, GpusTolerateLatencyBetterThanCpus) {
+  const auto rows = fig11_rows(*sweep_, *gpu_);
+  ASSERT_FALSE(rows.empty());
+  double worst_gpu = 0, worst_cpu = 0;
+  for (const auto& row : rows) {
+    worst_gpu = std::max(worst_gpu, row.gpu);
+    worst_cpu = std::max(worst_cpu, row.inorder);
+  }
+  EXPECT_LT(worst_gpu, worst_cpu);
+}
+
+TEST_F(ExperimentsTest, PhotonicBeatsElectronicEverywhere) {
+  const auto summary = fig12_speedup(*sweep_);
+  EXPECT_GT(summary.cpu_inorder_avg, 0.0);
+  EXPECT_GT(summary.cpu_ooo_avg, 0.0);
+  EXPECT_GT(summary.gpu_avg, 0.0);
+  for (const auto& [name, s] : summary.cpu_inorder) EXPECT_GE(s, -1e-9) << name;
+  for (const auto& [name, s] : summary.gpu) EXPECT_GE(s, -1e-9) << name;
+}
+
+TEST_F(ExperimentsTest, ElectronicGpuComparisonReflectsBandwidthDerate) {
+  const auto with_derate = fig12_speedup(*sweep_, 0.62);
+  const auto without = fig12_speedup(*sweep_, 1.0);
+  EXPECT_GT(with_derate.gpu_avg, without.gpu_avg);
+}
+
+TEST_F(ExperimentsTest, FindThrowsForUnknownBenchmark) {
+  EXPECT_THROW(sweep_->find("PARSEC/nope/large", cpusim::CoreKind::kInOrder, 35.0),
+               std::out_of_range);
+  EXPECT_THROW(gpu_->find("nope", 35.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace photorack::core

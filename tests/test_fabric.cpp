@@ -1,0 +1,96 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rack/rack_builder.hpp"
+
+namespace photorack::net {
+namespace {
+
+rack::AwgrFabricPlan paper_plan() {
+  return rack::build_rack_design(rack::FabricKind::kParallelAwgrs).awgr;
+}
+
+TEST(Fabric, ConstructionFromPaperPlan) {
+  WavelengthFabric fabric(350, paper_plan());
+  EXPECT_EQ(fabric.mcms(), 350);
+  EXPECT_EQ(fabric.parallel_awgrs(), 6);
+  EXPECT_DOUBLE_EQ(fabric.gbps_per_wavelength(), 25.0);
+}
+
+TEST(Fabric, EveryPairHasAtLeastFiveDirectLambdas) {
+  WavelengthFabric fabric(350, paper_plan());
+  int min_lambdas = 1000;
+  for (int s = 0; s < 350; s += 7) {
+    for (int d = 0; d < 350; d += 11) {
+      if (s == d) continue;
+      min_lambdas = std::min(min_lambdas, fabric.direct_lambdas(s, d));
+    }
+  }
+  EXPECT_GE(min_lambdas, 5);
+}
+
+TEST(Fabric, NoSelfWavelengths) {
+  WavelengthFabric fabric(350, paper_plan());
+  EXPECT_EQ(fabric.direct_lambdas(5, 5), 0);
+}
+
+TEST(Fabric, AllocateReleasesRoundTrip) {
+  WavelengthFabric fabric(350, paper_plan());
+  const double granted = fabric.allocate_direct(1, 2, 60.0);
+  EXPECT_DOUBLE_EQ(granted, 60.0);
+  EXPECT_NEAR(fabric.free_direct(1, 2), fabric.direct_capacity(1, 2) - 60.0, 1e-9);
+  fabric.release_direct(1, 2, 60.0);
+  EXPECT_NEAR(fabric.free_direct(1, 2), fabric.direct_capacity(1, 2), 1e-9);
+}
+
+TEST(Fabric, AllocationCapsAtCapacity) {
+  WavelengthFabric fabric(350, paper_plan());
+  const double cap = fabric.direct_capacity(3, 4);
+  const double granted = fabric.allocate_direct(3, 4, cap + 500.0);
+  EXPECT_DOUBLE_EQ(granted, cap);
+  EXPECT_NEAR(fabric.free_direct(3, 4), 0.0, 1e-9);
+}
+
+TEST(Fabric, PairsAreIndependent) {
+  WavelengthFabric fabric(350, paper_plan());
+  fabric.allocate_direct(1, 2, 100.0);
+  EXPECT_NEAR(fabric.free_direct(2, 1), fabric.direct_capacity(2, 1), 1e-9);
+  EXPECT_NEAR(fabric.free_direct(1, 3), fabric.direct_capacity(1, 3), 1e-9);
+}
+
+TEST(Fabric, OverReleaseThrows) {
+  WavelengthFabric fabric(350, paper_plan());
+  fabric.allocate_direct(1, 2, 10.0);
+  EXPECT_THROW(fabric.release_direct(1, 2, 20.0), std::logic_error);
+}
+
+TEST(Fabric, UtilizationTracksAllocation) {
+  WavelengthFabric fabric(350, paper_plan());
+  EXPECT_DOUBLE_EQ(fabric.utilization(), 0.0);
+  fabric.allocate_direct(0, 1, 125.0);
+  EXPECT_GT(fabric.utilization(), 0.0);
+  fabric.release_direct(0, 1, 125.0);
+  EXPECT_NEAR(fabric.utilization(), 0.0, 1e-12);
+}
+
+TEST(Fabric, RejectsTooManyMcms) {
+  EXPECT_THROW(WavelengthFabric(371, paper_plan()), std::invalid_argument);
+}
+
+TEST(Fabric, PartialPortCoversSubsetOfDestinations) {
+  WavelengthFabric fabric(350, paper_plan());
+  // The 6th AWGR carries fewer wavelengths than there are MCMs: some pairs
+  // get 6 direct lambdas, others only the guaranteed 5.
+  bool saw5 = false, saw6 = false;
+  for (int d = 1; d < 350; ++d) {
+    const int n = fabric.direct_lambdas(0, d);
+    if (n == 5) saw5 = true;
+    if (n == 6) saw6 = true;
+  }
+  EXPECT_TRUE(saw5);
+  EXPECT_TRUE(saw6);
+}
+
+}  // namespace
+}  // namespace photorack::net

@@ -1,0 +1,110 @@
+#include "phot/fec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace photorack::phot {
+namespace {
+
+TEST(Fec, ZeroRawBerIsClean) {
+  FecModel fec;
+  const auto out = fec.evaluate(0.0);
+  EXPECT_EQ(out.flit_error_prob, 0.0);
+  EXPECT_EQ(out.effective_ber, 0.0);
+  EXPECT_DOUBLE_EQ(out.bandwidth_loss, fec.config().fec_overhead_fraction);
+}
+
+TEST(Fec, QuadraticSuppression) {
+  // The paper's worked example: needing two bursts per flit squares the
+  // failure probability.
+  FecModel fec;
+  const auto out = fec.evaluate(1e-7);
+  EXPECT_NEAR(out.post_fec_flit_fail, out.flit_error_prob * out.flit_error_prob,
+              out.post_fec_flit_fail * 1e-9);
+}
+
+TEST(Fec, MonotoneInRawBer) {
+  FecModel fec;
+  double last = -1.0;
+  for (const double ber : {1e-12, 1e-10, 1e-8, 1e-6, 1e-4}) {
+    const auto out = fec.evaluate(ber);
+    EXPECT_GT(out.effective_ber, last);
+    last = out.effective_ber;
+  }
+}
+
+TEST(Fec, MeetsMemoryTargetAtRealisticRawBer) {
+  FecModel fec;
+  EXPECT_TRUE(fec.meets_target(1e-9, 1e-18));
+  EXPECT_TRUE(fec.meets_target(1e-6, 1e-18));  // Section III-C3's claim
+}
+
+TEST(Fec, MaxRawBerIsConsistent) {
+  FecModel fec;
+  const double limit = fec.max_raw_ber_for_target(1e-18);
+  EXPECT_GT(limit, 0.0);
+  EXPECT_TRUE(fec.meets_target(limit * 0.5, 1e-18));
+}
+
+TEST(Fec, BandwidthLossSmallAtLowBer) {
+  FecModel fec;
+  // "<0.1% bandwidth loss": at raw 1e-6, retransmissions are negligible and
+  // the loss is dominated by the configured FEC overhead.
+  const auto out = fec.evaluate(1e-6);
+  EXPECT_LT(out.bandwidth_loss, 0.0015);
+}
+
+TEST(Fec, RetransmissionsGrowWithBer) {
+  FecModel fec;
+  EXPECT_GT(fec.evaluate(1e-4).retransmit_rate, fec.evaluate(1e-6).retransmit_rate);
+}
+
+TEST(Fec, LatencyMatchesPaperExamples) {
+  FecModel fec;
+  // ~10 ns serialization at 200 Gb/s plus 2-3 ns FEC; ~5 ns + FEC at 400.
+  EXPECT_NEAR(fec.total_latency(Gbps{200}).value, 10.24 + 2.5, 0.01);
+  EXPECT_NEAR(fec.total_latency(Gbps{400}).value, 5.12 + 2.5, 0.01);
+}
+
+TEST(Fec, LatencyDecreasesWithRate) {
+  FecModel fec;
+  EXPECT_GT(fec.total_latency(Gbps{100}).value, fec.total_latency(Gbps{800}).value);
+}
+
+TEST(Fit, ScalesWithRateAndBer) {
+  EXPECT_DOUBLE_EQ(fit_rate(0.0, Gbps{100}), 0.0);
+  const double base = fit_rate(1e-18, Gbps{100});
+  EXPECT_DOUBLE_EQ(fit_rate(1e-18, Gbps{200}), 2.0 * base);
+  EXPECT_DOUBLE_EQ(fit_rate(2e-18, Gbps{100}), 2.0 * base);
+}
+
+/// Property grid: for every raw BER in the practical range, the quadratic
+/// relation and the ordering raw >= flit-fail >= escape hold, and effective
+/// BER stays far below the memory target.
+class FecBerGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(FecBerGrid, OrderingAndTarget) {
+  FecModel fec;
+  const auto out = fec.evaluate(GetParam());
+  EXPECT_GE(out.flit_error_prob, out.post_fec_flit_fail);
+  EXPECT_GE(out.post_fec_flit_fail, out.crc_escape_prob);
+  EXPECT_GE(out.crc_escape_prob, out.effective_ber);
+  EXPECT_LE(out.effective_ber, 1e-18);
+  EXPECT_GE(out.bandwidth_loss, fec.config().fec_overhead_fraction);
+}
+
+INSTANTIATE_TEST_SUITE_P(RawBers, FecBerGrid,
+                         ::testing::Values(1e-15, 1e-12, 1e-10, 1e-9, 1e-8, 1e-7, 1e-6));
+
+TEST(Fit, PostCrcEscapesGiveTolerableFit) {
+  // "the flit FIT rate (CRC escapes) is significantly less than one part
+  // per billion": at raw 1e-6, the model's effective BER makes the FIT of a
+  // full-rate wavelength negligible.
+  FecModel fec;
+  const auto out = fec.evaluate(1e-6);
+  EXPECT_LT(fit_rate(out.effective_ber, Gbps{25}), 1.0);
+}
+
+}  // namespace
+}  // namespace photorack::phot

@@ -1,0 +1,181 @@
+#include "workloads/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace photorack::workloads {
+namespace {
+
+TraceConfig base_config() {
+  TraceConfig cfg;
+  cfg.working_set = 16 << 20;
+  cfg.mem_fraction = 0.4;
+  cfg.seed = 42;
+  return cfg;
+}
+
+std::vector<cpusim::Instr> take(SyntheticTrace& trace, std::size_t n) {
+  std::vector<cpusim::Instr> out(n);
+  trace.next_batch(out);
+  return out;
+}
+
+TEST(Generators, DeterministicReplayAfterReset) {
+  SyntheticTrace trace(base_config());
+  const auto first = take(trace, 4096);
+  trace.reset();
+  const auto second = take(trace, 4096);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].kind, second[i].kind);
+    EXPECT_EQ(first[i].addr, second[i].addr);
+    EXPECT_EQ(first[i].dependent, second[i].dependent);
+  }
+}
+
+TEST(Generators, MemFractionHonored) {
+  SyntheticTrace trace(base_config());
+  const auto instrs = take(trace, 100'000);
+  int mem = 0;
+  for (const auto& i : instrs) mem += (i.kind != cpusim::OpKind::kAlu) ? 1 : 0;
+  EXPECT_NEAR(mem / 100'000.0, 0.4, 0.01);
+}
+
+TEST(Generators, AddressesStayInWorkingSet) {
+  auto cfg = base_config();
+  for (const auto kind :
+       {CpuPattern::kStreaming, CpuPattern::kStrided, CpuPattern::kRandom,
+        CpuPattern::kPointerChase, CpuPattern::kStencil, CpuPattern::kTiled,
+        CpuPattern::kZipf}) {
+    cfg.patterns = {{kind, 1.0}};
+    SyntheticTrace trace(cfg);
+    for (const auto& i : take(trace, 20'000)) {
+      if (i.kind == cpusim::OpKind::kAlu) continue;
+      EXPECT_LT(i.addr, cfg.working_set) << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(Generators, StreamingIsSequential) {
+  auto cfg = base_config();
+  cfg.patterns = {{CpuPattern::kStreaming, 1.0}};
+  SyntheticTrace trace(cfg);
+  std::uint64_t last = 0;
+  bool first = true;
+  for (const auto& i : take(trace, 10'000)) {
+    if (i.kind == cpusim::OpKind::kAlu) continue;
+    if (!first && i.addr > last) EXPECT_EQ(i.addr - last, 8u);
+    last = i.addr;
+    first = false;
+  }
+}
+
+TEST(Generators, PointerChaseMarksDependent) {
+  auto cfg = base_config();
+  cfg.patterns = {{CpuPattern::kPointerChase, 1.0}};
+  SyntheticTrace trace(cfg);
+  for (const auto& i : take(trace, 5'000)) {
+    if (i.kind == cpusim::OpKind::kAlu) continue;
+    EXPECT_TRUE(i.dependent);
+    EXPECT_EQ(i.kind, cpusim::OpKind::kLoad);
+  }
+}
+
+TEST(Generators, DependentFractionApplies) {
+  auto cfg = base_config();
+  PatternSpec p;
+  p.kind = CpuPattern::kStrided;
+  p.stride_bytes = 64;
+  p.dependent_fraction = 0.5;
+  cfg.patterns = {p};
+  SyntheticTrace trace(cfg);
+  int mem = 0, dep = 0;
+  for (const auto& i : take(trace, 100'000)) {
+    if (i.kind == cpusim::OpKind::kAlu && !i.dependent) continue;
+    ++mem;
+    dep += i.dependent ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(dep) / mem, 0.5, 0.03);
+}
+
+TEST(Generators, RegionOverridesWorkingSet) {
+  auto cfg = base_config();
+  PatternSpec hot;
+  hot.kind = CpuPattern::kRandom;
+  hot.region_bytes = 1 << 20;
+  cfg.patterns = {hot};
+  SyntheticTrace trace(cfg);
+  for (const auto& i : take(trace, 20'000)) {
+    if (i.kind == cpusim::OpKind::kAlu) continue;
+    EXPECT_LT(i.addr, 1u << 20);
+  }
+}
+
+TEST(Generators, ZipfConcentratesOnHotLines) {
+  auto cfg = base_config();
+  PatternSpec z;
+  z.kind = CpuPattern::kZipf;
+  z.zipf_s = 1.2;
+  cfg.patterns = {z};
+  SyntheticTrace trace(cfg);
+  std::map<std::uint64_t, int> counts;
+  int mem = 0;
+  for (const auto& i : take(trace, 200'000)) {
+    if (i.kind == cpusim::OpKind::kAlu) continue;
+    ++counts[i.addr / 64];
+    ++mem;
+  }
+  // The most popular line should absorb a visible share of accesses.
+  int hottest = 0;
+  for (const auto& [line, c] : counts) hottest = std::max(hottest, c);
+  EXPECT_GT(hottest, mem / 100);
+}
+
+TEST(Generators, MixtureRespectsWeights) {
+  auto cfg = base_config();
+  PatternSpec chase;
+  chase.kind = CpuPattern::kPointerChase;
+  chase.weight = 0.2;
+  PatternSpec stream;
+  stream.kind = CpuPattern::kStreaming;
+  stream.weight = 0.8;
+  cfg.patterns = {chase, stream};
+  SyntheticTrace trace(cfg);
+  int mem = 0, dep = 0;
+  for (const auto& i : take(trace, 200'000)) {
+    if (i.kind == cpusim::OpKind::kAlu) continue;
+    ++mem;
+    dep += i.dependent ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(dep) / mem, 0.2, 0.02);
+}
+
+TEST(Generators, RejectsBadConfigs) {
+  TraceConfig empty;
+  empty.patterns.clear();
+  EXPECT_THROW(SyntheticTrace{empty}, std::invalid_argument);
+
+  TraceConfig tiny;
+  tiny.working_set = 16;
+  EXPECT_THROW(SyntheticTrace{tiny}, std::invalid_argument);
+
+  TraceConfig zero_weight = base_config();
+  zero_weight.patterns = {{CpuPattern::kStreaming, 0.0}};
+  EXPECT_THROW(SyntheticTrace{zero_weight}, std::invalid_argument);
+}
+
+TEST(Generators, StoresRespectStoreFraction) {
+  auto cfg = base_config();
+  cfg.store_fraction = 0.25;
+  SyntheticTrace trace(cfg);
+  int loads = 0, stores = 0;
+  for (const auto& i : take(trace, 200'000)) {
+    if (i.kind == cpusim::OpKind::kLoad) ++loads;
+    if (i.kind == cpusim::OpKind::kStore) ++stores;
+  }
+  EXPECT_NEAR(static_cast<double>(stores) / (loads + stores), 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace photorack::workloads

@@ -1,0 +1,75 @@
+#include "disagg/iso_perf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photorack::disagg {
+namespace {
+
+TEST(IsoPerf, BaselineModuleCountIs1920) {
+  const auto r = iso_performance();
+  EXPECT_EQ(r.baseline.cpus, 128);
+  EXPECT_EQ(r.baseline.gpus, 512);
+  EXPECT_EQ(r.baseline.ddr4, 1024);
+  EXPECT_EQ(r.baseline.nics, 256);  // two counted NIC modules per node
+  EXPECT_EQ(r.baseline.total(), 1920);
+}
+
+TEST(IsoPerf, DisaggregatedModuleCountNear1075) {
+  const auto r = iso_performance();
+  // ceil(128 x 1.15) + ceil(512 x 1.06) + 1024/4 + 256/2
+  EXPECT_EQ(r.disaggregated.cpus, 148);
+  EXPECT_EQ(r.disaggregated.gpus, 543);
+  EXPECT_EQ(r.disaggregated.ddr4, 256);
+  EXPECT_EQ(r.disaggregated.nics, 128);
+  EXPECT_EQ(r.disaggregated.total(), 1075);
+}
+
+TEST(IsoPerf, FortyFourPercentReduction) {
+  const auto r = iso_performance();
+  EXPECT_NEAR(r.reduction_fraction, 0.44, 0.005);
+}
+
+TEST(IsoPerf, AlternativePlanAddsSevenPercentChips) {
+  const auto r = iso_performance();
+  EXPECT_EQ(r.added_compute_modules, 128);
+  EXPECT_NEAR(r.added_chip_fraction, 0.0667, 0.001);  // paper rounds to ~7%
+}
+
+TEST(IsoPerf, SlowdownsDriveComputeMakeup) {
+  IsoPerfInputs in;
+  in.cpu_slowdown = 0.0;
+  in.gpu_slowdown = 0.0;
+  const auto r = iso_performance({}, in);
+  EXPECT_EQ(r.disaggregated.cpus, 128);
+  EXPECT_EQ(r.disaggregated.gpus, 512);
+  EXPECT_GT(r.reduction_fraction, 0.44);  // even better without slowdown
+}
+
+TEST(IsoPerf, RejectsReductionsBelowOne) {
+  IsoPerfInputs in;
+  in.memory_reduction = 0.5;
+  EXPECT_THROW(iso_performance({}, in), std::invalid_argument);
+}
+
+TEST(IsoPerf, DerivedMemoryReductionIsConservativelyAboveFour) {
+  // The rack-level statistical multiplexing argument: Cori-like usage at
+  // rack p99 supports at least the 4x of [15].
+  const double r = derive_memory_reduction(workloads::UsageModel::cori());
+  EXPECT_GE(r, 4.0);
+  EXPECT_LT(r, 12.0);  // sanity: not absurdly aggressive
+}
+
+TEST(IsoPerf, DerivationIsDeterministic) {
+  const double a = derive_memory_reduction(workloads::UsageModel::cori());
+  const double b = derive_memory_reduction(workloads::UsageModel::cori());
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(IsoPerf, HigherPercentileNeedsMoreModules) {
+  const auto usage = workloads::UsageModel::cori();
+  EXPECT_LE(derive_memory_reduction(usage, 128, 99.9),
+            derive_memory_reduction(usage, 128, 90.0));
+}
+
+}  // namespace
+}  // namespace photorack::disagg

@@ -1,0 +1,68 @@
+#include "disagg/job_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photorack::disagg {
+namespace {
+
+JobSimConfig quick() {
+  JobSimConfig cfg;
+  cfg.sim_time = 300 * sim::kPsPerMs;
+  cfg.arrivals_per_ms = 2.0;
+  cfg.mean_duration = 30 * sim::kPsPerMs;
+  return cfg;
+}
+
+TEST(JobScheduler, OffersJobs) {
+  const auto report = run_job_stream({}, AllocationPolicy::kStaticNodes,
+                                     workloads::UsageModel::cori(), quick());
+  EXPECT_GT(report.offered, 100u);
+  EXPECT_GT(report.accepted, 0u);
+  EXPECT_LE(report.accepted, report.offered);
+}
+
+TEST(JobScheduler, DeterministicForSeed) {
+  const auto a = run_job_stream({}, AllocationPolicy::kStaticNodes,
+                                workloads::UsageModel::cori(), quick());
+  const auto b = run_job_stream({}, AllocationPolicy::kStaticNodes,
+                                workloads::UsageModel::cori(), quick());
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_DOUBLE_EQ(a.mean_memory_utilization, b.mean_memory_utilization);
+}
+
+TEST(JobScheduler, StaticPolicyMaroonsResources) {
+  const auto report = run_job_stream({}, AllocationPolicy::kStaticNodes,
+                                     workloads::UsageModel::cori(), quick());
+  // The Section II-A picture: most of the held memory is idle.
+  EXPECT_GT(report.mean_marooned_memory, 0.1);
+}
+
+TEST(JobScheduler, DisaggregatedMaroonsNothing) {
+  const auto report = run_job_stream({}, AllocationPolicy::kDisaggregated,
+                                     workloads::UsageModel::cori(), quick());
+  EXPECT_DOUBLE_EQ(report.mean_marooned_cpu, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_marooned_memory, 0.0);
+}
+
+TEST(JobScheduler, DisaggregationAcceptsAtLeastAsMuch) {
+  const auto stat = run_job_stream({}, AllocationPolicy::kStaticNodes,
+                                   workloads::UsageModel::cori(), quick());
+  const auto disagg = run_job_stream({}, AllocationPolicy::kDisaggregated,
+                                     workloads::UsageModel::cori(), quick());
+  EXPECT_GE(disagg.acceptance(), stat.acceptance() - 1e-9);
+}
+
+TEST(JobScheduler, HeavierLoadLowersStaticAcceptance) {
+  auto light = quick();
+  auto heavy = quick();
+  heavy.arrivals_per_ms = 20.0;
+  const auto l = run_job_stream({}, AllocationPolicy::kStaticNodes,
+                                workloads::UsageModel::cori(), light);
+  const auto h = run_job_stream({}, AllocationPolicy::kStaticNodes,
+                                workloads::UsageModel::cori(), heavy);
+  EXPECT_LT(h.acceptance(), l.acceptance() + 1e-9);
+}
+
+}  // namespace
+}  // namespace photorack::disagg

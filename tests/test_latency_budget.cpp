@@ -1,0 +1,58 @@
+#include "phot/latency_budget.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photorack::phot {
+namespace {
+
+TEST(LatencyBudget, PhotonicPartsArePresent) {
+  const auto budget = photonic_budget();
+  ASSERT_EQ(budget.parts.size(), 3u);
+  EXPECT_EQ(budget.parts[0].name, "OEO conversion");
+  EXPECT_DOUBLE_EQ(budget.parts[0].value.value, 15.0);
+  EXPECT_DOUBLE_EQ(budget.parts[1].value.value, 20.0);  // 4 m x 5 ns/m
+}
+
+TEST(LatencyBudget, PhotonicNearThePapersThirtyFive) {
+  // The paper's 35 ns covers OEO + propagation; serialization/FEC ride on
+  // top in our explicit breakdown but stay within ~8 ns at 400 Gb/s.
+  const auto budget = photonic_budget();
+  EXPECT_GE(budget.total().value, 35.0);
+  EXPECT_LE(budget.total().value, 45.0);
+}
+
+TEST(LatencyBudget, ElectronicAddsHops) {
+  const auto photonic = photonic_budget();
+  const auto electronic = electronic_budget();
+  EXPECT_DOUBLE_EQ(electronic.total().value - photonic.total().value, 50.0);
+}
+
+TEST(LatencyBudget, ReachScalesPropagationOnly) {
+  BudgetInputs near;
+  near.reach = Meters{1.0};
+  BudgetInputs far;
+  far.reach = Meters{4.0};
+  const double delta = photonic_budget(far).total().value -
+                       photonic_budget(near).total().value;
+  EXPECT_DOUBLE_EQ(delta, 15.0);  // 3 m x 5 ns/m
+}
+
+TEST(LatencyBudget, FasterLanesShrinkSerialization) {
+  BudgetInputs slow;
+  slow.lane_rate = Gbps{200};
+  BudgetInputs fast;
+  fast.lane_rate = Gbps{1600};
+  EXPECT_GT(photonic_budget(slow).total().value, photonic_budget(fast).total().value);
+}
+
+TEST(LatencyBudget, HopCountDrivesElectronicPenalty) {
+  BudgetInputs one_hop;
+  one_hop.electronic_hops = 1;
+  one_hop.electronic_per_hop = Nanoseconds{90.0};  // Anton-3-like single hop
+  const auto budget = electronic_budget(one_hop);
+  const auto base = photonic_budget(one_hop);
+  EXPECT_DOUBLE_EQ(budget.total().value - base.total().value, 90.0);
+}
+
+}  // namespace
+}  // namespace photorack::phot

@@ -1,0 +1,77 @@
+#include "phot/links.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photorack::phot {
+namespace {
+
+using namespace literals;
+
+TEST(Links, TableHasFiveTechnologies) {
+  EXPECT_EQ(table1_links().size(), 5u);
+}
+
+TEST(Links, LookupByName) {
+  EXPECT_DOUBLE_EQ(link_by_name("TeraPHY-768G").bandwidth.value, 768.0);
+  EXPECT_THROW(link_by_name("nope"), std::out_of_range);
+}
+
+/// Table I's "#Links (2 TB/s escape)" column.
+struct LinkCountCase {
+  const char* name;
+  int expected_links;
+  double expected_watts;
+};
+
+class LinksFor2TBs : public ::testing::TestWithParam<LinkCountCase> {};
+
+TEST_P(LinksFor2TBs, MatchesTable1) {
+  const auto& p = GetParam();
+  const auto& link = link_by_name(p.name);
+  EXPECT_EQ(link.links_for_escape(GBps{2000}), p.expected_links);
+  EXPECT_NEAR(link.power_for_escape(GBps{2000}).value, p.expected_watts, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, LinksFor2TBs,
+    ::testing::Values(LinkCountCase{"100G-Ethernet", 160, 480.0},
+                      LinkCountCase{"400G-Ethernet", 40, 480.0},  // paper prints 197 W
+                      LinkCountCase{"TeraPHY-768G", 21, 14.4},
+                      LinkCountCase{"Comb-1T", 16, 7.2},
+                      LinkCountCase{"Comb-2T", 8, 4.8}));
+
+TEST(Links, ChannelsTimesRateMatchesBandwidth) {
+  for (const auto& link : table1_links()) {
+    EXPECT_DOUBLE_EQ(link.gbps_per_channel.value * link.channels, link.bandwidth.value)
+        << link.name;
+  }
+}
+
+TEST(Links, DwdmTechnologiesAreCoPackaged) {
+  for (const auto& link : table1_links())
+    if (link.channels > 4) EXPECT_TRUE(link.co_packaged) << link.name;
+}
+
+TEST(Propagation, IntraRackIs35ns) {
+  // 15 ns OEO + 4 m x 5 ns/m = 35 ns (Section III-C2 / VI-B).
+  EXPECT_DOUBLE_EQ(intra_rack_added_latency().value, 35.0);
+}
+
+TEST(Propagation, ScalesWithReach) {
+  PropagationModel model;
+  EXPECT_DOUBLE_EQ(model.added_latency(1_m).value, 20.0);
+  EXPECT_DOUBLE_EQ(model.added_latency(2_m).value, 25.0);
+  // "rack-scale resource disaggregation adds 5-20 ns of latency" on top of
+  // conversion: propagation alone spans 5..20 ns for 1..4 m.
+  EXPECT_DOUBLE_EQ(model.added_latency(4_m).value - model.oeo.value, 20.0);
+}
+
+TEST(CombLaser, SourceCountCoversChannels) {
+  CombLaserSource comb;
+  EXPECT_EQ(comb.sources_for(32, 64), 32);   // one comb per fiber
+  EXPECT_EQ(comb.sources_for(32, 128), 64);  // two combs per fiber
+  EXPECT_GT(comb.electrical_power().value, 0.0);
+}
+
+}  // namespace
+}  // namespace photorack::phot

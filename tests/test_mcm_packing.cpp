@@ -1,0 +1,107 @@
+#include "rack/mcm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photorack::rack {
+namespace {
+
+TEST(McmConfig, EscapeBudget) {
+  McmConfig mcm;
+  EXPECT_EQ(mcm.total_wavelengths(), 2048);
+  EXPECT_DOUBLE_EQ(mcm.escape_gbps().value, 51'200.0);
+  EXPECT_DOUBLE_EQ(mcm.escape().value, 6'400.0);
+}
+
+/// Table III, row by row.
+struct PackingCase {
+  ChipType type;
+  int chips_per_mcm;
+  int mcm_count;
+};
+
+class Table3Packing : public ::testing::TestWithParam<PackingCase> {};
+
+TEST_P(Table3Packing, MatchesPaper) {
+  const auto plan = pack_rack();
+  const auto& p = plan.plan_for(GetParam().type);
+  EXPECT_EQ(p.chips_per_mcm, GetParam().chips_per_mcm);
+  EXPECT_EQ(p.mcm_count, GetParam().mcm_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3, Table3Packing,
+                         ::testing::Values(PackingCase{ChipType::kCpu, 14, 10},
+                                           PackingCase{ChipType::kGpu, 3, 171},
+                                           PackingCase{ChipType::kNic, 203, 3},
+                                           PackingCase{ChipType::kHbm, 4, 128},
+                                           PackingCase{ChipType::kDdr4, 27, 38}));
+
+TEST(McmPacking, TotalIs350) { EXPECT_EQ(pack_rack().total_mcms, 350); }
+
+TEST(McmPacking, EscapeBandwidthNeverRestricted) {
+  // The design guarantee of Section V-A: each chip's share of the MCM
+  // escape is at least its native escape bandwidth.
+  const auto plan = pack_rack();
+  for (const auto& p : plan.types)
+    EXPECT_GE(p.per_chip_share.value, p.per_chip_escape.value) << to_string(p.type);
+}
+
+TEST(McmPacking, AllChipsAreHoused) {
+  const RackConfig rack;
+  const auto plan = pack_rack(rack);
+  for (const auto& p : plan.types)
+    EXPECT_GE(p.chips_per_mcm * p.mcm_count, rack.total_chips(p.type))
+        << to_string(p.type);
+}
+
+TEST(McmPacking, HigherEscapeMeansFewerMcms) {
+  McmConfig big;
+  big.fibers = 64;  // double the escape
+  const auto plan_big = pack_rack({}, big);
+  const auto plan_base = pack_rack();
+  EXPECT_LT(plan_big.total_mcms, plan_base.total_mcms);
+}
+
+TEST(McmPacking, ThrowsWhenChipCannotFit) {
+  McmConfig tiny;
+  tiny.fibers = 1;  // 200 GB/s escape < one GPU's 1886.7 GB/s
+  EXPECT_THROW(pack_rack({}, tiny), std::runtime_error);
+}
+
+TEST(McmPacking, UnknownTypeLookupThrows) {
+  McmPlan empty;
+  EXPECT_THROW(empty.plan_for(ChipType::kCpu), std::out_of_range);
+}
+
+/// Property sweep over escape budgets: for every feasible MCM
+/// configuration, (1) every chip is housed, (2) no chip's bandwidth share
+/// drops below its native escape, and (3) per-type MCM counts are the
+/// minimal ceiling.
+class PackingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackingProperty, InvariantsHoldForFiberCount) {
+  McmConfig mcm;
+  mcm.fibers = GetParam();
+  const RackConfig rack;
+  const auto plan = pack_rack(rack, mcm);
+  for (const auto& p : plan.types) {
+    const int total = rack.total_chips(p.type);
+    EXPECT_GE(p.chips_per_mcm * p.mcm_count, total) << to_string(p.type);
+    // Minimality: one fewer MCM would strand chips.
+    EXPECT_LT(p.chips_per_mcm * (p.mcm_count - 1), total) << to_string(p.type);
+    EXPECT_GE(p.per_chip_share.value, p.per_chip_escape.value) << to_string(p.type);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FiberCounts, PackingProperty,
+                         ::testing::Values(16, 24, 32, 40, 48, 64));
+
+/// With ever-larger escape, MCM counts approach the packaging-cap floor.
+TEST(McmPacking, PackagingCapBindsAtHighEscape) {
+  McmConfig huge;
+  huge.fibers = 128;
+  const auto plan = pack_rack({}, huge);
+  EXPECT_EQ(plan.plan_for(ChipType::kDdr4).chips_per_mcm, 27);  // cap, not escape
+}
+
+}  // namespace
+}  // namespace photorack::rack

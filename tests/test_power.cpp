@@ -1,0 +1,53 @@
+#include "phot/power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photorack::phot {
+namespace {
+
+TEST(Power, PaperHeadlineNumbers) {
+  // Section VI-C: ~11 kW of photonics, ~5% of the rack.
+  const auto breakdown = photonic_power_overhead();
+  EXPECT_NEAR(breakdown.total.value, 11'000.0, 1'000.0);
+  EXPECT_NEAR(breakdown.overhead_vs_baseline, 0.05, 0.01);
+}
+
+TEST(Power, BaselineRackPower) {
+  // 128 nodes x (250 W CPU + 4x300 W GPU + 192 W memory) = ~210 kW.
+  BaselineRackPower base;
+  EXPECT_NEAR(base.total().value, 128.0 * (250 + 1200 + 192), 1e-9);
+}
+
+TEST(Power, TransceiverTermScalesWithWavelengths) {
+  PhotonicPowerConfig cfg;
+  const auto full = photonic_power_overhead(cfg);
+  cfg.wavelengths_per_mcm /= 2;
+  const auto half = photonic_power_overhead(cfg);
+  EXPECT_NEAR(half.transceivers.value * 2.0, full.transceivers.value, 1e-6);
+}
+
+TEST(Power, SwitchesCappedAtOneKilowatt) {
+  const auto breakdown = photonic_power_overhead();
+  EXPECT_LE(breakdown.switches.value, 1000.0 + 1e-9);
+}
+
+TEST(Power, EnergyPerBitDrivesTotal) {
+  PhotonicPowerConfig cheap;
+  cheap.transceiver_pair_energy = PjPerBit{0.3};
+  PhotonicPowerConfig pricey;
+  pricey.transceiver_pair_energy = PjPerBit{30.0};
+  EXPECT_LT(photonic_power_overhead(cheap).total.value,
+            photonic_power_overhead(pricey).total.value / 10.0);
+}
+
+TEST(Power, OverheadAgainstCustomBaseline) {
+  BaselineRackPower small;
+  small.nodes = 1;
+  const auto breakdown = photonic_power_overhead({}, small);
+  // Whole-rack photonics against one node is absurdly high — the point is
+  // the denominator is respected.
+  EXPECT_GT(breakdown.overhead_vs_baseline, 1.0);
+}
+
+}  // namespace
+}  // namespace photorack::phot

@@ -1,0 +1,111 @@
+#include "workloads/cpu_profiles.hpp"
+#include "workloads/gpu_profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace photorack::workloads {
+namespace {
+
+TEST(CpuProfiles, SixtyOneRuns) {
+  // 10 PARSEC x 3 inputs + 8 NAS x 3 classes + 7 Rodinia = 61 runs.
+  EXPECT_EQ(cpu_benchmarks().size(), 61u);
+}
+
+TEST(CpuProfiles, TwentyFiveDistinctBenchmarks) {
+  std::set<std::string> names;
+  for (const auto& b : cpu_benchmarks()) names.insert(b.suite + "/" + b.name);
+  EXPECT_EQ(names.size(), 25u);  // the abstract's "25 CPU benchmarks"
+}
+
+TEST(CpuProfiles, SuiteBreakdown) {
+  EXPECT_EQ(benchmarks_of_suite("PARSEC").size(), 30u);
+  EXPECT_EQ(benchmarks_of_suite("NAS").size(), 24u);
+  EXPECT_EQ(benchmarks_of_suite("Rodinia").size(), 7u);
+  EXPECT_THROW(benchmarks_of_suite("SPEC"), std::out_of_range);
+}
+
+TEST(CpuProfiles, InputLabelsPerSuite) {
+  for (const auto& b : benchmarks_of_suite("PARSEC"))
+    EXPECT_TRUE(b.input == "small" || b.input == "medium" || b.input == "large");
+  for (const auto& b : benchmarks_of_suite("NAS"))
+    EXPECT_TRUE(b.input == "A" || b.input == "B" || b.input == "C");
+  for (const auto& b : benchmarks_of_suite("Rodinia")) EXPECT_EQ(b.input, "default");
+}
+
+TEST(CpuProfiles, WorkingSetsGrowWithInputSize) {
+  for (const auto* name : {"blackscholes", "canneal", "streamcluster", "x264"}) {
+    std::uint64_t small = 0, large = 0;
+    for (const auto& b : benchmarks_of_suite("PARSEC")) {
+      if (b.name != name) continue;
+      if (b.input == "small") small = b.trace.working_set;
+      if (b.input == "large") large = b.trace.working_set;
+    }
+    EXPECT_LT(small, large) << name;
+  }
+}
+
+TEST(CpuProfiles, SeedsAreUniquePerRun) {
+  std::set<std::uint64_t> seeds;
+  for (const auto& b : cpu_benchmarks()) seeds.insert(b.trace.seed);
+  EXPECT_EQ(seeds.size(), cpu_benchmarks().size());
+}
+
+TEST(CpuProfiles, PatternWeightsArePositive) {
+  for (const auto& b : cpu_benchmarks()) {
+    ASSERT_FALSE(b.trace.patterns.empty()) << b.full_name();
+    for (const auto& p : b.trace.patterns) EXPECT_GT(p.weight, 0.0) << b.full_name();
+    EXPECT_GT(b.trace.mem_fraction, 0.0);
+    EXPECT_LT(b.trace.mem_fraction, 0.6);
+  }
+}
+
+TEST(CpuProfiles, IntersectionNamesExistInBothRegistries) {
+  const auto names = rodinia_cpu_gpu_intersection();
+  EXPECT_EQ(names.size(), 7u);
+  for (const auto& name : names) {
+    bool in_cpu = false;
+    for (const auto& b : benchmarks_of_suite("Rodinia")) in_cpu |= (b.name == name);
+    EXPECT_TRUE(in_cpu) << name;
+    bool in_gpu = false;
+    for (const auto& a : gpu_apps()) in_gpu |= (a.name == name);
+    EXPECT_TRUE(in_gpu) << name;
+  }
+}
+
+TEST(GpuProfiles, TwentyFourApps) { EXPECT_EQ(gpu_apps().size(), 24u); }
+
+TEST(GpuProfiles, SuiteBreakdown) {
+  EXPECT_EQ(gpu_apps_of_suite("Rodinia").size(), 11u);
+  EXPECT_EQ(gpu_apps_of_suite("Polybench").size(), 10u);
+  EXPECT_EQ(gpu_apps_of_suite("Tango").size(), 3u);
+  EXPECT_THROW(gpu_apps_of_suite("MLPerf"), std::out_of_range);
+}
+
+TEST(GpuProfiles, ExactlyThePapersKernelLaunchCount) {
+  EXPECT_EQ(total_gpu_kernel_launches(), 1525);
+}
+
+TEST(GpuProfiles, EveryAppHasKernels) {
+  for (const auto& a : gpu_apps()) {
+    EXPECT_FALSE(a.kernels.empty()) << a.name;
+    for (const auto& k : a.kernels) {
+      EXPECT_GT(k.launches, 0) << a.name;
+      EXPECT_GT(k.profile.warp_instructions, 0.0) << a.name;
+      EXPECT_GT(k.profile.active_warps_per_sm, 0) << a.name;
+    }
+  }
+}
+
+TEST(GpuProfiles, TangoAppsPresent) {
+  const auto tango = gpu_apps_of_suite("Tango");
+  std::set<std::string> names;
+  for (const auto& a : tango) names.insert(a.name);
+  EXPECT_TRUE(names.contains("AlexNet"));
+  EXPECT_TRUE(names.contains("GRU"));
+  EXPECT_TRUE(names.contains("LSTM"));
+}
+
+}  // namespace
+}  // namespace photorack::workloads

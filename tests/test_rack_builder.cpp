@@ -1,0 +1,98 @@
+#include "rack/rack_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace photorack::rack {
+namespace {
+
+TEST(DistributeWavelengths, PaperCase) {
+  // 2048 wavelengths under the 370-per-port cap: 5 full ports + remainder.
+  const auto ports = distribute_wavelengths(2048, 370);
+  ASSERT_EQ(ports.size(), 6u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ports[static_cast<std::size_t>(i)], 370);
+  EXPECT_EQ(ports.back(), 2048 - 5 * 370);
+  EXPECT_EQ(std::accumulate(ports.begin(), ports.end(), 0), 2048);
+}
+
+TEST(DistributeWavelengths, ExactFit) {
+  const auto ports = distribute_wavelengths(740, 370);
+  ASSERT_EQ(ports.size(), 2u);
+  EXPECT_EQ(ports[0], 370);
+  EXPECT_EQ(ports[1], 370);
+}
+
+TEST(DistributeWavelengths, RejectsBadInput) {
+  EXPECT_THROW(distribute_wavelengths(0, 370), std::invalid_argument);
+  EXPECT_THROW(distribute_wavelengths(100, 0), std::invalid_argument);
+}
+
+TEST(AwgrDesign, SixParallelAwgrs) {
+  const auto design = build_rack_design(FabricKind::kParallelAwgrs);
+  EXPECT_EQ(design.awgr.parallel_awgrs, 6);
+  EXPECT_EQ(design.awgr.awgr_radix, 370);
+  EXPECT_EQ(design.awgr.port_wavelength_cap, 370);
+}
+
+TEST(AwgrDesign, AtLeastFiveDirectWavelengthsPerPair) {
+  // Fig 5 / Section V-B: >= 5 direct 25 Gb/s wavelengths => 125 Gb/s.
+  const auto design = build_rack_design(FabricKind::kParallelAwgrs);
+  EXPECT_EQ(design.awgr.min_direct_lambdas_per_pair, 5);
+  EXPECT_DOUBLE_EQ(design.awgr.direct_pair_bandwidth.value, 125.0);
+}
+
+TEST(AwgrDesign, FullCoverageRequiresPortAtLeastMcms) {
+  const auto design = build_rack_design(FabricKind::kParallelAwgrs);
+  int full = 0;
+  for (const int w : design.awgr.lambdas_per_port)
+    if (w >= design.mcm_plan.total_mcms) ++full;
+  EXPECT_EQ(full, design.awgr.full_coverage_awgrs);
+}
+
+TEST(AwgrDesign, PhotonicLatencyIs35ns) {
+  const auto design = build_rack_design(FabricKind::kParallelAwgrs);
+  EXPECT_DOUBLE_EQ(design.added_latency.value, 35.0);
+}
+
+TEST(SpatialDesign, ElevenSwitches) {
+  const auto design = build_rack_design(FabricKind::kSpatialOrWss);
+  EXPECT_EQ(design.spatial.switches, 11);
+  EXPECT_EQ(design.spatial.radix, 256);
+  EXPECT_EQ(design.spatial.fibers_per_connection, 4);
+  EXPECT_EQ(design.spatial.max_connections_per_mcm, 8);
+}
+
+TEST(SpatialDesign, FiberBudgetRespected) {
+  const auto design = build_rack_design(FabricKind::kSpatialOrWss);
+  for (const auto& conns : design.spatial.connections)
+    EXPECT_LE(static_cast<int>(conns.size()), design.spatial.max_connections_per_mcm);
+}
+
+TEST(SpatialDesign, EveryPairSharesASwitch) {
+  const auto design = build_rack_design(FabricKind::kSpatialOrWss);
+  EXPECT_GE(design.spatial.min_direct_paths_per_pair, 1);
+  EXPECT_GT(design.spatial.avg_direct_paths_per_pair,
+            design.spatial.min_direct_paths_per_pair - 1e-9);
+}
+
+TEST(ElectronicDesign, EightyFiveNanoseconds) {
+  // Section VI-D: 35 ns (common) + four switch hops = 85 ns.
+  const auto design = build_rack_design(FabricKind::kElectronicSwitches);
+  EXPECT_DOUBLE_EQ(design.added_latency.value, 85.0);
+  EXPECT_EQ(design.electronic.hops, 4);
+}
+
+TEST(Design, ShorterReachReducesLatency) {
+  const auto design =
+      build_rack_design(FabricKind::kParallelAwgrs, {}, {}, phot::Meters{2.0});
+  EXPECT_DOUBLE_EQ(design.added_latency.value, 25.0);  // 15 + 2x5
+}
+
+TEST(Design, McmPlanEmbedded) {
+  const auto design = build_rack_design(FabricKind::kParallelAwgrs);
+  EXPECT_EQ(design.mcm_plan.total_mcms, 350);
+}
+
+}  // namespace
+}  // namespace photorack::rack

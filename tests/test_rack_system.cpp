@@ -1,0 +1,53 @@
+#include "core/rack_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photorack::core {
+namespace {
+
+TEST(RackSystem, PhotonicDefaults) {
+  RackSystem system;
+  EXPECT_EQ(system.total_mcms(), 350);
+  EXPECT_DOUBLE_EQ(system.added_memory_latency_ns(), 35.0);
+  EXPECT_DOUBLE_EQ(system.direct_pair_bandwidth_gbps(), 125.0);
+}
+
+TEST(RackSystem, ElectronicAlternative) {
+  RackSystem system(rack::FabricKind::kElectronicSwitches);
+  EXPECT_DOUBLE_EQ(system.added_memory_latency_ns(), 85.0);
+}
+
+TEST(RackSystem, SpatialDesignKeeps35ns) {
+  RackSystem system(rack::FabricKind::kSpatialOrWss);
+  EXPECT_DOUBLE_EQ(system.added_memory_latency_ns(), 35.0);
+  EXPECT_GT(system.direct_pair_bandwidth_gbps(), 0.0);
+}
+
+TEST(RackSystem, PowerOverheadMatchesSection6C) {
+  RackSystem system;
+  const auto power = system.power_overhead();
+  EXPECT_NEAR(power.total.value, 11'000.0, 1'200.0);
+  EXPECT_NEAR(power.overhead_vs_baseline, 0.05, 0.01);
+}
+
+TEST(RackSystem, ElectronicHasNoPhotonicPower) {
+  RackSystem system(rack::FabricKind::kElectronicSwitches);
+  EXPECT_DOUBLE_EQ(system.power_overhead().total.value, 0.0);
+}
+
+TEST(RackSystem, FabricOnlyForAwgr) {
+  RackSystem awgr;
+  EXPECT_NO_THROW({ auto fabric = awgr.make_fabric(); });
+  RackSystem electronic(rack::FabricKind::kElectronicSwitches);
+  EXPECT_THROW(electronic.make_fabric(), std::logic_error);
+}
+
+TEST(RackSystem, FabricMatchesDesign) {
+  RackSystem system;
+  auto fabric = system.make_fabric();
+  EXPECT_EQ(fabric.mcms(), system.total_mcms());
+  EXPECT_EQ(fabric.parallel_awgrs(), system.design().awgr.parallel_awgrs);
+}
+
+}  // namespace
+}  // namespace photorack::core

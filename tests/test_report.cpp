@@ -1,0 +1,47 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace photorack::core {
+namespace {
+
+TEST(Report, BannerContainsTitleAndReference) {
+  std::ostringstream os;
+  print_banner(os, "Table I", "Section III-B");
+  EXPECT_NE(os.str().find("Table I"), std::string::npos);
+  EXPECT_NE(os.str().find("Section III-B"), std::string::npos);
+}
+
+TEST(Report, CheckLineOkWithinTolerance) {
+  std::ostringstream os;
+  check_line(os, "metric", 1.0, 1.2, 0.5);
+  EXPECT_NE(os.str().find("[ok]"), std::string::npos);
+  EXPECT_EQ(os.str().find("[drift]"), std::string::npos);
+}
+
+TEST(Report, CheckLineDriftBeyondTolerance) {
+  std::ostringstream os;
+  check_line(os, "metric", 1.0, 2.0, 0.5);
+  EXPECT_NE(os.str().find("[drift]"), std::string::npos);
+}
+
+TEST(Report, CheckLineHandlesZeroPaperValue) {
+  std::ostringstream os;
+  check_line(os, "zero target", 0.0, 0.0, 0.5);
+  EXPECT_NE(os.str().find("[ok]"), std::string::npos);
+  std::ostringstream os2;
+  check_line(os2, "zero target off", 0.0, 0.7, 0.5);
+  EXPECT_NE(os2.str().find("[drift]"), std::string::npos);
+}
+
+TEST(Report, CheckLinePrintsBothValues) {
+  std::ostringstream os;
+  check_line(os, "metric", 0.15, 0.149, 0.1);
+  EXPECT_NE(os.str().find("paper=0.15"), std::string::npos);
+  EXPECT_NE(os.str().find("measured=0.149"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace photorack::core

@@ -1,0 +1,120 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace photorack::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedReplays) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowIsBounded) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(37), 37u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  const int n = 80'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(8)];
+  for (const int c : counts) {
+    EXPECT_GT(c, n / 8 * 0.9);
+    EXPECT_LT(c, n / 8 * 1.1);
+  }
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  Rng rng(13);
+  double sum = 0, sum2 = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(-1.0, 2.0), 0.0);
+}
+
+TEST(Rng, ZipfBoundsAndSkew) {
+  Rng rng(23);
+  const std::uint64_t n = 1000;
+  int low = 0, total = 20'000;
+  for (int i = 0; i < total; ++i) {
+    const auto z = rng.zipf(n, 1.1);
+    ASSERT_GE(z, 1u);
+    ASSERT_LE(z, n);
+    if (z <= 10) ++low;
+  }
+  // With s=1.1, the top-10 ranks should carry a large share of the mass.
+  EXPECT_GT(low, total / 4);
+}
+
+TEST(Rng, ChildStreamsAreIndependent) {
+  Rng parent(101);
+  Rng c1 = parent.child(1);
+  Rng c2 = parent.child(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (c1() == c2()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ChildDerivationIsDeterministic) {
+  Rng p1(55), p2(55);
+  Rng a = p1.child(9);
+  Rng b = p2.child(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace photorack::sim

@@ -1,0 +1,104 @@
+#include "cpusim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/generators.hpp"
+
+namespace photorack::cpusim {
+namespace {
+
+workloads::TraceConfig streaming_config(std::uint64_t ws) {
+  workloads::TraceConfig cfg;
+  cfg.working_set = ws;
+  cfg.mem_fraction = 0.3;
+  cfg.patterns = {{}};  // default streaming
+  cfg.seed = 99;
+  return cfg;
+}
+
+SimConfig small_sim(double extra = 0.0) {
+  SimConfig cfg;
+  cfg.warmup_instructions = 50'000;
+  cfg.measured_instructions = 200'000;
+  cfg.dram.extra_ns = extra;
+  return cfg;
+}
+
+TEST(Runner, MeasuresRequestedInstructionCount) {
+  workloads::SyntheticTrace trace(streaming_config(1 << 20));
+  const auto result = run_simulation(trace, small_sim());
+  EXPECT_EQ(result.instructions, 200'000u);
+  EXPECT_GT(result.cycles, 0.0);
+  EXPECT_GT(result.ipc, 0.0);
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  workloads::SyntheticTrace t1(streaming_config(8 << 20));
+  workloads::SyntheticTrace t2(streaming_config(8 << 20));
+  const auto r1 = run_simulation(t1, small_sim());
+  const auto r2 = run_simulation(t2, small_sim());
+  EXPECT_DOUBLE_EQ(r1.cycles, r2.cycles);
+  EXPECT_DOUBLE_EQ(r1.llc_miss_rate, r2.llc_miss_rate);
+}
+
+TEST(Runner, CacheResidentWorkloadHasNoMisses) {
+  workloads::SyntheticTrace trace(streaming_config(1 << 20));  // 1 MB << LLC
+  const auto result = run_simulation(trace, small_sim());
+  EXPECT_LT(result.llc_mpki, 0.5);
+}
+
+TEST(Runner, OverLlcStreamingThrashes) {
+  workloads::SyntheticTrace trace(streaming_config(128ULL << 20));
+  const auto result = run_simulation(trace, small_sim());
+  EXPECT_GT(result.llc_miss_rate, 0.9);
+  EXPECT_GT(result.llc_mpki, 1.0);
+}
+
+TEST(Runner, SlowdownGrowsWithExtraLatency) {
+  const auto cfg = streaming_config(128ULL << 20);
+  workloads::SyntheticTrace t0(cfg), t25(cfg), t35(cfg), t85(cfg);
+  const auto base = run_simulation(t0, small_sim(0));
+  const double s25 = slowdown(base, run_simulation(t25, small_sim(25)));
+  const double s35 = slowdown(base, run_simulation(t35, small_sim(35)));
+  const double s85 = slowdown(base, run_simulation(t85, small_sim(85)));
+  EXPECT_GT(s25, 0.0);
+  EXPECT_GT(s35, s25);
+  EXPECT_GT(s85, s35);
+}
+
+TEST(Runner, ExtraLatencyDoesNotChangeMissRate) {
+  const auto cfg = streaming_config(64ULL << 20);
+  workloads::SyntheticTrace t0(cfg), t35(cfg);
+  const auto r0 = run_simulation(t0, small_sim(0));
+  const auto r35 = run_simulation(t35, small_sim(35));
+  EXPECT_DOUBLE_EQ(r0.llc_miss_rate, r35.llc_miss_rate);
+  EXPECT_DOUBLE_EQ(r0.dram_row_hit_rate, r35.dram_row_hit_rate);
+}
+
+TEST(Runner, MissStallCyclesGrow50To150Percent) {
+  // Section VI-B1: "cycles the LLC spends in a miss increase by 50% to
+  // 150%" with +35 ns.
+  const auto cfg = streaming_config(128ULL << 20);
+  workloads::SyntheticTrace t0(cfg), t35(cfg);
+  const auto r0 = run_simulation(t0, small_sim(0));
+  const auto r35 = run_simulation(t35, small_sim(35));
+  const double growth = r35.llc_miss_stall_cycles / r0.llc_miss_stall_cycles - 1.0;
+  EXPECT_GT(growth, 0.5);
+  EXPECT_LT(growth, 1.7);
+}
+
+TEST(Runner, SlowdownThrowsOnEmptyBaseline) {
+  SimResult empty;
+  SimResult other;
+  other.time_ns = 10.0;
+  EXPECT_THROW(slowdown(empty, other), std::invalid_argument);
+}
+
+TEST(Runner, MemFractionIsRespected) {
+  workloads::SyntheticTrace trace(streaming_config(1 << 20));
+  const auto result = run_simulation(trace, small_sim());
+  EXPECT_NEAR(result.mem_op_fraction, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace photorack::cpusim

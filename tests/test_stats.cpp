@@ -1,0 +1,111 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace photorack::sim {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Pearson, PerfectPositive) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputsReturnZero) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> flat = {5, 5, 5};
+  EXPECT_EQ(pearson(x, flat), 0.0);
+  std::vector<double> one = {1.0};
+  EXPECT_EQ(pearson(one, one), 0.0);
+}
+
+TEST(Pearson, KnownValue) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {1, 2, 2, 5, 4};
+  // Hand-computed: sxy = 9, sxx = 10, syy = 10.8 => r = 9/sqrt(108).
+  EXPECT_NEAR(pearson(x, y), 9.0 / std::sqrt(108.0), 1e-12);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+}
+
+TEST(Percentile, EmptyIsZero) { EXPECT_EQ(percentile({}, 50), 0.0); }
+
+TEST(Means, MeanGeomeanMax) {
+  std::vector<double> v = {1.0, 4.0, 16.0};
+  EXPECT_DOUBLE_EQ(mean_of(v), 7.0);
+  EXPECT_NEAR(geomean_of(v), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(max_of(v), 16.0);
+  EXPECT_EQ(mean_of({}), 0.0);
+}
+
+TEST(HistogramTest, CountsAndCdf) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_DOUBLE_EQ(h.total(), 10.0);
+  EXPECT_NEAR(h.cdf(5.0), 0.5, 1e-12);
+  EXPECT_EQ(h.cdf(-1.0), 0.0);
+  EXPECT_EQ(h.cdf(10.0), 1.0);
+}
+
+TEST(HistogramTest, OutOfRangeClamps) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+}
+
+TEST(HistogramTest, BadRangeThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace photorack::sim

@@ -1,0 +1,70 @@
+#include "phot/switches.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photorack::phot {
+namespace {
+
+TEST(Switches, TableHasFourFamilies) { EXPECT_EQ(table2_switches().size(), 4u); }
+
+TEST(Switches, AwgrIsPassive) {
+  const auto& awgr = switch_by_kind(SwitchKind::kCascadedAwgr);
+  EXPECT_FALSE(awgr.requires_reconfiguration);
+  EXPECT_FALSE(awgr.requires_central_scheduler);
+  EXPECT_EQ(awgr.reconfiguration_time, 0);
+}
+
+TEST(Switches, SpatialAndWssNeedScheduling) {
+  for (const auto kind :
+       {SwitchKind::kMachZehnder, SwitchKind::kMemsActuated, SwitchKind::kMicroringWss}) {
+    const auto& sw = switch_by_kind(kind);
+    EXPECT_TRUE(sw.requires_reconfiguration) << sw.name;
+    EXPECT_TRUE(sw.requires_central_scheduler) << sw.name;
+    EXPECT_GT(sw.reconfiguration_time, 0) << sw.name;
+  }
+}
+
+TEST(Switches, Table2RadixValues) {
+  EXPECT_EQ(switch_by_kind(SwitchKind::kMachZehnder).radix, 32);
+  EXPECT_EQ(switch_by_kind(SwitchKind::kMemsActuated).radix, 240);
+  EXPECT_EQ(switch_by_kind(SwitchKind::kMicroringWss).radix, 128);
+  EXPECT_EQ(switch_by_kind(SwitchKind::kCascadedAwgr).radix, 370);
+}
+
+TEST(Switches, AwgrCarries370WavelengthsPerPort) {
+  const auto& awgr = switch_by_kind(SwitchKind::kCascadedAwgr);
+  EXPECT_EQ(awgr.wavelengths_per_port, 370);
+  EXPECT_DOUBLE_EQ(awgr.gbps_per_wavelength.value, 25.0);
+  EXPECT_DOUBLE_EQ(awgr.port_bandwidth().value, 370 * 25.0);
+}
+
+TEST(Switches, AggregateBandwidth) {
+  const auto& awgr = switch_by_kind(SwitchKind::kCascadedAwgr);
+  EXPECT_DOUBLE_EQ(awgr.aggregate_bandwidth().value, 370.0 * 370 * 25);
+}
+
+TEST(Switches, Table4StudyConfigs) {
+  const auto configs = table4_study_configs();
+  ASSERT_EQ(configs.size(), 3u);
+  EXPECT_EQ(configs[0].radix, 370);  // cascaded AWGRs
+  EXPECT_EQ(configs[1].radix, 240);  // spatial
+  EXPECT_EQ(configs[2].radix, 256);  // wave-selective
+  for (const auto& c : configs) {
+    EXPECT_EQ(c.radix, c.wavelengths_per_port) << c.name;
+    EXPECT_DOUBLE_EQ(c.gbps_per_wavelength.value, 25.0) << c.name;
+  }
+}
+
+TEST(Switches, MergedSpatialWssIs256) {
+  const auto merged = merged_spatial_wss_config();
+  EXPECT_EQ(merged.radix, 256);
+  EXPECT_EQ(merged.wavelengths_per_port, 256);
+}
+
+TEST(Switches, NamesAreStable) {
+  EXPECT_STREQ(to_string(SwitchKind::kCascadedAwgr), "Cascaded-AWGR");
+  EXPECT_STREQ(to_string(SwitchKind::kMemsActuated), "MEMS-actuated");
+}
+
+}  // namespace
+}  // namespace photorack::phot

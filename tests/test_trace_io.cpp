@@ -1,0 +1,123 @@
+#include "cpusim/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cpusim/runner.hpp"
+#include "workloads/generators.hpp"
+
+namespace photorack::cpusim {
+namespace {
+
+workloads::TraceConfig sample_config() {
+  workloads::TraceConfig cfg;
+  cfg.working_set = 8 << 20;
+  cfg.mem_fraction = 0.35;
+  workloads::PatternSpec chase;
+  chase.kind = workloads::CpuPattern::kPointerChase;
+  chase.weight = 0.3;
+  workloads::PatternSpec stream;
+  stream.kind = workloads::CpuPattern::kStreaming;
+  stream.weight = 0.7;
+  cfg.patterns = {chase, stream};
+  cfg.seed = 2024;
+  return cfg;
+}
+
+TEST(TraceIo, RoundTripPreservesEveryInstruction) {
+  workloads::SyntheticTrace source(sample_config());
+  std::stringstream buffer;
+  const auto written = write_trace(buffer, source, 20'000);
+  ASSERT_EQ(written, 20'000u);
+
+  auto recorded = RecordedTrace::read(buffer);
+  ASSERT_EQ(recorded.size(), 20'000u);
+
+  source.reset();
+  std::vector<Instr> original(20'000);
+  source.next_batch(original);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(recorded.instructions()[i].kind, original[i].kind) << i;
+    EXPECT_EQ(recorded.instructions()[i].addr, original[i].addr) << i;
+    EXPECT_EQ(recorded.instructions()[i].dependent, original[i].dependent) << i;
+  }
+}
+
+TEST(TraceIo, FootprintSurvivesRoundTrip) {
+  workloads::SyntheticTrace source(sample_config());
+  std::stringstream buffer;
+  write_trace(buffer, source, 1000);
+  const auto recorded = RecordedTrace::read(buffer);
+  EXPECT_EQ(recorded.footprint_bytes(), source.footprint_bytes());
+}
+
+TEST(TraceIo, RecordedReplayIsIdempotent) {
+  workloads::SyntheticTrace source(sample_config());
+  std::stringstream buffer;
+  write_trace(buffer, source, 5000);
+  auto recorded = RecordedTrace::read(buffer);
+
+  std::vector<Instr> first(5000), second(5000);
+  recorded.next_batch(first);
+  recorded.reset();
+  recorded.next_batch(second);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].addr, second[i].addr);
+    EXPECT_EQ(first[i].kind, second[i].kind);
+  }
+}
+
+TEST(TraceIo, RecordedTraceDrainsToZero) {
+  auto recorded = RecordedTrace({{OpKind::kAlu, 0, false}, {OpKind::kLoad, 64, false}});
+  std::vector<Instr> out(10);
+  EXPECT_EQ(recorded.next_batch(out), 2u);
+  EXPECT_EQ(recorded.next_batch(out), 0u);
+}
+
+TEST(TraceIo, SimulationOnRecordedMatchesLive) {
+  // The whole point of trace capture: replaying must time identically.
+  workloads::SyntheticTrace live(sample_config());
+  std::stringstream buffer;
+  write_trace(buffer, live, 120'000);
+  auto recorded = RecordedTrace::read(buffer);
+
+  SimConfig cfg;
+  cfg.warmup_instructions = 20'000;
+  cfg.measured_instructions = 100'000;
+  live.reset();
+  const auto a = run_simulation(live, cfg);
+  const auto b = run_simulation(recorded, cfg);
+  EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.llc_miss_rate, b.llc_miss_rate);
+}
+
+TEST(TraceIo, CompressionIsCompact) {
+  workloads::SyntheticTrace source(sample_config());
+  std::stringstream buffer;
+  write_trace(buffer, source, 100'000);
+  // Varint deltas keep streaming-heavy traces to a few bytes/instruction.
+  EXPECT_LT(buffer.str().size(), 100'000u * 5);
+}
+
+TEST(TraceIo, BadMagicThrows) {
+  std::stringstream buffer;
+  buffer.write("NOPE", 4);
+  EXPECT_THROW(RecordedTrace::read(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, TruncationThrows) {
+  workloads::SyntheticTrace source(sample_config());
+  std::stringstream buffer;
+  write_trace(buffer, source, 1000);
+  const std::string full = buffer.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(RecordedTrace::read(cut), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(RecordedTrace::read_file("/nonexistent/trace.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace photorack::cpusim

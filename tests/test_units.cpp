@@ -1,0 +1,52 @@
+#include "phot/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photorack::phot {
+namespace {
+
+using namespace literals;
+
+TEST(Units, GbpsGBpsConversionRoundTrips) {
+  const Gbps g{200.0};
+  EXPECT_DOUBLE_EQ(to_gbytes(g).value, 25.0);
+  EXPECT_DOUBLE_EQ(to_gbits(to_gbytes(g)).value, 200.0);
+}
+
+TEST(Units, ArithmeticWithinAUnit) {
+  const Gbps a{100}, b{25};
+  EXPECT_DOUBLE_EQ((a + b).value, 125.0);
+  EXPECT_DOUBLE_EQ((a - b).value, 75.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value, 200.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value, 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Gbps{25}, Gbps{125});
+  EXPECT_EQ(Watts{5}, Watts{5});
+}
+
+TEST(Units, PowerOfEnergyTimesRate) {
+  // 1 pJ/bit at 1000 Gb/s = 1 W.
+  EXPECT_DOUBLE_EQ(power_of(PjPerBit{1.0}, Gbps{1000}).value, 1.0);
+  // Table I row: 30 pJ/bit at 16 Tb/s (2 TB/s) = 480 W.
+  EXPECT_DOUBLE_EQ(power_of(PjPerBit{30.0}, to_gbits(GBps{2000})).value, 480.0);
+}
+
+TEST(Units, DecibelRoundTrip) {
+  EXPECT_NEAR(db_to_linear(Decibel{10.0}), 10.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(Decibel{-30.0}), 1e-3, 1e-15);
+  EXPECT_NEAR(linear_to_db(100.0).value, 20.0, 1e-12);
+}
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ((25_gbps).value, 25.0);
+  EXPECT_DOUBLE_EQ((1.5_gBps).value, 1.5);
+  EXPECT_DOUBLE_EQ((35_ns).value, 35.0);
+  EXPECT_DOUBLE_EQ((4_m).value, 4.0);
+  EXPECT_DOUBLE_EQ((300_W).value, 300.0);
+}
+
+}  // namespace
+}  // namespace photorack::phot

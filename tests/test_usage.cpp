@@ -1,0 +1,112 @@
+#include "workloads/usage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace photorack::workloads {
+namespace {
+
+double empirical_quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  return v[static_cast<std::size_t>(q * (v.size() - 1))];
+}
+
+TEST(QuantileLognormalTest, HitsConstructionQuantiles) {
+  QuantileLognormal dist(0.50, 0.10, 0.75, 0.20, 0.0);
+  EXPECT_NEAR(dist.quantile(0.50), 0.10, 1e-6);
+  EXPECT_NEAR(dist.quantile(0.75), 0.20, 1e-6);
+}
+
+TEST(QuantileLognormalTest, SamplesMatchAnalyticQuantiles) {
+  QuantileLognormal dist(0.50, 1.0, 0.90, 5.0, 0.0);
+  sim::Rng rng(77);
+  std::vector<double> samples;
+  for (int i = 0; i < 200'000; ++i) samples.push_back(dist.sample(rng));
+  EXPECT_NEAR(empirical_quantile(samples, 0.50), 1.0, 0.05);
+  EXPECT_NEAR(empirical_quantile(samples, 0.90), 5.0, 0.25);
+}
+
+TEST(QuantileLognormalTest, ClampCapsSamples) {
+  QuantileLognormal dist(0.50, 0.5, 0.75, 0.9, 1.0);
+  sim::Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LE(dist.sample(rng), 1.0);
+}
+
+TEST(QuantileLognormalTest, RejectsBadQuantiles) {
+  EXPECT_THROW(QuantileLognormal(0.75, 0.1, 0.50, 0.2), std::invalid_argument);
+  EXPECT_THROW(QuantileLognormal(0.50, 0.2, 0.75, 0.1), std::invalid_argument);
+  EXPECT_THROW(QuantileLognormal(0.50, 0.0, 0.75, 0.1), std::invalid_argument);
+}
+
+TEST(UsageModelTest, CoriQuantilesMatchSection2A) {
+  const auto usage = UsageModel::cori();
+  // "three quarters of the time, Haswell nodes use less than 17.4% of
+  // memory capacity".
+  EXPECT_NEAR(usage.memory_capacity.quantile(0.75), 0.174, 1e-6);
+  // "three quarters of the time 1.25% of available NIC bandwidth".
+  EXPECT_NEAR(usage.nic_bandwidth.quantile(0.75), 0.0125, 1e-6);
+  // "half of the time, Cori nodes use no more than half of their cores".
+  EXPECT_NEAR(usage.cpu_cores.quantile(0.50), 0.50, 1e-6);
+}
+
+TEST(UsageModelTest, MemoryBandwidthIsTiny) {
+  const auto usage = UsageModel::cori();
+  EXPECT_LT(usage.memory_bandwidth.quantile(0.75), 0.005);
+}
+
+TEST(FlowDemand, CpuMemoryQuantilesMatchSection6A) {
+  const auto demand = FlowDemandModel::cpu_memory();
+  // One 25 Gb/s wavelength suffices 97% of the time; the 125 Gb/s direct
+  // budget 99.5% of the time.
+  EXPECT_NEAR(demand.quantile(0.97), 25.0, 0.01);
+  EXPECT_NEAR(demand.quantile(0.995), 125.0, 0.1);
+}
+
+TEST(FlowDemand, NicMemoryIsLighter) {
+  const auto nic = FlowDemandModel::nic_memory();
+  const auto cpu = FlowDemandModel::cpu_memory();
+  EXPECT_LT(nic.quantile(0.97), cpu.quantile(0.97));
+}
+
+/// Property: the two-quantile fit reproduces *any* consistent pair of
+/// construction quantiles, not just the Cori ones.
+struct QuantilePair {
+  double p, vp, q, vq;
+};
+
+class QuantileFitProperty : public ::testing::TestWithParam<QuantilePair> {};
+
+TEST_P(QuantileFitProperty, RoundTrips) {
+  const auto [p, vp, q, vq] = GetParam();
+  QuantileLognormal dist(p, vp, q, vq, 0.0);
+  EXPECT_NEAR(dist.quantile(p), vp, vp * 1e-6);
+  EXPECT_NEAR(dist.quantile(q), vq, vq * 1e-6);
+  // Monotone between and beyond the anchors.
+  EXPECT_LT(dist.quantile(p * 0.5), dist.quantile(p));
+  EXPECT_GT(dist.quantile(std::min(0.999, q + 0.004)), dist.quantile(q) * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, QuantileFitProperty,
+                         ::testing::Values(QuantilePair{0.5, 0.1, 0.75, 0.174},
+                                           QuantilePair{0.5, 1.0, 0.9, 5.0},
+                                           QuantilePair{0.25, 0.01, 0.99, 3.0},
+                                           QuantilePair{0.97, 25.0, 0.995, 125.0},
+                                           QuantilePair{0.1, 0.001, 0.2, 0.002}));
+
+TEST(FlowDemand, SamplesArePositiveAndHeavyTailed) {
+  const auto demand = FlowDemandModel::cpu_memory();
+  sim::Rng rng(11);
+  int over25 = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double g = demand.sample_gbps(rng);
+    EXPECT_GT(g, 0.0);
+    over25 += (g > 25.0) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(over25) / n, 0.03, 0.005);
+}
+
+}  // namespace
+}  // namespace photorack::workloads

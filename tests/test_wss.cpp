@@ -1,0 +1,108 @@
+#include "phot/wss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace photorack::phot {
+namespace {
+
+TEST(Wss, SingleDemand) {
+  const WssDemand d{0, 1, 3};
+  const auto a = assign_wavelengths(4, 8, std::span(&d, 1));
+  ASSERT_TRUE(a.complete);
+  EXPECT_EQ(a.grants.size(), 3u);
+  EXPECT_EQ(a.lambdas_for(0, 1).size(), 3u);
+  EXPECT_TRUE(is_conflict_free(4, 8, a));
+}
+
+TEST(Wss, TwoSourcesOneDestinationGetDistinctLambdas) {
+  // The §III-D2 constraint this module exists for.
+  const std::vector<WssDemand> demands = {{0, 2, 1}, {1, 2, 1}};
+  const auto a = assign_wavelengths(4, 2, demands);
+  ASSERT_TRUE(a.complete);
+  const auto l0 = a.lambdas_for(0, 2);
+  const auto l1 = a.lambdas_for(1, 2);
+  ASSERT_EQ(l0.size(), 1u);
+  ASSERT_EQ(l1.size(), 1u);
+  EXPECT_NE(l0[0], l1[0]);
+}
+
+TEST(Wss, KempeChainCaseIsHandled) {
+  // Force the conflict: with 2 colours, demands 0->0, 1->0, 1->1, 0->1
+  // cannot be coloured greedily in arrival order without recolouring.
+  const std::vector<WssDemand> demands = {{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}};
+  const auto a = assign_wavelengths(2, 2, demands);
+  ASSERT_TRUE(a.complete);
+  EXPECT_EQ(a.grants.size(), 4u);
+  EXPECT_TRUE(is_conflict_free(2, 2, a));
+}
+
+TEST(Wss, FullPermutationUsesOneColour) {
+  // A perfect matching needs only one wavelength in principle; the
+  // assignment must at least be complete and conflict-free.
+  std::vector<WssDemand> demands;
+  for (int p = 0; p < 16; ++p) demands.push_back({p, (p + 5) % 16, 1});
+  const auto a = assign_wavelengths(16, 1, demands);
+  ASSERT_TRUE(a.complete);
+  EXPECT_TRUE(is_conflict_free(16, 1, a));
+}
+
+TEST(Wss, SaturatedPortIsStillColourable) {
+  // One source fanning out its full wavelength budget.
+  std::vector<WssDemand> demands;
+  for (int d = 1; d < 9; ++d) demands.push_back({0, d, 1});
+  const auto a = assign_wavelengths(16, 8, demands);
+  ASSERT_TRUE(a.complete);
+  EXPECT_TRUE(is_conflict_free(16, 8, a));
+}
+
+TEST(Wss, OversubscribedPortIsRejected) {
+  const std::vector<WssDemand> demands = {{0, 1, 5}, {0, 2, 4}};  // 9 > 8
+  const auto a = assign_wavelengths(4, 8, demands);
+  EXPECT_FALSE(a.complete);
+  EXPECT_TRUE(a.grants.empty());
+}
+
+TEST(Wss, BadInputsThrow) {
+  const WssDemand bad_port{9, 0, 1};
+  EXPECT_THROW(assign_wavelengths(4, 8, std::span(&bad_port, 1)), std::invalid_argument);
+  const WssDemand empty{0, 1, 0};
+  EXPECT_THROW(assign_wavelengths(4, 8, std::span(&empty, 1)), std::invalid_argument);
+  EXPECT_THROW(assign_wavelengths(0, 8, {}), std::invalid_argument);
+}
+
+/// Property sweep (König's theorem, constructively): any random demand set
+/// whose per-port totals fit the wavelength budget is fully assignable
+/// without conflicts.
+class WssRandomDemands : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WssRandomDemands, AlwaysCompleteAndConflictFree) {
+  const int ports = 24;
+  const int wavelengths = 16;
+  sim::Rng rng(GetParam());
+  std::vector<int> src_left(ports, wavelengths), dst_left(ports, wavelengths);
+  std::vector<WssDemand> demands;
+  for (int tries = 0; tries < 300; ++tries) {
+    const int s = static_cast<int>(rng.below(ports));
+    const int d = static_cast<int>(rng.below(ports));
+    const int most = std::min(src_left[s], dst_left[d]);
+    if (most <= 0) continue;
+    const int take = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(most)));
+    demands.push_back({s, d, take});
+    src_left[s] -= take;
+    dst_left[d] -= take;
+  }
+  const auto a = assign_wavelengths(ports, wavelengths, demands);
+  ASSERT_TRUE(a.complete);
+  EXPECT_TRUE(is_conflict_free(ports, wavelengths, a));
+  std::size_t total = 0;
+  for (const auto& dmd : demands) total += static_cast<std::size_t>(dmd.lambdas);
+  EXPECT_EQ(a.grants.size(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WssRandomDemands,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace photorack::phot
