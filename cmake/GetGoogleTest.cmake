@@ -1,0 +1,45 @@
+# Provide GTest::gtest_main, preferring offline sources so CI works without
+# network access:
+#   1. a vendored/system googletest source tree (Debian's libgtest-dev),
+#   2. an installed GTest package,
+#   3. FetchContent from GitHub as a last resort.
+
+set(PHOTORACK_GTEST_SOURCE_DIR "/usr/src/googletest" CACHE PATH
+    "System googletest source tree used before trying find_package/FetchContent")
+
+if(TARGET GTest::gtest_main)
+  return()
+endif()
+
+if(EXISTS "${PHOTORACK_GTEST_SOURCE_DIR}/CMakeLists.txt")
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory("${PHOTORACK_GTEST_SOURCE_DIR}"
+                   "${CMAKE_BINARY_DIR}/_deps/system-googletest" EXCLUDE_FROM_ALL)
+elseif(EXISTS "${PHOTORACK_GTEST_SOURCE_DIR}/googletest/CMakeLists.txt")
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory("${PHOTORACK_GTEST_SOURCE_DIR}/googletest"
+                   "${CMAKE_BINARY_DIR}/_deps/system-googletest" EXCLUDE_FROM_ALL)
+else()
+  find_package(GTest CONFIG QUIET)
+  if(NOT GTest_FOUND)
+    include(FetchContent)
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+  endif()
+endif()
+
+if(NOT TARGET GTest::gtest_main)
+  if(TARGET gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+  else()
+    message(FATAL_ERROR "GoogleTest could not be provisioned: no system source "
+                        "tree at ${PHOTORACK_GTEST_SOURCE_DIR}, no installed "
+                        "GTest package, and FetchContent failed.")
+  endif()
+endif()

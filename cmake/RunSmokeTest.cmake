@@ -1,0 +1,21 @@
+# Run a binary and fail unless it exits 0 AND prints a non-empty report.
+# Usage: cmake -DSMOKE_BINARY=<path> -P RunSmokeTest.cmake
+if(NOT SMOKE_BINARY)
+  message(FATAL_ERROR "SMOKE_BINARY not set")
+endif()
+
+execute_process(COMMAND ${SMOKE_BINARY}
+                OUTPUT_VARIABLE smoke_out
+                ERROR_VARIABLE smoke_err
+                RESULT_VARIABLE smoke_rc)
+
+if(NOT smoke_rc EQUAL 0)
+  message(FATAL_ERROR "${SMOKE_BINARY} exited with ${smoke_rc}\nstderr:\n${smoke_err}")
+endif()
+
+string(STRIP "${smoke_out}" smoke_out_stripped)
+if(smoke_out_stripped STREQUAL "")
+  message(FATAL_ERROR "${SMOKE_BINARY} produced no report output on stdout")
+endif()
+
+message(STATUS "smoke OK: ${SMOKE_BINARY} exited 0 with non-empty output")

@@ -1,0 +1,133 @@
+// End-to-end golden test: drive the full stack the way the bench binaries
+// do (RackSystem facade + the table entry points) and pin the key numbers
+// of the paper's Tables I, II, and III plus the §VI-B/§VI-C headline
+// figures.  If a refactor anywhere in phot/rack/net/core shifts one of
+// these, this suite — not a bench binary someone has to run by hand —
+// catches it.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/rack_system.hpp"
+#include "phot/links.hpp"
+#include "phot/power.hpp"
+#include "phot/switches.hpp"
+#include "rack/mcm.hpp"
+#include "rack/rack_builder.hpp"
+
+namespace photorack {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Table I: link technologies sized for the paper's 2 TB/s MCM escape.
+// ---------------------------------------------------------------------------
+
+TEST(GoldenTable1, LinkCountsForTwoTBPerSecondEscape) {
+  const phot::GBps escape{2000};
+  EXPECT_EQ(phot::link_by_name("100G-Ethernet").links_for_escape(escape), 160);
+  EXPECT_EQ(phot::link_by_name("400G-Ethernet").links_for_escape(escape), 40);
+  EXPECT_EQ(phot::link_by_name("TeraPHY-768G").links_for_escape(escape), 21);
+  EXPECT_EQ(phot::link_by_name("Comb-1T").links_for_escape(escape), 16);
+  EXPECT_EQ(phot::link_by_name("Comb-2T").links_for_escape(escape), 8);
+}
+
+TEST(GoldenTable1, DwdmPowerAdvantageOverEthernet) {
+  // Table I column 5: Ethernet needs ~480 W for 2 TB/s of escape while the
+  // DWDM comb parts need single-digit watts — the 100x gap that motivates
+  // co-packaged photonics in the first place.
+  const phot::GBps escape{2000};
+  const double ethernet = phot::link_by_name("100G-Ethernet").power_for_escape(escape).value;
+  const double comb2t = phot::link_by_name("Comb-2T").power_for_escape(escape).value;
+  EXPECT_NEAR(ethernet, 480.0, 0.5);
+  EXPECT_NEAR(comb2t, 4.8, 0.1);
+  EXPECT_GT(ethernet / comb2t, 90.0);
+}
+
+// ---------------------------------------------------------------------------
+// Table II: demonstrated optical switch technologies (port figures).
+// ---------------------------------------------------------------------------
+
+TEST(GoldenTable2, SwitchPortFigures) {
+  EXPECT_EQ(phot::switch_by_kind(phot::SwitchKind::kMachZehnder).radix, 32);
+  EXPECT_EQ(phot::switch_by_kind(phot::SwitchKind::kMemsActuated).radix, 240);
+  EXPECT_EQ(phot::switch_by_kind(phot::SwitchKind::kMicroringWss).radix, 128);
+  EXPECT_EQ(phot::switch_by_kind(phot::SwitchKind::kCascadedAwgr).radix, 370);
+}
+
+TEST(GoldenTable2, AwgrAggregateBandwidth) {
+  // 370 ports x 370 wavelengths x 25 Gb/s.
+  const auto& awgr = phot::switch_by_kind(phot::SwitchKind::kCascadedAwgr);
+  EXPECT_DOUBLE_EQ(awgr.port_bandwidth().value, 370 * 25.0);
+  EXPECT_DOUBLE_EQ(awgr.aggregate_bandwidth().value, 370.0 * 370.0 * 25.0);
+}
+
+// ---------------------------------------------------------------------------
+// Table III: MCM packing of the Perlmutter-like rack, via the RackSystem
+// facade (the same path quickstart and the bench binaries take).
+// ---------------------------------------------------------------------------
+
+TEST(GoldenTable3, RackPacksInto350Mcms) {
+  const core::RackSystem system(rack::FabricKind::kParallelAwgrs);
+  EXPECT_EQ(system.total_mcms(), 350);
+}
+
+TEST(GoldenTable3, PerTypePackingRows) {
+  const core::RackSystem system(rack::FabricKind::kParallelAwgrs);
+  const auto& plan = system.design().mcm_plan;
+
+  const auto expect_row = [&plan](rack::ChipType type, int chips_per_mcm,
+                                  int mcm_count) {
+    const auto& row = plan.plan_for(type);
+    EXPECT_EQ(row.chips_per_mcm, chips_per_mcm) << to_string(type);
+    EXPECT_EQ(row.mcm_count, mcm_count) << to_string(type);
+  };
+  expect_row(rack::ChipType::kCpu, 14, 10);
+  expect_row(rack::ChipType::kGpu, 3, 171);
+  expect_row(rack::ChipType::kNic, 203, 3);
+  expect_row(rack::ChipType::kHbm, 4, 128);
+  expect_row(rack::ChipType::kDdr4, 27, 38);
+}
+
+TEST(GoldenTable3, McmEscapeBudgetMatchesSection5A) {
+  // 32 fibers x 64 wavelengths x 25 Gb/s = 2048 lambdas, 6.4 TB/s escape.
+  const rack::McmConfig mcm;
+  EXPECT_EQ(mcm.total_wavelengths(), 2048);
+  EXPECT_DOUBLE_EQ(mcm.escape().value, 6400.0);
+}
+
+// ---------------------------------------------------------------------------
+// Headline latency and power figures (§VI-B, §VI-C) through the facade.
+// ---------------------------------------------------------------------------
+
+TEST(GoldenHeadline, PhotonicAddsThirtyFiveNs) {
+  const core::RackSystem photonic(rack::FabricKind::kParallelAwgrs);
+  EXPECT_DOUBLE_EQ(photonic.added_memory_latency_ns(), 35.0);
+}
+
+TEST(GoldenHeadline, ElectronicAddsEightyFiveNs) {
+  const core::RackSystem electronic(rack::FabricKind::kElectronicSwitches);
+  EXPECT_DOUBLE_EQ(electronic.added_memory_latency_ns(), 85.0);
+}
+
+TEST(GoldenHeadline, PhotonicPowerIsAboutElevenKilowattsAndFivePercent) {
+  // §VI-C worked example: ~11 kW photonic overhead, ~5% of the rack's
+  // compute power, with all parallel switches under 1 kW.
+  const core::RackSystem system(rack::FabricKind::kParallelAwgrs);
+  const auto power = system.power_overhead();
+  EXPECT_NEAR(power.total.value / 1000.0, 11.0, 1.0);
+  EXPECT_LE(power.switches.value, 1000.0);
+  EXPECT_NEAR(power.overhead_vs_baseline, 0.05, 0.01);
+  EXPECT_NEAR(power.transceivers.value + power.switches.value, power.total.value, 1e-6);
+}
+
+TEST(GoldenHeadline, DirectPairBandwidthIsPositiveForAllFabrics) {
+  for (const auto fabric : {rack::FabricKind::kParallelAwgrs,
+                            rack::FabricKind::kSpatialOrWss,
+                            rack::FabricKind::kElectronicSwitches}) {
+    const core::RackSystem system(fabric);
+    EXPECT_GT(system.direct_pair_bandwidth_gbps(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace photorack
