@@ -1,10 +1,14 @@
 // Reproduces Fig 6: average and maximum slowdown per benchmark suite and
 // input size for +35 ns of LLC<->memory latency, in-order and OOO cores.
+// Thin wrapper over the scenario engine's "fig6" campaign — the same sweep
+// `photorack_sweep --campaign fig6` runs; this binary only adds the suite
+// summary table and the paper-vs-measured checks.
 #include <iostream>
 
-#include "core/experiments.hpp"
 #include "core/report.hpp"
-#include "sim/stats.hpp"
+#include "scenario/campaigns.hpp"
+#include "scenario/result_sink.hpp"
+#include "scenario/sweep_runner.hpp"
 #include "sim/table.hpp"
 
 int main() {
@@ -12,63 +16,62 @@ int main() {
 
   core::print_banner(std::cout, "Fig 6: CPU slowdown at +35 ns", "Fig 6 (Section VI-B1)");
 
-  core::CpuSweepOptions opt;
-  opt.extra_latencies_ns = {0.0, 35.0};
-  const auto sweep = core::run_cpu_sweep(opt);
+  const auto& campaign = scenario::campaign_by_name("fig6");
+  scenario::TableSink detail(std::cout);
+  std::cout << "Per-scenario results (+35 ns):\n";
+  const auto res = scenario::SweepRunner().run(campaign, {&detail});
 
   sim::Table table({"Suite", "Input", "avg in-order", "max in-order", "avg OOO", "max OOO"});
-  for (const auto& row : core::fig6_rows(sweep)) {
-    table.add_row({row.suite, row.input, sim::fmt_pct(row.avg_inorder),
-                   sim::fmt_pct(row.max_inorder), sim::fmt_pct(row.avg_ooo),
-                   sim::fmt_pct(row.max_ooo)});
+  const std::vector<std::pair<std::string, std::string>> groups = {
+      {"PARSEC", "small"}, {"PARSEC", "medium"}, {"PARSEC", "large"},
+      {"NAS", "A"},        {"NAS", "B"},         {"NAS", "C"},
+      {"Rodinia", "default"}};
+  for (const auto& [suite, input] : groups) {
+    const scenario::SweepResult::Filter io = {
+        {"suite", suite}, {"input", input}, {"core", "inorder"}};
+    const scenario::SweepResult::Filter ooo = {
+        {"suite", suite}, {"input", input}, {"core", "ooo"}};
+    table.add_row({suite, input, sim::fmt_pct(res.mean("slowdown", io)),
+                   sim::fmt_pct(res.max("slowdown", io)),
+                   sim::fmt_pct(res.mean("slowdown", ooo)),
+                   sim::fmt_pct(res.max("slowdown", ooo))});
   }
+  std::cout << "\nSuite summary:\n";
   table.print(std::cout);
 
-  std::cout << "\nPer-benchmark slowdowns (in-order | OOO), +35 ns:\n";
-  sim::Table detail({"Benchmark", "in-order", "OOO", "LLC missrate", "IPC base"});
-  for (const auto* rec :
-       sweep.records("", "", cpusim::CoreKind::kInOrder, 35.0)) {
-    const auto& ooo =
-        sweep.find(rec->bench->full_name(), cpusim::CoreKind::kOutOfOrder, 35.0);
-    const auto& base =
-        sweep.find(rec->bench->full_name(), cpusim::CoreKind::kInOrder, 0.0);
-    detail.add_row({rec->bench->full_name(), sim::fmt_pct(rec->slowdown),
-                    sim::fmt_pct(ooo.slowdown), sim::fmt_pct(rec->result.llc_miss_rate),
-                    sim::fmt_fixed(base.result.ipc, 2)});
-  }
-  detail.print(std::cout);
-
-  const double avg_io = sweep.overall_mean_slowdown(cpusim::CoreKind::kInOrder, 35.0);
-  const double avg_ooo = sweep.overall_mean_slowdown(cpusim::CoreKind::kOutOfOrder, 35.0);
-  const auto nw_io = sweep.find("Rodinia/nw/default", cpusim::CoreKind::kInOrder, 35.0);
-  const auto nw_ooo = sweep.find("Rodinia/nw/default", cpusim::CoreKind::kOutOfOrder, 35.0);
-  const auto sc_large =
-      sweep.find("PARSEC/streamcluster/large", cpusim::CoreKind::kInOrder, 35.0);
-  const auto sc_medium =
-      sweep.find("PARSEC/streamcluster/medium", cpusim::CoreKind::kInOrder, 35.0);
+  const auto slowdown_of = [&res](const char* bench, const char* core) {
+    return res.num(res.find({{"bench", bench}, {"core", core}}), "slowdown");
+  };
 
   std::cout << "\npaper-vs-measured (Fig 6 and Section VI-B1 text):\n";
-  core::check_line(std::cout, "overall avg slowdown, in-order", 0.15, avg_io);
-  core::check_line(std::cout, "overall avg slowdown, OOO", 0.22, avg_ooo);
+  core::check_line(std::cout, "overall avg slowdown, in-order", 0.15,
+                   res.mean("slowdown", {{"core", "inorder"}}));
+  core::check_line(std::cout, "overall avg slowdown, OOO", 0.22,
+                   res.mean("slowdown", {{"core", "ooo"}}));
   core::check_line(std::cout, "NAS avg slowdown ~0 (in-order)", 0.01,
-                   sim::mean_of(sweep.slowdowns("NAS", "", cpusim::CoreKind::kInOrder, 35.0)),
-                   3.0);
+                   res.mean("slowdown", {{"suite", "NAS"}, {"core", "inorder"}}), 3.0);
   core::check_line(std::cout, "Rodinia avg slowdown (in-order)", 0.16,
-                   sim::mean_of(sweep.slowdowns("Rodinia", "", cpusim::CoreKind::kInOrder,
-                                                35.0)));
-  core::check_line(std::cout, "PARSEC-large avg (in-order)", 0.23,
-                   sim::mean_of(sweep.slowdowns("PARSEC", "large",
-                                                cpusim::CoreKind::kInOrder, 35.0)));
-  core::check_line(std::cout, "PARSEC-large avg (OOO)", 0.41,
-                   sim::mean_of(sweep.slowdowns("PARSEC", "large",
-                                                cpusim::CoreKind::kOutOfOrder, 35.0)));
-  core::check_line(std::cout, "worst benchmark NW (in-order)", 0.79, nw_io.slowdown);
-  core::check_line(std::cout, "worst benchmark NW (OOO)", 0.55, nw_ooo.slowdown, 1.0);
+                   res.mean("slowdown", {{"suite", "Rodinia"}, {"core", "inorder"}}));
+  core::check_line(
+      std::cout, "PARSEC-large avg (in-order)", 0.23,
+      res.mean("slowdown", {{"suite", "PARSEC"}, {"input", "large"}, {"core", "inorder"}}));
+  core::check_line(
+      std::cout, "PARSEC-large avg (OOO)", 0.41,
+      res.mean("slowdown", {{"suite", "PARSEC"}, {"input", "large"}, {"core", "ooo"}}));
+  core::check_line(std::cout, "worst benchmark NW (in-order)", 0.79,
+                   slowdown_of("Rodinia/nw/default", "inorder"));
+  core::check_line(std::cout, "worst benchmark NW (OOO)", 0.55,
+                   slowdown_of("Rodinia/nw/default", "ooo"), 1.0);
   core::check_line(std::cout, "streamcluster-large slowdown (in-order)", 0.57,
-                   sc_large.slowdown);
-  core::check_line(std::cout, "streamcluster-large LLC miss rate > 60%", 0.60,
-                   sc_large.result.llc_miss_rate);
-  core::check_line(std::cout, "streamcluster-medium LLC miss rate < 0.5%", 0.005,
-                   sc_medium.result.llc_miss_rate, 3.0);
+                   slowdown_of("PARSEC/streamcluster/large", "inorder"));
+  core::check_line(
+      std::cout, "streamcluster-large LLC miss rate > 60%", 0.60,
+      res.num(res.find({{"bench", "PARSEC/streamcluster/large"}, {"core", "inorder"}}),
+              "llc_miss_rate"));
+  core::check_line(
+      std::cout, "streamcluster-medium LLC miss rate < 0.5%", 0.005,
+      res.num(res.find({{"bench", "PARSEC/streamcluster/medium"}, {"core", "inorder"}}),
+              "llc_miss_rate"),
+      3.0);
   return 0;
 }

@@ -1,10 +1,13 @@
 // Reproduces Fig 9: per-application GPU slowdown (total predicted cycles)
-// for 25/30/35 ns of additional LLC<->HBM latency on an A100.
+// for 25/30/35 ns of additional LLC<->HBM latency on an A100.  Thin wrapper
+// over the scenario engine's "fig9" campaign (same sweep as
+// `photorack_sweep --campaign fig9`) plus the paper-vs-measured checks.
 #include <iostream>
 
-#include "core/experiments.hpp"
 #include "core/report.hpp"
-#include "sim/table.hpp"
+#include "scenario/campaigns.hpp"
+#include "scenario/result_sink.hpp"
+#include "scenario/sweep_runner.hpp"
 #include "workloads/gpu_profiles.hpp"
 
 int main() {
@@ -13,27 +16,18 @@ int main() {
   core::print_banner(std::cout, "Fig 9: GPU slowdown at +25/30/35 ns",
                      "Fig 9 (Section VI-B3)");
 
-  const auto sweep = core::run_gpu_sweep({0.0, 25.0, 30.0, 35.0});
-
-  sim::Table table({"App", "Suite", "+25 ns", "+30 ns", "+35 ns", "L2 missrate"});
-  for (const auto& app : workloads::gpu_apps()) {
-    const auto& r25 = sweep.find(app.name, 25.0);
-    const auto& r30 = sweep.find(app.name, 30.0);
-    const auto& r35 = sweep.find(app.name, 35.0);
-    table.add_row({app.name, app.suite, sim::fmt_pct(r25.slowdown),
-                   sim::fmt_pct(r30.slowdown), sim::fmt_pct(r35.slowdown),
-                   sim::fmt_pct(r35.result.l2_miss_rate)});
-  }
-  table.print(std::cout);
+  const auto& campaign = scenario::campaign_by_name("fig9");
+  scenario::TableSink table(std::cout);
+  const auto res = scenario::SweepRunner().run(campaign, {&table});
 
   std::cout << "\ntotal kernel launches modeled: "
             << workloads::total_gpu_kernel_launches() << " (paper: 1525)\n";
 
   std::cout << "\npaper-vs-measured (Section VI-B3):\n";
   core::check_line(std::cout, "average GPU slowdown at +35 ns", 0.0535,
-                   sweep.mean_slowdown(35.0));
+                   res.mean("slowdown", {{"extra_ns", "35"}}));
   core::check_line(std::cout, "max GPU slowdown at +35 ns (Fig 11: ~12%)", 0.12,
-                   sweep.max_slowdown(35.0));
+                   res.max("slowdown", {{"extra_ns", "35"}}));
   core::check_line(std::cout, "kernel launches", 1525,
                    workloads::total_gpu_kernel_launches(), 0.01);
   return 0;

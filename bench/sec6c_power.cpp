@@ -1,36 +1,27 @@
 // Reproduces §VI-C: the photonic fabric costs ~11 kW per rack — about 5%
-// of the rack's compute power.
+// of the rack's compute power.  Thin wrapper over the scenario engine's
+// "sec6c" campaign (same sweep as `photorack_sweep --campaign sec6c`).
 #include <iostream>
 
-#include "core/rack_system.hpp"
 #include "core/report.hpp"
-#include "phot/power.hpp"
-#include "sim/table.hpp"
+#include "scenario/campaigns.hpp"
+#include "scenario/result_sink.hpp"
+#include "scenario/sweep_runner.hpp"
 
 int main() {
   using namespace photorack;
 
   core::print_banner(std::cout, "Photonic power overhead", "Section VI-C");
 
-  core::RackSystem system(rack::FabricKind::kParallelAwgrs);
-  const auto power = system.power_overhead();
-  const phot::BaselineRackPower baseline;
+  const auto& campaign = scenario::campaign_by_name("sec6c");
+  scenario::TableSink table(std::cout);
+  const auto res = scenario::SweepRunner().run(campaign, {&table});
 
-  sim::Table table({"Component", "Power"});
-  table.add_row({"transceivers (350 MCMs x 2048 lambdas x 25 Gb/s)",
-                 sim::fmt_fixed(power.transceivers.value / 1000.0, 2) + " kW"});
-  table.add_row({"all optical switches",
-                 sim::fmt_fixed(power.switches.value / 1000.0, 2) + " kW"});
-  table.add_row({"total photonics", sim::fmt_fixed(power.total.value / 1000.0, 2) + " kW"});
-  table.add_row({"baseline rack (compute+memory)",
-                 sim::fmt_fixed(baseline.total().value / 1000.0, 1) + " kW"});
-  table.add_row({"overhead", sim::fmt_pct(power.overhead_vs_baseline, 2)});
-  table.print(std::cout);
-
+  const auto& row = res.find({{"fabric", "awgr"}});
   std::cout << "\npaper-vs-measured:\n";
-  core::check_line(std::cout, "photonic power (kW)", 11.0, power.total.value / 1000.0,
+  core::check_line(std::cout, "photonic power (kW)", 11.0, res.num(row, "total_w") / 1000.0,
                    0.15);
-  core::check_line(std::cout, "overhead vs rack (~5%)", 0.05, power.overhead_vs_baseline,
+  core::check_line(std::cout, "overhead vs rack (~5%)", 0.05, res.num(row, "overhead"),
                    0.15);
   return 0;
 }

@@ -1,52 +1,39 @@
 // Reproduces Table III: chips per MCM and MCMs per rack for the
 // Perlmutter-like 128-node rack, under the 32-fiber x 64-wavelength x
-// 25 Gb/s MCM escape budget.
+// 25 Gb/s MCM escape budget.  Thin wrapper over the scenario engine's
+// "table3" campaign (same sweep as `photorack_sweep --campaign table3`;
+// override the geometry axes with --set fibers=... to explore variants).
 #include <iostream>
 
 #include "core/report.hpp"
-#include "rack/mcm.hpp"
-#include "sim/table.hpp"
+#include "scenario/campaigns.hpp"
+#include "scenario/result_sink.hpp"
+#include "scenario/sweep_runner.hpp"
 
 int main() {
   using namespace photorack;
 
   core::print_banner(std::cout, "Table III: MCM packing", "Table III (Section V-A)");
 
-  const rack::RackConfig rack_cfg;
-  const rack::McmConfig mcm_cfg;
-  const auto plan = rack::pack_rack(rack_cfg, mcm_cfg);
-
-  std::cout << "MCM escape: " << mcm_cfg.fibers << " fibers x "
-            << mcm_cfg.wavelengths_per_fiber << " lambdas x "
-            << mcm_cfg.gbps_per_wavelength.value
-            << " Gb/s = " << plan.mcm.escape().value << " GB/s\n\n";
-
-  sim::Table table({"Chip type", "Escape (GB/s)", "Chips/MCM", "MCMs/rack",
-                    "Share/chip (GB/s)"});
-  for (const auto& p : plan.types) {
-    table.add_row({rack::to_string(p.type), sim::fmt_fixed(p.per_chip_escape.value, 1),
-                   sim::fmt_int(p.chips_per_mcm), sim::fmt_int(p.mcm_count),
-                   sim::fmt_fixed(p.per_chip_share.value, 1)});
-  }
-  table.add_row({"Total", "", "", sim::fmt_int(plan.total_mcms), ""});
-  table.print(std::cout);
+  const auto& campaign = scenario::campaign_by_name("table3");
+  scenario::TableSink table(std::cout);
+  const auto res = scenario::SweepRunner().run(campaign, {&table});
 
   std::cout << "\npaper-vs-measured (paper values from Table III):\n";
   const struct {
-    rack::ChipType type;
+    const char* chip;
     int chips, mcms;
   } expect[] = {
-      {rack::ChipType::kCpu, 14, 10},  {rack::ChipType::kGpu, 3, 171},
-      {rack::ChipType::kNic, 203, 3},  {rack::ChipType::kHbm, 4, 128},
-      {rack::ChipType::kDdr4, 27, 38},
+      {"CPU", 14, 10}, {"GPU", 3, 171}, {"NIC", 203, 3}, {"HBM", 4, 128}, {"DDR4", 27, 38},
   };
   for (const auto& e : expect) {
-    const auto& p = plan.plan_for(e.type);
-    core::check_line(std::cout, std::string(rack::to_string(e.type)) + " chips/MCM",
-                     e.chips, p.chips_per_mcm, 0.01);
-    core::check_line(std::cout, std::string(rack::to_string(e.type)) + " MCMs/rack",
-                     e.mcms, p.mcm_count, 0.01);
+    const auto& row = res.find({{"chip", e.chip}});
+    core::check_line(std::cout, std::string(e.chip) + " chips/MCM", e.chips,
+                     res.num(row, "chips_per_mcm"), 0.01);
+    core::check_line(std::cout, std::string(e.chip) + " MCMs/rack", e.mcms,
+                     res.num(row, "mcm_count"), 0.01);
   }
-  core::check_line(std::cout, "total MCMs", 350, plan.total_mcms, 0.01);
+  core::check_line(std::cout, "total MCMs", 350, res.num(res.rows.front(), "total_mcms"),
+                   0.01);
   return 0;
 }

@@ -1,0 +1,361 @@
+#include "scenario/campaigns.hpp"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+
+#include "core/rack_system.hpp"
+#include "cpusim/runner.hpp"
+#include "gpusim/gpu_runner.hpp"
+#include "phot/links.hpp"
+#include "phot/power.hpp"
+#include "rack/mcm.hpp"
+#include "rack/rack_builder.hpp"
+#include "workloads/cpu_profiles.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/gpu_profiles.hpp"
+
+namespace photorack::scenario {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Axis parsing shared by the campaign evaluators.
+// ---------------------------------------------------------------------------
+
+cpusim::CoreKind parse_core_kind(const std::string& v) {
+  if (v == "inorder") return cpusim::CoreKind::kInOrder;
+  if (v == "ooo") return cpusim::CoreKind::kOutOfOrder;
+  throw std::invalid_argument("unknown core kind '" + v + "' (want inorder|ooo)");
+}
+
+rack::FabricKind parse_fabric_kind(const std::string& v) {
+  if (v == "awgr") return rack::FabricKind::kParallelAwgrs;
+  if (v == "wss") return rack::FabricKind::kSpatialOrWss;
+  if (v == "electronic") return rack::FabricKind::kElectronicSwitches;
+  throw std::invalid_argument("unknown fabric '" + v + "' (want awgr|wss|electronic)");
+}
+
+const workloads::CpuBenchmark& find_cpu_benchmark(const std::string& full_name) {
+  for (const auto& bench : workloads::cpu_benchmarks())
+    if (bench.full_name() == full_name) return bench;
+  throw std::out_of_range("no CPU benchmark named '" + full_name + "'");
+}
+
+const gpusim::AppProfile& find_gpu_app(const std::string& name) {
+  for (const auto& app : workloads::gpu_apps())
+    if (app.name == name) return app;
+  throw std::out_of_range("no GPU application named '" + name + "'");
+}
+
+std::vector<std::string> all_cpu_benchmark_names() {
+  std::vector<std::string> names;
+  for (const auto& bench : workloads::cpu_benchmarks()) names.push_back(bench.full_name());
+  return names;
+}
+
+std::vector<std::string> all_gpu_app_names() {
+  std::vector<std::string> names;
+  for (const auto& app : workloads::gpu_apps()) names.push_back(app.name);
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// CPU latency-sensitivity point (figs 6, 8, 11, 12 all reduce to this).
+// Each scenario is self-contained: it simulates its own extra=0 baseline, so
+// a spec's row never depends on another spec having run.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string> kCpuColumns = {
+    "suite",   "input",    "bench",       "core", "extra_ns", "baseline_ns",
+    "time_ns", "slowdown", "llc_miss_rate", "ipc"};
+
+/// Process-wide memo for the extra=0 baseline runs.  run_simulation is
+/// bit-deterministic, so caching is invisible to results — it only avoids
+/// re-simulating the identical baseline for every extra_ns grid point (fig8
+/// would otherwise run each benchmark's baseline three times).  The key must
+/// cover every SimConfig/TraceConfig field the CPU campaigns vary.
+cpusim::SimResult cpu_baseline(const workloads::CpuBenchmark& bench,
+                               const cpusim::SimConfig& cfg,
+                               const workloads::TraceConfig& trace_cfg) {
+  using Key = std::tuple<std::string, int, std::uint64_t, std::uint64_t, std::uint64_t>;
+  static std::mutex mu;
+  static std::map<Key, cpusim::SimResult> memo;
+  const Key key{bench.full_name(), static_cast<int>(cfg.core.kind),
+                cfg.warmup_instructions, cfg.measured_instructions, trace_cfg.seed};
+  {
+    std::lock_guard lock(mu);
+    const auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+  }
+  workloads::SyntheticTrace trace(trace_cfg);
+  const cpusim::SimResult result = cpusim::run_simulation(trace, cfg);
+  std::lock_guard lock(mu);
+  memo.emplace(key, result);  // concurrent computers produced identical bits
+  return result;
+}
+
+std::vector<ResultRow> eval_cpu_point(const ScenarioSpec& spec) {
+  const auto& bench = find_cpu_benchmark(spec.at("bench"));
+
+  cpusim::SimConfig cfg;
+  cfg.core.kind = parse_core_kind(spec.at("core"));
+  cfg.warmup_instructions = spec.uint("warmup");
+  cfg.measured_instructions = spec.uint("measured");
+
+  workloads::TraceConfig trace_cfg = bench.trace;
+  // base_seed == 0 keeps the registry seed (the paper's numbers, matching
+  // core::run_cpu_sweep exactly); otherwise the scenario re-seeds itself.
+  if (spec.base_seed != 0) trace_cfg.seed = spec.derived_seed();
+
+  cfg.dram.extra_ns = 0.0;
+  const cpusim::SimResult baseline = cpu_baseline(bench, cfg, trace_cfg);
+
+  const double extra = spec.num("extra_ns");
+  cpusim::SimResult result = baseline;
+  if (extra != 0.0) {
+    cfg.dram.extra_ns = extra;
+    workloads::SyntheticTrace trace(trace_cfg);
+    result = cpusim::run_simulation(trace, cfg);
+  }
+
+  ResultRow row;
+  row.cells = {bench.suite,
+               bench.input,
+               bench.full_name(),
+               spec.at("core"),
+               num_to_string(extra),
+               num_to_string(baseline.time_ns),
+               num_to_string(result.time_ns),
+               num_to_string(result.time_ns / baseline.time_ns - 1.0),
+               num_to_string(result.llc_miss_rate),
+               num_to_string(result.ipc)};
+  return {std::move(row)};
+}
+
+SweepGrid cpu_grid(std::vector<std::string> cores, std::vector<double> extras) {
+  SweepGrid grid;
+  grid.axis("bench", all_cpu_benchmark_names())
+      .axis("core", std::move(cores))
+      .axis("extra_ns", std::move(extras))
+      // Kept as integer strings: these feed ScenarioSpec::uint().
+      .axis("warmup", std::vector<std::string>{"1000000"})
+      .axis("measured", std::vector<std::string>{"2000000"});
+  return grid;
+}
+
+// ---------------------------------------------------------------------------
+// GPU latency-sensitivity point (figs 9, 10, 11, 12).
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string> kGpuColumns = {
+    "app",     "suite",    "extra_ns",     "derate",
+    "baseline_us", "time_us", "slowdown", "l2_miss_rate"};
+
+std::vector<ResultRow> eval_gpu_point(const ScenarioSpec& spec) {
+  const auto& app = find_gpu_app(spec.at("app"));
+
+  // Baseline is always the photonic configuration: zero extra latency, full
+  // HBM bandwidth (matches core::run_gpu_sweep).
+  const double baseline_us = gpusim::run_app(app, gpusim::GpuConfig{}).time_us;
+
+  gpusim::GpuConfig gpu;
+  gpu.extra_hbm_ns = spec.num("extra_ns");
+  gpu.hbm_bandwidth_derate = spec.num("derate");
+  const gpusim::AppResult result = gpusim::run_app(app, gpu);
+
+  ResultRow row;
+  row.cells = {app.name,
+               app.suite,
+               spec.at("extra_ns"),
+               spec.at("derate"),
+               num_to_string(baseline_us),
+               num_to_string(result.time_us),
+               num_to_string(result.time_us / baseline_us - 1.0),
+               num_to_string(result.l2_miss_rate)};
+  return {std::move(row)};
+}
+
+SweepGrid gpu_grid(std::vector<double> extras, std::vector<double> derates) {
+  SweepGrid grid;
+  grid.axis("app", all_gpu_app_names())
+      .axis("extra_ns", std::move(extras))
+      .axis("derate", std::move(derates));
+  return grid;
+}
+
+// ---------------------------------------------------------------------------
+// Table I: links needed (and transceiver power) per technology for a given
+// MCM escape bandwidth.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string> kTable1Columns = {
+    "link", "escape_gbs", "links", "power_w", "link_gbps", "co_packaged"};
+
+std::vector<ResultRow> eval_table1_point(const ScenarioSpec& spec) {
+  const auto& link = phot::link_by_name(spec.at("link"));
+  const phot::GBps escape{spec.num("escape_gbs")};
+  ResultRow row;
+  row.cells = {link.name,
+               spec.at("escape_gbs"),
+               num_to_string(link.links_for_escape(escape)),
+               num_to_string(link.power_for_escape(escape).value),
+               num_to_string(link.bandwidth.value),
+               link.co_packaged ? "yes" : "no"};
+  return {std::move(row)};
+}
+
+SweepGrid table1_grid() {
+  std::vector<std::string> names;
+  for (const auto& link : phot::table1_links()) names.push_back(link.name);
+  SweepGrid grid;
+  grid.axis("link", std::move(names)).axis("escape_gbs", std::vector<double>{2000});
+  return grid;
+}
+
+// ---------------------------------------------------------------------------
+// Table III: MCM packing under a configurable escape budget.  One scenario
+// emits one row per chip type (the table's shape), so sweeping the MCM
+// geometry axes yields the full packing design space.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string> kTable3Columns = {
+    "fibers",        "lambdas",        "gbps",       "chip",       "chips_per_mcm",
+    "mcm_count",     "chip_escape_gbs", "chip_share_gbs", "total_mcms"};
+
+std::vector<ResultRow> eval_table3_point(const ScenarioSpec& spec) {
+  rack::McmConfig mcm;
+  mcm.fibers = spec.integer("fibers");
+  mcm.wavelengths_per_fiber = spec.integer("lambdas");
+  mcm.gbps_per_wavelength = phot::Gbps{spec.num("gbps")};
+  const rack::McmPlan plan = rack::pack_rack(rack::RackConfig{}, mcm);
+
+  std::vector<ResultRow> rows;
+  for (const auto& p : plan.types) {
+    ResultRow row;
+    row.cells = {spec.at("fibers"),
+                 spec.at("lambdas"),
+                 spec.at("gbps"),
+                 rack::to_string(p.type),
+                 num_to_string(p.chips_per_mcm),
+                 num_to_string(p.mcm_count),
+                 num_to_string(p.per_chip_escape.value),
+                 num_to_string(p.per_chip_share.value),
+                 num_to_string(plan.total_mcms)};
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+SweepGrid table3_grid() {
+  SweepGrid grid;
+  grid.axis("fibers", std::vector<double>{32})
+      .axis("lambdas", std::vector<double>{64})
+      .axis("gbps", std::vector<double>{25});
+  return grid;
+}
+
+// ---------------------------------------------------------------------------
+// §VI-C: photonic power overhead per fabric choice.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string> kSec6cColumns = {
+    "fabric",     "transceivers_w", "switches_w", "total_w",
+    "baseline_w", "overhead",       "added_latency_ns"};
+
+std::vector<ResultRow> eval_sec6c_point(const ScenarioSpec& spec) {
+  const core::RackSystem system(parse_fabric_kind(spec.at("fabric")));
+  const phot::PowerBreakdown power = system.power_overhead();
+  const phot::BaselineRackPower baseline;
+  ResultRow row;
+  row.cells = {spec.at("fabric"),
+               num_to_string(power.transceivers.value),
+               num_to_string(power.switches.value),
+               num_to_string(power.total.value),
+               num_to_string(baseline.total().value),
+               num_to_string(power.overhead_vs_baseline),
+               num_to_string(system.added_memory_latency_ns())};
+  return {std::move(row)};
+}
+
+SweepGrid sec6c_grid() {
+  SweepGrid grid;
+  grid.axis("fabric", std::vector<std::string>{"awgr"});
+  return grid;
+}
+
+std::vector<Campaign> make_campaigns() {
+  std::vector<Campaign> all;
+
+  all.push_back(Campaign{
+      "fig6",
+      "CPU slowdown per benchmark at +35 ns LLC<->memory latency",
+      "Fig 6 (Section VI-B1)",
+      kCpuColumns,
+      [] { return cpu_grid({"inorder", "ooo"}, {35.0}); },
+      eval_cpu_point});
+
+  all.push_back(Campaign{
+      "fig8",
+      "CPU slowdown sensitivity to +25/30/35 ns added latency",
+      "Fig 8 (Section VI-B2)",
+      kCpuColumns,
+      [] { return cpu_grid({"inorder"}, {25.0, 30.0, 35.0}); },
+      eval_cpu_point});
+
+  all.push_back(Campaign{
+      "fig9",
+      "GPU slowdown per application at +25/30/35 ns LLC<->HBM latency",
+      "Fig 9 (Section VI-B3)",
+      kGpuColumns,
+      [] { return gpu_grid({25.0, 30.0, 35.0}, {1.0}); },
+      eval_gpu_point});
+
+  all.push_back(Campaign{
+      "table1",
+      "Links and transceiver power per technology for the MCM escape budget",
+      "Table I (Section III)",
+      kTable1Columns,
+      table1_grid,
+      eval_table1_point});
+
+  all.push_back(Campaign{
+      "table3",
+      "MCM packing of the Perlmutter-like rack per chip type",
+      "Table III (Section V-A)",
+      kTable3Columns,
+      table3_grid,
+      eval_table3_point});
+
+  all.push_back(Campaign{
+      "sec6c",
+      "Photonic fabric power overhead vs the baseline rack",
+      "Section VI-C",
+      kSec6cColumns,
+      sec6c_grid,
+      eval_sec6c_point});
+
+  return all;
+}
+
+}  // namespace
+
+const std::vector<Campaign>& campaigns() {
+  static const std::vector<Campaign> registry = make_campaigns();
+  return registry;
+}
+
+const Campaign& campaign_by_name(const std::string& name) {
+  for (const auto& campaign : campaigns())
+    if (campaign.name == name) return campaign;
+  std::string known;
+  for (const auto& campaign : campaigns()) {
+    if (!known.empty()) known += ", ";
+    known += campaign.name;
+  }
+  throw std::out_of_range("unknown campaign '" + name + "' (known: " + known + ")");
+}
+
+}  // namespace photorack::scenario

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/result_sink.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "scenario/sweep_grid.hpp"
+
+namespace photorack::scenario {
+
+/// A named, reusable sweep definition: the declarative default grid plus the
+/// evaluator that turns one ScenarioSpec into result rows.  The built-in
+/// registry reproduces the paper's figures and tables (fig6, fig9, table3,
+/// sec6c, ...) from this single shape; custom studies define their own
+/// Campaign value and hand it to SweepRunner directly.
+struct Campaign {
+  std::string name;
+  std::string description;
+  std::string paper_ref;
+  std::vector<std::string> columns;
+  std::function<SweepGrid()> default_grid;
+  /// Evaluate one scenario.  Must be pure: no shared mutable state, all
+  /// randomness seeded from the spec, so sweeps parallelize bit-identically.
+  /// May return several rows (table3 emits one row per chip type).
+  std::function<std::vector<ResultRow>(const ScenarioSpec&)> evaluate;
+};
+
+/// Built-in campaign catalog, in presentation order.
+[[nodiscard]] const std::vector<Campaign>& campaigns();
+
+/// Lookup by name; throws std::out_of_range listing the known names.
+[[nodiscard]] const Campaign& campaign_by_name(const std::string& name);
+
+}  // namespace photorack::scenario

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/table.hpp"
+
+namespace photorack::scenario {
+
+/// One emitted result record; cells parallel the sweep's column list.
+struct ResultRow {
+  std::vector<std::string> cells;
+};
+
+/// Structured output target for sweep results.  The runner calls open() with
+/// the campaign's columns, write() once per row in grid order, then close().
+/// Sinks must not assume anything about evaluation order — rows arrive
+/// already serialized, so every sink is byte-identical across --jobs levels.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void open(const std::vector<std::string>& columns) = 0;
+  virtual void write(const ResultRow& row) = 0;
+  virtual void close() = 0;
+};
+
+/// RFC-4180-style CSV: header line, minimal quoting (only cells containing
+/// a comma, quote or newline are quoted).
+class CsvSink final : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& os) : os_(os) {}
+  void open(const std::vector<std::string>& columns) override;
+  void write(const ResultRow& row) override;
+  void close() override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// JSON-lines: one object per row.  Cells that parse as finite numbers are
+/// emitted as JSON numbers; everything else as escaped strings.
+class JsonlSink final : public ResultSink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_(os) {}
+  void open(const std::vector<std::string>& columns) override;
+  void write(const ResultRow& row) override;
+  void close() override;
+
+ private:
+  std::ostream& os_;
+  std::vector<std::string> columns_;
+};
+
+/// Human-readable sink over sim::Table: buffers rows and pretty-prints the
+/// aligned table at close() (the format the bench binaries always used).
+class TableSink final : public ResultSink {
+ public:
+  explicit TableSink(std::ostream& os) : os_(os) {}
+  void open(const std::vector<std::string>& columns) override;
+  void write(const ResultRow& row) override;
+  void close() override;
+
+ private:
+  std::ostream& os_;
+  std::vector<sim::Table> table_;  // 0 or 1; Table has no default ctor
+};
+
+}  // namespace photorack::scenario

@@ -1,0 +1,76 @@
+#include "scenario/scenario_spec.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace photorack::scenario {
+
+std::string ScenarioSpec::id() const {
+  std::string out = campaign;
+  out += '[';
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    if (i) out += ',';
+    out += axes[i].first;
+    out += '=';
+    out += axes[i].second;
+  }
+  out += ']';
+  return out;
+}
+
+std::uint64_t ScenarioSpec::derived_seed() const {
+  // FNV-1a over the identity string, then splitmix64 to spread the bits.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : id()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t mix = h ^ (base_seed * 0x9e3779b97f4a7c15ULL);
+  return sim::splitmix64(mix);
+}
+
+bool ScenarioSpec::has(const std::string& axis) const {
+  for (const auto& [name, value] : axes)
+    if (name == axis) return true;
+  return false;
+}
+
+const std::string& ScenarioSpec::at(const std::string& axis) const {
+  for (const auto& [name, value] : axes)
+    if (name == axis) return value;
+  throw std::out_of_range("ScenarioSpec: no axis '" + axis + "' in " + id());
+}
+
+double ScenarioSpec::num(const std::string& axis) const {
+  const std::string& v = at(axis);
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0')
+    throw std::invalid_argument("ScenarioSpec: axis '" + axis + "' value '" + v +
+                                "' is not numeric");
+  return x;
+}
+
+std::uint64_t ScenarioSpec::uint(const std::string& axis) const {
+  const std::string& v = at(axis);
+  // strtoull silently wraps negatives and skips leading whitespace; require
+  // the value to start with a digit so "-32" is rejected, not wrapped.
+  char* end = nullptr;
+  const unsigned long long x =
+      v.empty() || !std::isdigit(static_cast<unsigned char>(v[0]))
+          ? 0
+          : std::strtoull(v.c_str(), &end, 10);
+  if (end == nullptr || end == v.c_str() || *end != '\0')
+    throw std::invalid_argument("ScenarioSpec: axis '" + axis + "' value '" + v +
+                                "' is not an unsigned integer");
+  return static_cast<std::uint64_t>(x);
+}
+
+int ScenarioSpec::integer(const std::string& axis) const {
+  return static_cast<int>(uint(axis));
+}
+
+}  // namespace photorack::scenario

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace photorack::scenario {
+
+/// One point of a design-space sweep, fully described by its axis values.
+/// A spec is declarative: campaigns interpret the axes (benchmark name,
+/// fabric kind, extra latency, MCM geometry, ...) when they evaluate it.
+/// The spec's identity — campaign name plus every axis=value pair — also
+/// seeds the scenario, so a spec reproduces bit-identically no matter where
+/// in a parallel sweep it runs.
+struct ScenarioSpec {
+  std::string campaign;
+  std::size_t index = 0;  // stable position in the expanded grid
+  std::vector<std::pair<std::string, std::string>> axes;  // in grid order
+  std::uint64_t base_seed = 0;
+
+  /// Canonical identity string: "campaign[axis1=v1,axis2=v2,...]".
+  [[nodiscard]] std::string id() const;
+
+  /// Deterministic per-scenario seed: a hash of id() mixed with base_seed.
+  /// Equal specs derive equal seeds in every process, so parallel and serial
+  /// sweeps are bit-identical; distinct specs get independent streams.
+  [[nodiscard]] std::uint64_t derived_seed() const;
+
+  [[nodiscard]] bool has(const std::string& axis) const;
+  /// Value of an axis; throws std::out_of_range for unknown axes.
+  [[nodiscard]] const std::string& at(const std::string& axis) const;
+  /// Numeric accessors; throw std::invalid_argument on non-numeric values.
+  [[nodiscard]] double num(const std::string& axis) const;
+  [[nodiscard]] std::uint64_t uint(const std::string& axis) const;
+  [[nodiscard]] int integer(const std::string& axis) const;
+};
+
+}  // namespace photorack::scenario

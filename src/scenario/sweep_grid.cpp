@@ -1,0 +1,86 @@
+#include "scenario/sweep_grid.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace photorack::scenario {
+
+std::string num_to_string(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) throw std::invalid_argument("num_to_string: unrepresentable value");
+  return std::string(buf, ptr);
+}
+
+SweepGrid& SweepGrid::axis(std::string name, std::vector<std::string> values) {
+  if (values.empty())
+    throw std::invalid_argument("SweepGrid: axis '" + name + "' has no values");
+  if (has(name)) throw std::invalid_argument("SweepGrid: duplicate axis '" + name + "'");
+  axes_.push_back({std::move(name), std::move(values)});
+  return *this;
+}
+
+SweepGrid& SweepGrid::axis(std::string name, std::vector<double> values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double v : values) cells.push_back(num_to_string(v));
+  return axis(std::move(name), std::move(cells));
+}
+
+SweepGrid& SweepGrid::set(const std::string& name, std::vector<std::string> values) {
+  if (values.empty())
+    throw std::invalid_argument("SweepGrid: axis '" + name + "' has no values");
+  for (auto& ax : axes_) {
+    if (ax.name == name) {
+      ax.values = std::move(values);
+      return *this;
+    }
+  }
+  std::string known;
+  for (const auto& ax : axes_) {
+    if (!known.empty()) known += ", ";
+    known += ax.name;
+  }
+  throw std::out_of_range("SweepGrid: unknown axis '" + name + "' (grid axes: " + known +
+                          ")");
+}
+
+bool SweepGrid::has(const std::string& name) const {
+  for (const auto& ax : axes_)
+    if (ax.name == name) return true;
+  return false;
+}
+
+std::size_t SweepGrid::size() const {
+  std::size_t n = 1;
+  for (const auto& ax : axes_) n *= ax.values.size();
+  return axes_.empty() ? 0 : n;
+}
+
+std::vector<ScenarioSpec> SweepGrid::expand(const std::string& campaign,
+                                            std::uint64_t base_seed) const {
+  std::vector<ScenarioSpec> specs;
+  if (axes_.empty()) return specs;
+  const std::size_t total = size();
+  specs.reserve(total);
+  for (std::size_t index = 0; index < total; ++index) {
+    ScenarioSpec spec;
+    spec.campaign = campaign;
+    spec.index = index;
+    spec.base_seed = base_seed;
+    spec.axes.reserve(axes_.size());
+    // Mixed-radix decomposition, last axis fastest.
+    std::size_t rem = index;
+    for (std::size_t a = axes_.size(); a-- > 0;) {
+      const auto& ax = axes_[a];
+      spec.axes.emplace_back(ax.name, ax.values[rem % ax.values.size()]);
+      rem /= ax.values.size();
+    }
+    std::reverse(spec.axes.begin(), spec.axes.end());
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace photorack::scenario

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_spec.hpp"
+
+namespace photorack::scenario {
+
+/// One sweep dimension: an axis name and the values it takes.  Values are
+/// strings so a single grid can mix benchmark names, fabric kinds and
+/// numeric parameters; campaigns parse them when evaluating a spec.
+struct Axis {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+/// Cross-product builder: axes go in, the expanded list of ScenarioSpecs
+/// comes out.  Expansion order is deterministic — axes vary like digits of a
+/// mixed-radix counter with the LAST axis fastest — so spec indices are
+/// stable and sweeps serialize identically run after run.
+class SweepGrid {
+ public:
+  SweepGrid& axis(std::string name, std::vector<std::string> values);
+  SweepGrid& axis(std::string name, std::vector<double> values);
+
+  /// Replace the values of an existing axis (the CLI's --set axis=v1,v2).
+  /// Throws std::out_of_range for axes the grid does not have.
+  SweepGrid& set(const std::string& name, std::vector<std::string> values);
+
+  [[nodiscard]] const std::vector<Axis>& axes() const { return axes_; }
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Number of specs expand() will produce (product of axis sizes).
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] std::vector<ScenarioSpec> expand(const std::string& campaign,
+                                                 std::uint64_t base_seed = 0) const;
+
+ private:
+  std::vector<Axis> axes_;
+};
+
+/// Canonical string form of a numeric axis value: shortest representation
+/// that round-trips the double exactly (via std::to_chars).  Used both by
+/// SweepGrid::axis(double) and by campaigns formatting result cells, so
+/// values compare bit-exactly across serialize/parse cycles.
+[[nodiscard]] std::string num_to_string(double v);
+
+}  // namespace photorack::scenario

@@ -1,0 +1,185 @@
+// photorack_sweep — declarative design-space sweeps over the paper's models.
+//
+//   photorack_sweep --list
+//   photorack_sweep --campaign fig6 [--jobs N] [--seed S] [--out dir/]
+//                   [--set axis=v1,v2,...] [--quiet]
+//
+// Campaigns are named presets reproducing the paper's figures/tables; --set
+// overrides any grid axis to explore beyond them (e.g. --set extra_ns=50,100).
+// With --out, the sweep writes <dir>/<campaign>.sweep.csv and
+// <dir>/<campaign>.jsonl; rows are emitted in grid order, so output is
+// byte-identical for every --jobs level and the same seed.
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/campaigns.hpp"
+#include "scenario/result_sink.hpp"
+#include "scenario/sweep_runner.hpp"
+
+namespace {
+
+using namespace photorack;
+
+void print_usage(std::ostream& os) {
+  os << "usage: photorack_sweep --campaign <name> [options]\n"
+        "       photorack_sweep --list\n"
+        "\n"
+        "options:\n"
+        "  --campaign <name>      campaign to run (see --list)\n"
+        "  --list                 list campaigns and their default grids\n"
+        "  --jobs <N>             worker threads (default: hardware concurrency;\n"
+        "                         results are identical for every value)\n"
+        "  --seed <S>             base seed; 0 (default) keeps the workloads'\n"
+        "                         registry seeds and reproduces the paper\n"
+        "  --out <dir>            write <dir>/<campaign>.sweep.csv and .jsonl\n"
+        "  --set <axis>=<v1,v2>   override a grid axis (repeatable)\n"
+        "  --quiet                suppress the stdout table\n"
+        "  --help                 this message\n";
+}
+
+void print_campaign_list(std::ostream& os) {
+  os << "campaigns:\n";
+  for (const auto& campaign : scenario::campaigns()) {
+    const auto grid = campaign.default_grid();
+    os << "  " << campaign.name << " — " << campaign.description << " ["
+       << campaign.paper_ref << "], " << grid.size() << " scenarios\n";
+    for (const auto& axis : grid.axes()) {
+      os << "      " << axis.name << " = ";
+      if (axis.values.size() > 6) {
+        os << axis.values.front() << " ... " << axis.values.back() << " ("
+           << axis.values.size() << " values)";
+      } else {
+        for (std::size_t i = 0; i < axis.values.size(); ++i)
+          os << (i ? "," : "") << axis.values[i];
+      }
+      os << "\n";
+    }
+  }
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = s.find(',', start);
+    out.push_back(s.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+struct CliOptions {
+  std::string campaign;
+  bool list = false;
+  bool quiet = false;
+  std::size_t jobs = 0;
+  std::uint64_t seed = 0;
+  std::string out_dir;
+  std::vector<std::pair<std::string, std::vector<std::string>>> overrides;
+};
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      std::exit(0);
+    } else if (arg == "--list") {
+      opt.list = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--campaign") {
+      opt.campaign = value("--campaign");
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<std::size_t>(std::stoul(value("--jobs")));
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::stoull(value("--seed")));
+    } else if (arg == "--out") {
+      opt.out_dir = value("--out");
+    } else if (arg == "--set") {
+      const std::string kv = value("--set");
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == kv.size())
+        throw std::invalid_argument("--set wants axis=v1,v2,... got '" + kv + "'");
+      opt.overrides.emplace_back(kv.substr(0, eq), split_csv(kv.substr(eq + 1)));
+    } else {
+      throw std::invalid_argument("unknown option '" + arg + "'");
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  try {
+    opt = parse_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "photorack_sweep: " << e.what() << "\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  if (opt.list) {
+    print_campaign_list(std::cout);
+    return 0;
+  }
+  if (opt.campaign.empty()) {
+    std::cerr << "photorack_sweep: --campaign (or --list) is required\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    const auto& campaign = scenario::campaign_by_name(opt.campaign);
+    scenario::SweepGrid grid = campaign.default_grid();
+    for (auto& [axis, values] : opt.overrides) grid.set(axis, std::move(values));
+
+    std::ofstream csv_file, jsonl_file;
+    std::vector<std::unique_ptr<scenario::ResultSink>> sinks;
+    if (!opt.quiet) sinks.push_back(std::make_unique<scenario::TableSink>(std::cout));
+    std::filesystem::path csv_path, jsonl_path;
+    if (!opt.out_dir.empty()) {
+      const std::filesystem::path dir(opt.out_dir);
+      std::filesystem::create_directories(dir);
+      csv_path = dir / (campaign.name + ".sweep.csv");
+      jsonl_path = dir / (campaign.name + ".jsonl");
+      csv_file.open(csv_path);
+      jsonl_file.open(jsonl_path);
+      if (!csv_file || !jsonl_file)
+        throw std::runtime_error("cannot open output files under " + opt.out_dir);
+      sinks.push_back(std::make_unique<scenario::CsvSink>(csv_file));
+      sinks.push_back(std::make_unique<scenario::JsonlSink>(jsonl_file));
+    }
+    std::vector<scenario::ResultSink*> sink_ptrs;
+    for (const auto& sink : sinks) sink_ptrs.push_back(sink.get());
+
+    const scenario::SweepRunner runner({.jobs = opt.jobs, .base_seed = opt.seed});
+    const auto result = runner.run(campaign, grid, sink_ptrs);
+
+    std::cerr << "photorack_sweep: campaign " << campaign.name << " [" << campaign.paper_ref
+              << "]: " << grid.size() << " scenarios, " << result.rows.size()
+              << " rows, seed " << opt.seed;
+    if (!opt.out_dir.empty())
+      std::cerr << ", wrote " << csv_path.string() << " and " << jsonl_path.string();
+    std::cerr << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "photorack_sweep: " << e.what() << "\n";
+    return 1;
+  }
+}

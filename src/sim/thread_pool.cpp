@@ -1,6 +1,7 @@
 #include "sim/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace photorack::sim {
 
@@ -31,6 +32,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -43,9 +49,15 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mu_);
+      if (error && !first_error_) first_error_ = error;
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }
@@ -61,6 +73,8 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
     return;
   }
   std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
   std::vector<std::thread> threads;
   threads.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
@@ -68,11 +82,18 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+          return;  // this worker stops; others drain their remaining indices
+        }
       }
     });
   }
   for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace photorack::sim

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -25,7 +26,9 @@ class ThreadPool {
 
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has completed.
+  /// Block until every submitted task has completed.  If any task threw, the
+  /// first captured exception is rethrown here (instead of the worker thread
+  /// calling std::terminate); the pool stays usable afterwards.
   void wait_idle();
 
   [[nodiscard]] std::size_t workers() const { return threads_.size(); }
@@ -40,11 +43,13 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;  // guarded by mu_
 };
 
 /// Run fn(i) for i in [0, n) on a transient pool; blocks until done.
 /// Index-stable: fn receives the logical index, so per-index seeding keeps
-/// parallel runs bit-identical to serial runs.
+/// parallel runs bit-identical to serial runs.  If fn throws, the first
+/// captured exception is rethrown after all workers have stopped.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t workers = std::thread::hardware_concurrency());
 

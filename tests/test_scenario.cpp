@@ -1,0 +1,395 @@
+// Scenario-engine suite: grid expansion, spec identity/seeding, result
+// sinks, the campaign registry, and the two contracts the engine exists to
+// uphold — (1) sweeps are bit-identical at every --jobs level and (2) the
+// fig6 campaign computes the same slowdowns as core::run_cpu_sweep, the
+// path the golden tables pin.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "scenario/campaigns.hpp"
+#include "scenario/result_sink.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "scenario/sweep_grid.hpp"
+#include "scenario/sweep_runner.hpp"
+
+namespace photorack {
+namespace {
+
+using scenario::Campaign;
+using scenario::ResultRow;
+using scenario::ScenarioSpec;
+using scenario::SweepGrid;
+using scenario::SweepOptions;
+using scenario::SweepResult;
+using scenario::SweepRunner;
+
+// ---------------------------------------------------------------------------
+// SweepGrid
+// ---------------------------------------------------------------------------
+
+TEST(SweepGrid, ExpandsCrossProductLastAxisFastest) {
+  SweepGrid grid;
+  grid.axis("a", std::vector<std::string>{"x", "y"})
+      .axis("b", std::vector<double>{1, 2, 3});
+  EXPECT_EQ(grid.size(), 6u);
+  const auto specs = grid.expand("test");
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].id(), "test[a=x,b=1]");
+  EXPECT_EQ(specs[1].id(), "test[a=x,b=2]");
+  EXPECT_EQ(specs[2].id(), "test[a=x,b=3]");
+  EXPECT_EQ(specs[3].id(), "test[a=y,b=1]");
+  EXPECT_EQ(specs[5].id(), "test[a=y,b=3]");
+  for (std::size_t i = 0; i < specs.size(); ++i) EXPECT_EQ(specs[i].index, i);
+}
+
+TEST(SweepGrid, SetOverridesExistingAxis) {
+  SweepGrid grid;
+  grid.axis("extra_ns", std::vector<double>{35});
+  grid.set("extra_ns", {"50", "100"});
+  EXPECT_EQ(grid.size(), 2u);
+  EXPECT_EQ(grid.expand("t")[1].at("extra_ns"), "100");
+}
+
+TEST(SweepGrid, SetUnknownAxisThrows) {
+  SweepGrid grid;
+  grid.axis("a", std::vector<std::string>{"x"});
+  EXPECT_THROW(grid.set("nope", {"1"}), std::out_of_range);
+}
+
+TEST(SweepGrid, EmptyValuesAndDuplicateAxesThrow) {
+  SweepGrid grid;
+  EXPECT_THROW(grid.axis("a", std::vector<std::string>{}), std::invalid_argument);
+  grid.axis("a", std::vector<std::string>{"x"});
+  EXPECT_THROW(grid.axis("a", std::vector<std::string>{"y"}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioSpec
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSpec, TypedAccessors) {
+  ScenarioSpec spec;
+  spec.campaign = "t";
+  spec.axes = {{"name", "streamcluster"}, {"extra_ns", "35.5"}, {"measured", "200000"}};
+  EXPECT_TRUE(spec.has("name"));
+  EXPECT_FALSE(spec.has("nope"));
+  EXPECT_EQ(spec.at("name"), "streamcluster");
+  EXPECT_DOUBLE_EQ(spec.num("extra_ns"), 35.5);
+  EXPECT_EQ(spec.uint("measured"), 200000u);
+  EXPECT_EQ(spec.integer("measured"), 200000);
+  EXPECT_THROW(spec.at("nope"), std::out_of_range);
+  EXPECT_THROW(spec.num("name"), std::invalid_argument);
+  EXPECT_THROW(spec.uint("extra_ns"), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, UintRejectsNegativesInsteadOfWrapping) {
+  // strtoull would silently wrap "-32" to 2^64-32; the accessor must throw
+  // so e.g. `--set fibers=-32` fails instead of packing a garbage rack.
+  ScenarioSpec spec;
+  spec.campaign = "t";
+  spec.axes = {{"fibers", "-32"}, {"pad", " 5"}, {"hex", "0x10"}};
+  EXPECT_THROW(spec.uint("fibers"), std::invalid_argument);
+  EXPECT_THROW(spec.integer("fibers"), std::invalid_argument);
+  EXPECT_THROW(spec.uint("pad"), std::invalid_argument);
+  EXPECT_THROW(spec.uint("hex"), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, DerivedSeedIsStableAndDistinguishesSpecs) {
+  ScenarioSpec a;
+  a.campaign = "fig6";
+  a.axes = {{"bench", "x"}, {"extra_ns", "35"}};
+  ScenarioSpec same = a;
+  EXPECT_EQ(a.derived_seed(), same.derived_seed());
+
+  ScenarioSpec other_axis = a;
+  other_axis.axes[1].second = "85";
+  EXPECT_NE(a.derived_seed(), other_axis.derived_seed());
+
+  ScenarioSpec other_base = a;
+  other_base.base_seed = 7;
+  EXPECT_NE(a.derived_seed(), other_base.derived_seed());
+
+  // index must NOT affect the seed: the same point keeps its stream even if
+  // the surrounding grid is reshaped.
+  ScenarioSpec other_index = a;
+  other_index.index = 42;
+  EXPECT_EQ(a.derived_seed(), other_index.derived_seed());
+}
+
+TEST(NumToString, RoundTripsExactly) {
+  for (const double v : {0.0, 35.0, 1.0 / 3.0, 0.0535, 1555.2, 1e-9, 123456789.123}) {
+    const std::string s = scenario::num_to_string(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+  EXPECT_EQ(scenario::num_to_string(160), "160");
+}
+
+// ---------------------------------------------------------------------------
+// Result sinks
+// ---------------------------------------------------------------------------
+
+TEST(ResultSinks, CsvQuotesOnlyWhenNeeded) {
+  std::ostringstream os;
+  scenario::CsvSink sink(os);
+  sink.open({"name", "value"});
+  sink.write(ResultRow{{"plain", "1.5"}});
+  sink.write(ResultRow{{"a,b", "say \"hi\""}});
+  sink.close();
+  EXPECT_EQ(os.str(), "name,value\nplain,1.5\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(ResultSinks, JsonlEmitsNumbersUnquoted) {
+  std::ostringstream os;
+  scenario::JsonlSink sink(os);
+  sink.open({"bench", "slowdown", "note"});
+  sink.write(ResultRow{{"nw", "0.79", "line\nbreak"}});
+  sink.close();
+  EXPECT_EQ(os.str(), "{\"bench\":\"nw\",\"slowdown\":0.79,\"note\":\"line\\nbreak\"}\n");
+}
+
+TEST(ResultSinks, JsonlQuotesNonJsonNumericForms) {
+  // strtod accepts these, but emitting them unquoted would produce invalid
+  // JSON; only RFC 8259 number syntax may go unquoted.
+  std::ostringstream os;
+  scenario::JsonlSink sink(os);
+  sink.open({"a", "b", "c", "d", "e", "f"});
+  sink.write(ResultRow{{"+50", "0x1f", "5.", ".5", "-inf", "007"}});
+  sink.close();
+  EXPECT_EQ(os.str(),
+            "{\"a\":\"+50\",\"b\":\"0x1f\",\"c\":\"5.\",\"d\":\".5\","
+            "\"e\":\"-inf\",\"f\":\"007\"}\n");
+
+  std::ostringstream os2;
+  scenario::JsonlSink sink2(os2);
+  sink2.open({"a", "b", "c", "d"});
+  sink2.write(ResultRow{{"-1.5e-3", "0", "35", "0.79"}});
+  sink2.close();
+  EXPECT_EQ(os2.str(), "{\"a\":-1.5e-3,\"b\":0,\"c\":35,\"d\":0.79}\n");
+}
+
+TEST(ResultSinks, TablePrintsHeaderAndRows) {
+  std::ostringstream os;
+  scenario::TableSink sink(os);
+  sink.open({"col"});
+  sink.write(ResultRow{{"cell"}});
+  sink.close();
+  EXPECT_NE(os.str().find("col"), std::string::npos);
+  EXPECT_NE(os.str().find("cell"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign registry + cheap campaigns against the golden numbers
+// ---------------------------------------------------------------------------
+
+TEST(Campaigns, RegistryHasThePaperPresets) {
+  for (const char* name : {"fig6", "fig8", "fig9", "table1", "table3", "sec6c"}) {
+    const Campaign& c = scenario::campaign_by_name(name);
+    EXPECT_EQ(c.name, name);
+    EXPECT_FALSE(c.columns.empty()) << name;
+    EXPECT_GT(c.default_grid().size(), 0u) << name;
+  }
+  EXPECT_THROW(scenario::campaign_by_name("nope"), std::out_of_range);
+}
+
+TEST(Campaigns, Table3MatchesGoldenPacking) {
+  const auto res = SweepRunner().run(scenario::campaign_by_name("table3"));
+  ASSERT_EQ(res.rows.size(), 5u);  // one row per chip type
+  const struct {
+    const char* chip;
+    int chips, mcms;
+  } expect[] = {
+      {"CPU", 14, 10}, {"GPU", 3, 171}, {"NIC", 203, 3}, {"HBM", 4, 128}, {"DDR4", 27, 38}};
+  for (const auto& e : expect) {
+    const auto& row = res.find({{"chip", e.chip}});
+    EXPECT_EQ(res.num(row, "chips_per_mcm"), e.chips) << e.chip;
+    EXPECT_EQ(res.num(row, "mcm_count"), e.mcms) << e.chip;
+    EXPECT_EQ(res.num(row, "total_mcms"), 350) << e.chip;
+  }
+}
+
+TEST(Campaigns, Table1MatchesGoldenLinkCounts) {
+  const auto res = SweepRunner().run(scenario::campaign_by_name("table1"));
+  EXPECT_EQ(res.num(res.find({{"link", "100G-Ethernet"}}), "links"), 160);
+  EXPECT_EQ(res.num(res.find({{"link", "400G-Ethernet"}}), "links"), 40);
+  EXPECT_EQ(res.num(res.find({{"link", "TeraPHY-768G"}}), "links"), 21);
+  EXPECT_EQ(res.num(res.find({{"link", "Comb-1T"}}), "links"), 16);
+  EXPECT_EQ(res.num(res.find({{"link", "Comb-2T"}}), "links"), 8);
+}
+
+TEST(Campaigns, AggregatesOverEmptyFilterThrow) {
+  // mean()/max() on a filter matching nothing must fail loudly, not report
+  // a fake 0.0 measurement (e.g. a bench wrapper with a stale suite name).
+  const auto res = SweepRunner().run(scenario::campaign_by_name("table1"));
+  EXPECT_THROW(res.mean("links", {{"link", "NoSuchLink"}}), std::out_of_range);
+  EXPECT_THROW(res.max("links", {{"link", "NoSuchLink"}}), std::out_of_range);
+}
+
+TEST(Campaigns, Sec6cMatchesGoldenPower) {
+  const auto res = SweepRunner().run(scenario::campaign_by_name("sec6c"));
+  const auto& row = res.find({{"fabric", "awgr"}});
+  EXPECT_NEAR(res.num(row, "total_w") / 1000.0, 11.0, 1.0);
+  EXPECT_NEAR(res.num(row, "overhead"), 0.05, 0.01);
+  EXPECT_DOUBLE_EQ(res.num(row, "added_latency_ns"), 35.0);
+}
+
+// ---------------------------------------------------------------------------
+// Runner behavior: ordering, validation, failure propagation
+// ---------------------------------------------------------------------------
+
+Campaign tiny_campaign(std::function<std::vector<ResultRow>(const ScenarioSpec&)> eval) {
+  Campaign c;
+  c.name = "tiny";
+  c.description = "test";
+  c.paper_ref = "n/a";
+  c.columns = {"i", "seed"};
+  c.default_grid = [] {
+    SweepGrid grid;
+    grid.axis("i", std::vector<double>{0, 1, 2, 3, 4, 5, 6, 7});
+    return grid;
+  };
+  c.evaluate = std::move(eval);
+  return c;
+}
+
+TEST(SweepRunner, RowsArriveInGridOrderForAnyJobsCount) {
+  const Campaign c = tiny_campaign([](const ScenarioSpec& spec) {
+    return std::vector<ResultRow>{
+        ResultRow{{spec.at("i"), scenario::num_to_string(
+                                     static_cast<double>(spec.derived_seed() % 1000))}}};
+  });
+  const auto serial = SweepRunner(SweepOptions{.jobs = 1}).run(c);
+  const auto parallel = SweepRunner(SweepOptions{.jobs = 4}).run(c);
+  ASSERT_EQ(serial.rows.size(), 8u);
+  ASSERT_EQ(parallel.rows.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(serial.rows[i].cells, parallel.rows[i].cells) << i;
+    EXPECT_EQ(serial.rows[i].cells[0], scenario::num_to_string(static_cast<double>(i)));
+  }
+}
+
+TEST(SweepRunner, EvaluatorFailurePropagatesFromParallelRun) {
+  const Campaign c = tiny_campaign([](const ScenarioSpec& spec) -> std::vector<ResultRow> {
+    if (spec.at("i") == "5") throw std::runtime_error("scenario 5 failed");
+    return {ResultRow{{spec.at("i"), "0"}}};
+  });
+  EXPECT_THROW(SweepRunner(SweepOptions{.jobs = 4}).run(c), std::runtime_error);
+  EXPECT_THROW(SweepRunner(SweepOptions{.jobs = 1}).run(c), std::runtime_error);
+}
+
+TEST(SweepRunner, MisshapenRowIsRejected) {
+  const Campaign c = tiny_campaign([](const ScenarioSpec&) {
+    return std::vector<ResultRow>{ResultRow{{"only-one-cell"}}};
+  });
+  EXPECT_THROW(SweepRunner().run(c), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: serial and parallel sweeps serialize byte-identically.
+// (The satellite contract from ISSUE 2, extending tests/test_determinism.cpp
+// to the sweep layer.)
+// ---------------------------------------------------------------------------
+
+std::pair<std::string, std::string> serialize(const Campaign& campaign,
+                                              const SweepGrid& grid, std::size_t jobs,
+                                              std::uint64_t seed) {
+  std::ostringstream csv_os, jsonl_os;
+  scenario::CsvSink csv(csv_os);
+  scenario::JsonlSink jsonl(jsonl_os);
+  SweepRunner(SweepOptions{.jobs = jobs, .base_seed = seed}).run(campaign, grid,
+                                                                {&csv, &jsonl});
+  return {csv_os.str(), jsonl_os.str()};
+}
+
+TEST(SweepDeterminism, CpuCampaignIsByteIdenticalAcrossJobs) {
+  const Campaign& campaign = scenario::campaign_by_name("fig6");
+  SweepGrid grid = campaign.default_grid();
+  grid.set("bench", {"PARSEC/streamcluster/medium", "Rodinia/srad/default"});
+  grid.set("warmup", {"20000"});
+  grid.set("measured", {"50000"});
+  const auto [csv1, jsonl1] = serialize(campaign, grid, 1, 0);
+  const auto [csv4, jsonl4] = serialize(campaign, grid, 4, 0);
+  EXPECT_FALSE(csv1.empty());
+  EXPECT_EQ(csv1, csv4);
+  EXPECT_EQ(jsonl1, jsonl4);
+}
+
+TEST(SweepDeterminism, GpuCampaignIsByteIdenticalAcrossJobs) {
+  const Campaign& campaign = scenario::campaign_by_name("fig9");
+  SweepGrid grid = campaign.default_grid();
+  grid.set("app", {"backprop", "nw"});
+  grid.set("extra_ns", {"35"});
+  const auto [csv1, jsonl1] = serialize(campaign, grid, 1, 0);
+  const auto [csv4, jsonl4] = serialize(campaign, grid, 4, 0);
+  EXPECT_FALSE(csv1.empty());
+  EXPECT_EQ(csv1, csv4);
+  EXPECT_EQ(jsonl1, jsonl4);
+}
+
+TEST(SweepDeterminism, RackCampaignsAreByteIdenticalAcrossJobs) {
+  for (const char* name : {"table1", "table3", "sec6c"}) {
+    const Campaign& campaign = scenario::campaign_by_name(name);
+    const SweepGrid grid = campaign.default_grid();
+    const auto [csv1, jsonl1] = serialize(campaign, grid, 1, 0);
+    const auto [csv4, jsonl4] = serialize(campaign, grid, 4, 0);
+    EXPECT_FALSE(csv1.empty()) << name;
+    EXPECT_EQ(csv1, csv4) << name;
+    EXPECT_EQ(jsonl1, jsonl4) << name;
+  }
+}
+
+TEST(SweepDeterminism, BaseSeedReseedsTheWorkload) {
+  const Campaign& campaign = scenario::campaign_by_name("fig6");
+  SweepGrid grid = campaign.default_grid();
+  grid.set("bench", {"Rodinia/srad/default"});
+  grid.set("core", {"inorder"});
+  grid.set("warmup", {"20000"});
+  grid.set("measured", {"50000"});
+  const auto [csv_a, jsonl_a] = serialize(campaign, grid, 2, 0);
+  const auto [csv_b, jsonl_b] = serialize(campaign, grid, 2, 0);
+  EXPECT_EQ(csv_a, csv_b);  // same seed replays exactly
+  const auto [csv_c, jsonl_c] = serialize(campaign, grid, 2, 1234);
+  EXPECT_NE(csv_a, csv_c);  // a different base seed re-seeds the trace
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence: the fig6 campaign and core::run_cpu_sweep are the same
+// experiment (the acceptance criterion ties the sweep CSV to the golden
+// CPU-sweep numbers).  Run both at reduced instruction counts and require
+// bit-equal slowdowns for every benchmark.
+// ---------------------------------------------------------------------------
+
+TEST(SweepEquivalence, Fig6CampaignMatchesRunCpuSweep) {
+  core::CpuSweepOptions opt;
+  opt.extra_latencies_ns = {0.0, 35.0};
+  opt.cores = {cpusim::CoreKind::kInOrder};
+  opt.warmup_instructions = 20'000;
+  opt.measured_instructions = 50'000;
+  const auto sweep = core::run_cpu_sweep(opt);
+
+  const Campaign& campaign = scenario::campaign_by_name("fig6");
+  SweepGrid grid = campaign.default_grid();
+  grid.set("core", {"inorder"});
+  grid.set("warmup", {"20000"});
+  grid.set("measured", {"50000"});
+  const auto res = SweepRunner().run(campaign, grid);
+
+  ASSERT_EQ(res.rows.size(), sweep.runs.size() / 2);  // campaign rows skip extra=0
+  for (const auto& row : res.rows) {
+    const auto& record =
+        sweep.find(res.cell(row, "bench"), cpusim::CoreKind::kInOrder, 35.0);
+    EXPECT_DOUBLE_EQ(res.num(row, "slowdown"), record.slowdown)
+        << res.cell(row, "bench");
+    EXPECT_DOUBLE_EQ(res.num(row, "time_ns"), record.result.time_ns)
+        << res.cell(row, "bench");
+  }
+  EXPECT_DOUBLE_EQ(res.mean("slowdown"),
+                   sweep.overall_mean_slowdown(cpusim::CoreKind::kInOrder, 35.0));
+}
+
+}  // namespace
+}  // namespace photorack
