@@ -1,9 +1,23 @@
 // google-benchmark microbenchmarks of the simulator substrate itself:
 // event-queue throughput, cache access rate, DRAM model, trace generation,
-// full timing-simulation rate, and indirect-routing decision rate.
+// full timing-simulation rate, miss-profile record/replay, and
+// indirect-routing decision rate.
+//
+// Besides the console table, results are written as machine-readable JSON
+// to BENCH_results.json (override with BENCH_RESULTS_PATH) so CI can track
+// the perf trajectory PR-over-PR:
+//   {"benchmarks":[{"name":"...","items_per_sec":...,"ns_per_op":...},...]}
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
 #include "core/rack_system.hpp"
+#include "cpusim/miss_profile.hpp"
 #include "cpusim/runner.hpp"
 #include "net/routing.hpp"
 #include "sim/event_queue.hpp"
@@ -73,6 +87,84 @@ void BM_TimingSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_TimingSimulation);
 
+// A latency-heavy benchmark shape for the record/replay benches: large
+// working set so the LLC actually misses and the profile has real records.
+cpusim::SimConfig replay_bench_config(cpusim::CoreKind kind) {
+  cpusim::SimConfig cfg;
+  cfg.core.kind = kind;
+  cfg.warmup_instructions = 10'000;
+  cfg.measured_instructions = 100'000;
+  return cfg;
+}
+
+const workloads::CpuBenchmark& replay_bench_workload() {
+  // Pick a high-miss-rate benchmark so replay walks a non-trivial record
+  // vector (streamcluster/large thrashes the LLC).
+  for (const auto& b : workloads::cpu_benchmarks())
+    if (b.full_name() == "PARSEC/streamcluster/large") return b;
+  return workloads::cpu_benchmarks().front();
+}
+
+void BM_MissProfileRecord(benchmark::State& state) {
+  const auto& bench = replay_bench_workload();
+  const auto cfg = replay_bench_config(cpusim::CoreKind::kOutOfOrder);
+  for (auto _ : state) {
+    workloads::SyntheticTrace trace(bench.trace);
+    benchmark::DoNotOptimize(cpusim::record_miss_profile(trace, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * 110'000);
+}
+BENCHMARK(BM_MissProfileRecord);
+
+void BM_MissProfileReplay(benchmark::State& state) {
+  const auto& bench = replay_bench_workload();
+  const auto cfg = replay_bench_config(cpusim::CoreKind::kOutOfOrder);
+  workloads::SyntheticTrace trace(bench.trace);
+  const cpusim::MissProfile profile = cpusim::record_miss_profile(trace, cfg);
+  double extra = 0.0;
+  for (auto _ : state) {
+    extra = extra >= 85.0 ? 0.0 : extra + 5.0;
+    benchmark::DoNotOptimize(cpusim::replay_profile(profile, extra));
+  }
+  // One replay substitutes for one full simulation of the measured window.
+  state.SetItemsProcessed(state.iterations() * 100'000);
+  state.counters["misses"] = static_cast<double>(profile.miss_count());
+}
+BENCHMARK(BM_MissProfileReplay);
+
+// Sweep-level record-vs-replay comparison: a K-point latency grid evaluated
+// the pre-replay way (K full simulations) against the profile engine (one
+// recording + K replays).  The items/sec ratio of the two is the sweep
+// speedup the fig8 campaign sees.
+constexpr double kSweepGrid[] = {0, 10, 20, 25, 30, 35, 45, 55, 65, 75, 85, 95};
+
+void BM_LatencySweepFullSim(benchmark::State& state) {
+  const auto& bench = replay_bench_workload();
+  for (auto _ : state) {
+    for (const double extra : kSweepGrid) {
+      auto cfg = replay_bench_config(cpusim::CoreKind::kInOrder);
+      cfg.dram.extra_ns = extra;
+      workloads::SyntheticTrace trace(bench.trace);
+      benchmark::DoNotOptimize(cpusim::run_simulation(trace, cfg));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * std::size(kSweepGrid));
+}
+BENCHMARK(BM_LatencySweepFullSim);
+
+void BM_LatencySweepRecordReplay(benchmark::State& state) {
+  const auto& bench = replay_bench_workload();
+  for (auto _ : state) {
+    const auto cfg = replay_bench_config(cpusim::CoreKind::kInOrder);
+    workloads::SyntheticTrace trace(bench.trace);
+    const cpusim::MissProfile profile = cpusim::record_miss_profile(trace, cfg);
+    for (const double extra : kSweepGrid)
+      benchmark::DoNotOptimize(cpusim::replay_profile(profile, extra));
+  }
+  state.SetItemsProcessed(state.iterations() * std::size(kSweepGrid));
+}
+BENCHMARK(BM_LatencySweepRecordReplay);
+
 void BM_IndirectRouting(benchmark::State& state) {
   core::RackSystem system(rack::FabricKind::kParallelAwgrs);
   auto fabric = system.make_fabric();
@@ -92,4 +184,75 @@ void BM_IndirectRouting(benchmark::State& state) {
 }
 BENCHMARK(BM_IndirectRouting);
 
+/// Whether a run failed/was skipped, across google-benchmark versions:
+/// <= 1.7 has `bool error_occurred`, >= 1.8 replaced it with `skipped`.
+/// Member detection keeps this building against either API.
+template <typename R>
+auto run_not_measured(const R& run, int) -> decltype(static_cast<bool>(run.error_occurred)) {
+  return static_cast<bool>(run.error_occurred);
+}
+template <typename R>
+auto run_not_measured(const R& run, long) -> decltype(static_cast<bool>(run.skipped)) {
+  return static_cast<bool>(run.skipped);
+}
+
+/// Console reporter that additionally collects per-benchmark name,
+/// items/sec and ns/op and writes the BENCH_results.json schema at
+/// Finalize() — a tee, so the familiar console table is unchanged.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run_not_measured(run, 0) || run.run_type != Run::RT_Iteration) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      // time_unit is ns for every bench here; GetAdjustedRealTime is the
+      // per-iteration wall time in that unit.
+      row.ns_per_op = run.GetAdjustedRealTime();
+      const auto it = run.counters.find("items_per_second");
+      row.items_per_sec = it != run.counters.end() ? static_cast<double>(it->second) : 0.0;
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    std::ofstream os(path_);
+    if (!os) {
+      std::cerr << "perf_microbench: cannot write " << path_ << "\n";
+      return;
+    }
+    os << "{\"benchmarks\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i) os << ",";
+      os << "{\"name\":\"" << rows_[i].name << "\",\"items_per_sec\":"
+         << rows_[i].items_per_sec << ",\"ns_per_op\":" << rows_[i].ns_per_op << "}";
+    }
+    os << "]}\n";
+    std::cerr << "perf_microbench: wrote " << path_ << "\n";
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double items_per_sec = 0.0;
+    double ns_per_op = 0.0;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* path = std::getenv("BENCH_RESULTS_PATH");
+  JsonTeeReporter reporter(path ? path : "BENCH_results.json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <vector>
 
+#include "cpusim/miss_profile.hpp"
 #include "cpusim/runner.hpp"
 #include "sim/table.hpp"
 #include "workloads/cpu_profiles.hpp"
@@ -43,15 +44,16 @@ int main(int argc, char** argv) {
       cfg.core.kind = core_kind;
       cfg.warmup_instructions = 300'000;
       cfg.measured_instructions = 1'000'000;
+      // Record once, replay every latency point: the K-point sweep costs
+      // one simulation (see cpusim/miss_profile.hpp).
       workloads::SyntheticTrace trace(bench->trace);
-      const auto baseline = cpusim::run_simulation(trace, cfg);
+      const auto profile = cpusim::record_miss_profile(trace, cfg);
+      const auto baseline = cpusim::replay_profile(profile, 0.0);
 
       std::vector<std::string> row = {name, sim::fmt_fixed(baseline.ipc, 2),
                                       sim::fmt_pct(baseline.llc_miss_rate)};
       for (const double e : extras) {
-        cfg.dram.extra_ns = e;
-        workloads::SyntheticTrace t2(bench->trace);
-        const auto perturbed = cpusim::run_simulation(t2, cfg);
+        const auto perturbed = cpusim::replay_profile(profile, e);
         row.push_back(sim::fmt_pct(cpusim::slowdown(baseline, perturbed)));
       }
       table.add_row(std::move(row));

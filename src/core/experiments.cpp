@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "cpusim/miss_profile.hpp"
 #include "sim/stats.hpp"
 #include "sim/thread_pool.hpp"
 #include "workloads/generators.hpp"
@@ -15,13 +16,41 @@ namespace {
 
 bool near(double a, double b) { return std::fabs(a - b) < 1e-9; }
 
+// Index bucket for an extra_ns value.  Buckets are 1e-6 ns wide — far
+// coarser than the 1e-9 match tolerance — so a query only ever needs its
+// own bucket plus the two neighbours (for values straddling a boundary).
+long long extra_bucket(double extra_ns) {
+  return static_cast<long long>(std::llround(extra_ns * 1e6));
+}
+
 }  // namespace
+
+void CpuSweep::build_index() {
+  find_index_.clear();
+  group_index_.clear();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const CpuRunRecord& r = runs[i];
+    const long long bucket = extra_bucket(r.extra_ns);
+    find_index_.emplace(FindKey{r.bench->full_name(), static_cast<int>(r.core), bucket},
+                        i);
+    group_index_[GroupKey{static_cast<int>(r.core), bucket}].push_back(i);
+  }
+}
 
 const CpuRunRecord& CpuSweep::find(const std::string& full_name, cpusim::CoreKind core,
                                    double extra_ns) const {
-  for (const auto& r : runs)
-    if (r.core == core && near(r.extra_ns, extra_ns) && r.bench->full_name() == full_name)
-      return r;
+  if (find_index_.empty()) {  // hand-built sweep without build_index()
+    for (const auto& r : runs)
+      if (r.core == core && near(r.extra_ns, extra_ns) && r.bench->full_name() == full_name)
+        return r;
+  } else {
+    const long long bucket = extra_bucket(extra_ns);
+    for (const long long b : {bucket - 1, bucket, bucket + 1}) {
+      const auto it = find_index_.find(FindKey{full_name, static_cast<int>(core), b});
+      if (it != find_index_.end() && near(runs[it->second].extra_ns, extra_ns))
+        return runs[it->second];
+    }
+  }
   throw std::out_of_range("CpuSweep::find: no record for " + full_name);
 }
 
@@ -29,13 +58,27 @@ std::vector<const CpuRunRecord*> CpuSweep::records(const std::string& suite,
                                                    const std::string& input,
                                                    cpusim::CoreKind core,
                                                    double extra_ns) const {
+  auto matches = [&](const CpuRunRecord& r) {
+    if (r.core != core || !near(r.extra_ns, extra_ns)) return false;
+    if (!suite.empty() && r.bench->suite != suite) return false;
+    if (!input.empty() && r.bench->input != input) return false;
+    return true;
+  };
   std::vector<const CpuRunRecord*> out;
-  for (const auto& r : runs) {
-    if (r.core != core || !near(r.extra_ns, extra_ns)) continue;
-    if (!suite.empty() && r.bench->suite != suite) continue;
-    if (!input.empty() && r.bench->input != input) continue;
-    out.push_back(&r);
+  if (group_index_.empty()) {
+    for (const auto& r : runs)
+      if (matches(r)) out.push_back(&r);
+    return out;
   }
+  const long long bucket = extra_bucket(extra_ns);
+  std::vector<std::size_t> idx;
+  for (const long long b : {bucket - 1, bucket, bucket + 1}) {
+    const auto it = group_index_.find(GroupKey{static_cast<int>(core), b});
+    if (it != group_index_.end()) idx.insert(idx.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(idx.begin(), idx.end());  // preserve run order across buckets
+  for (const std::size_t i : idx)
+    if (matches(runs[i])) out.push_back(&runs[i]);
   return out;
 }
 
@@ -54,9 +97,19 @@ CpuSweep run_cpu_sweep(const CpuSweepOptions& opt) {
   const auto& benches = workloads::cpu_benchmarks();
 
   // Materialize the run matrix first so indices are stable for parallel_for.
+  // Runs of one (benchmark, core) pair — the K latency points — form one
+  // profile group: the group records a single instrumented simulation and
+  // replays it per latency point.
   CpuSweep sweep;
+  struct ProfileGroup {
+    const workloads::CpuBenchmark* bench = nullptr;
+    cpusim::CoreKind core = cpusim::CoreKind::kInOrder;
+    std::size_t first_run = 0;  // contiguous: extra_latencies_ns.size() runs
+  };
+  std::vector<ProfileGroup> groups;
   for (const auto& bench : benches)
-    for (const auto core : opt.cores)
+    for (const auto core : opt.cores) {
+      groups.push_back(ProfileGroup{&bench, core, sweep.runs.size()});
       for (const double extra : opt.extra_latencies_ns) {
         CpuRunRecord rec;
         rec.bench = &bench;
@@ -64,22 +117,27 @@ CpuSweep run_cpu_sweep(const CpuSweepOptions& opt) {
         rec.extra_ns = extra;
         sweep.runs.push_back(rec);
       }
+    }
 
-  auto simulate = [&](std::size_t i) {
-    CpuRunRecord& rec = sweep.runs[i];
+  auto simulate_group = [&](std::size_t g) {
+    const ProfileGroup& group = groups[g];
     cpusim::SimConfig cfg;
-    cfg.core.kind = rec.core;
-    cfg.dram.extra_ns = rec.extra_ns;
+    cfg.core.kind = group.core;
+    cfg.dram.extra_ns = 0.0;
     cfg.warmup_instructions = opt.warmup_instructions;
     cfg.measured_instructions = opt.measured_instructions;
-    workloads::SyntheticTrace trace(rec.bench->trace);
-    rec.result = cpusim::run_simulation(trace, cfg);
+    workloads::SyntheticTrace trace(group.bench->trace);
+    const cpusim::MissProfile profile = cpusim::record_miss_profile(trace, cfg);
+    for (std::size_t k = 0; k < opt.extra_latencies_ns.size(); ++k) {
+      CpuRunRecord& rec = sweep.runs[group.first_run + k];
+      rec.result = cpusim::replay_profile(profile, rec.extra_ns);
+    }
   };
 
   if (opt.parallel) {
-    sim::parallel_for(sweep.runs.size(), simulate);
+    sim::parallel_for(groups.size(), simulate_group);
   } else {
-    for (std::size_t i = 0; i < sweep.runs.size(); ++i) simulate(i);
+    for (std::size_t g = 0; g < groups.size(); ++g) simulate_group(g);
   }
 
   // Fill slowdowns against the extra=0 baselines.
@@ -93,6 +151,7 @@ CpuSweep run_cpu_sweep(const CpuSweepOptions& opt) {
       throw std::logic_error("run_cpu_sweep: missing extra=0 baseline");
     r.slowdown = r.result.time_ns / it->second - 1.0;
   }
+  sweep.build_index();
   return sweep;
 }
 
@@ -119,21 +178,28 @@ double GpuSweep::max_slowdown(double extra_ns) const {
 GpuSweep run_gpu_sweep(std::vector<double> extra_latencies_ns, double hbm_bandwidth_derate) {
   const auto& apps = workloads::gpu_apps();
   GpuSweep sweep;
+  // The per-kernel L2 simulation is latency- and derate-independent: record
+  // one profile per app and replay it for the baseline and every latency
+  // point (bit-identical to evaluating each point from scratch).
+  std::vector<gpusim::AppMissProfile> profiles;
+  profiles.reserve(apps.size());
   std::map<std::string, double> baseline_us;
   // Baselines always use the photonic (underated, extra=0) configuration.
   for (const auto& app : apps) {
     gpusim::GpuConfig gpu;
-    baseline_us[app.name] = gpusim::run_app(app, gpu).time_us;
+    profiles.push_back(gpusim::record_app_profile(app, gpu));
+    baseline_us[app.name] = gpusim::replay_app(app, profiles.back(), gpu).time_us;
   }
   for (const double extra : extra_latencies_ns) {
-    for (const auto& app : apps) {
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      const auto& app = apps[a];
       gpusim::GpuConfig gpu;
       gpu.extra_hbm_ns = extra;
       gpu.hbm_bandwidth_derate = hbm_bandwidth_derate;
       GpuRunRecord rec;
       rec.app = &app;
       rec.extra_ns = extra;
-      rec.result = gpusim::run_app(app, gpu);
+      rec.result = gpusim::replay_app(app, profiles[a], gpu);
       rec.slowdown = rec.result.time_us / baseline_us[app.name] - 1.0;
       sweep.runs.push_back(std::move(rec));
     }
@@ -254,8 +320,10 @@ Fig12Summary fig12_speedup(const CpuSweep& cpu, double electronic_gpu_bandwidth_
     gpusim::GpuConfig electronic;
     electronic.extra_hbm_ns = kElectronicExtraNs;
     electronic.hbm_bandwidth_derate = electronic_gpu_bandwidth_derate;
-    const double tp = gpusim::run_app(app, photonic).time_us;
-    const double te = gpusim::run_app(app, electronic).time_us;
+    // Same L2 geometry on both sides: one profile replays both designs.
+    const gpusim::AppMissProfile profile = gpusim::record_app_profile(app, photonic);
+    const double tp = gpusim::replay_app(app, profile, photonic).time_us;
+    const double te = gpusim::replay_app(app, profile, electronic).time_us;
     const double speedup = te / tp - 1.0;
     out.gpu.emplace_back(app.name, speedup);
     speedups.push_back(speedup);

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "cpusim/runner.hpp"
@@ -50,10 +53,29 @@ class CpuSweep {
   /// Mean slowdown over every benchmark run (the paper's "across all
   /// benchmarks" average: 15% in-order / 22% OOO at +35 ns).
   [[nodiscard]] double overall_mean_slowdown(cpusim::CoreKind core, double extra_ns) const;
+
+  /// Prebuild the (name, core, extra) lookup index over `runs`; campaigns
+  /// query every record, which was quadratic on the linear scans.  Called
+  /// by run_cpu_sweep; call again after mutating `runs` by hand.  Without
+  /// an index the accessors fall back to the linear scans.
+  void build_index();
+
+ private:
+  // extra_ns is matched with a 1e-9 tolerance (see `near` in the .cpp), so
+  // the index keys on a quantized value and lookups verify candidates in
+  // the adjacent buckets too.
+  using FindKey = std::tuple<std::string, int, long long>;
+  using GroupKey = std::pair<int, long long>;
+  std::map<FindKey, std::size_t> find_index_;
+  std::map<GroupKey, std::vector<std::size_t>> group_index_;
 };
 
 /// Run the benchmark registry through the timing simulator for every
-/// (core, extra latency) combination.
+/// (core, extra latency) combination.  One instrumented simulation is
+/// recorded per (benchmark, core); every latency point is then an
+/// O(misses) replay of that profile (bit-identical to simulating it from
+/// scratch — see cpusim/miss_profile.hpp), so a K-point sweep costs one
+/// simulation instead of K.
 [[nodiscard]] CpuSweep run_cpu_sweep(const CpuSweepOptions& opt = {});
 
 // ---------------------------------------------------------------------------

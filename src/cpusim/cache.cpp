@@ -15,28 +15,30 @@ SetAssocCache::SetAssocCache(CacheConfig cfg) : cfg_(cfg) {
   pow2_sets_ = std::has_single_bit(sets);
   sets_ = sets;
   set_mask_ = pow2_sets_ ? sets - 1 : 0;
+  ways_ = static_cast<std::size_t>(cfg_.ways);
   line_shift_ = std::countr_zero(static_cast<unsigned>(cfg_.line_bytes));
   tags_.assign(sets * static_cast<std::uint64_t>(cfg_.ways), kInvalid);
   stamps_.assign(tags_.size(), 0);
 }
 
-bool SetAssocCache::access(std::uint64_t addr) {
-  ++accesses_;
-  ++clock_;
-  const std::uint64_t line = addr >> line_shift_;
-  const std::uint64_t set = pow2_sets_ ? (line & set_mask_) : (line % sets_);
-  const std::uint64_t tag = line;  // full line id: correct for both modes
-  const std::size_t base = static_cast<std::size_t>(set) * cfg_.ways;
+std::uint32_t SetAssocCache::line_tag(std::uint64_t line) const {
+  if (line >= kInvalid)
+    throw std::invalid_argument("SetAssocCache: line id beyond 32-bit tag space");
+  return static_cast<std::uint32_t>(line);
+}
 
+std::uint32_t SetAssocCache::tick() {
+  if (++clock_ >= kInvalid)
+    throw std::runtime_error("SetAssocCache: recency clock exhausted (2^32-2 accesses)");
+  return static_cast<std::uint32_t>(clock_);
+}
+
+std::size_t SetAssocCache::victim_way(std::size_t base) const {
   std::size_t victim = base;
-  std::uint64_t oldest = ~0ULL;
-  for (std::size_t w = base; w < base + static_cast<std::size_t>(cfg_.ways); ++w) {
-    if (tags_[w] == tag) {
-      stamps_[w] = clock_;
-      return true;
-    }
+  std::uint32_t oldest = kInvalid;
+  for (std::size_t w = base, end = base + ways_; w < end; ++w) {
     if (tags_[w] == kInvalid) {
-      // Prefer an empty way; stamp 0 guarantees it wins the LRU scan below.
+      // Prefer an empty way; stamp 0 guarantees it wins the LRU scan.
       victim = w;
       oldest = 0;
     } else if (stamps_[w] < oldest) {
@@ -44,50 +46,101 @@ bool SetAssocCache::access(std::uint64_t addr) {
       oldest = stamps_[w];
     }
   }
+  return victim;
+}
+
+bool SetAssocCache::access(std::uint64_t addr) {
+  ++accesses_;
+  const std::uint32_t now = tick();
+  const std::uint64_t line = addr >> line_shift_;  // full line id: correct for both modes
+  const std::uint32_t tag = line_tag(line);
+  // MRU shortcut: consecutive accesses to the same line (the common case
+  // for streaming at sub-line stride) skip the set scan.  Tags are full
+  // line ids, so an equality match IS the lookup — a memoized find_way
+  // result, nothing about hits/misses/LRU changes.
+  if (mru_way_ < tags_.size() && tags_[mru_way_] == tag) {
+    stamps_[mru_way_] = now;
+    return true;
+  }
+  const std::size_t base = set_base(line);
+  const std::size_t hit = find_way(base, tag);
+  if (hit != kNoWay) {
+    stamps_[hit] = now;
+    mru_way_ = hit;
+    return true;
+  }
   ++misses_;
+  const std::size_t victim = victim_way(base);
   tags_[victim] = tag;
-  stamps_[victim] = clock_;
+  stamps_[victim] = now;
+  mru_way_ = victim;
   return false;
 }
 
 void SetAssocCache::insert(std::uint64_t addr) {
-  ++clock_;
+  const std::uint32_t now = tick();
   const std::uint64_t line = addr >> line_shift_;
-  const std::uint64_t set = pow2_sets_ ? (line & set_mask_) : (line % sets_);
-  const std::uint64_t tag = line;
-  const std::size_t base = static_cast<std::size_t>(set) * cfg_.ways;
-  std::size_t victim = base;
-  std::uint64_t oldest = ~0ULL;
-  for (std::size_t w = base; w < base + static_cast<std::size_t>(cfg_.ways); ++w) {
-    if (tags_[w] == tag) {
-      stamps_[w] = clock_;
-      return;
-    }
-    if (tags_[w] == kInvalid) {
-      victim = w;
-      oldest = 0;
-    } else if (stamps_[w] < oldest) {
-      victim = w;
-      oldest = stamps_[w];
+  const std::uint32_t tag = line_tag(line);
+  const std::size_t base = set_base(line);
+  std::size_t way = find_way(base, tag);
+  if (way == kNoWay) {
+    way = victim_way(base);
+    tags_[way] = tag;
+  }
+  stamps_[way] = now;
+}
+
+void SetAssocCache::warm_sequential_lines(std::uint64_t first_line, std::uint64_t n_lines) {
+  if (clock_ != 0 || accesses_ != 0) {
+    // Not the pristine state the closed form assumes: replay literally.
+    for (std::uint64_t i = 0; i < n_lines; ++i)
+      (void)access((first_line + i) << line_shift_);
+    return;
+  }
+  if (n_lines == 0) return;
+  (void)line_tag(first_line + n_lines - 1);  // range check once up front
+
+  const std::uint64_t S = sets_;
+  const auto W = static_cast<std::uint64_t>(ways_);
+  // Walking distinct lines through an empty set installs into the LAST
+  // invalid way first (victim_way scans forward, later empties win), so the
+  // j-th line of a set lands in way W-1-j; once full, eviction follows the
+  // same descending cycle because stamps ascend with j.  Hence the final
+  // occupant of way w is the LAST j with j ≡ W-1-w (mod W), and its stamp
+  // is its global access index + 1.
+  for (std::uint64_t s = 0; s < S; ++s) {
+    // First walked line landing in set s.
+    const std::uint64_t phase = pow2_sets_ ? (first_line & set_mask_) : (first_line % S);
+    const std::uint64_t offset = (s >= phase) ? s - phase : s + S - phase;
+    if (offset >= n_lines) continue;
+    const std::uint64_t n_s = 1 + (n_lines - 1 - offset) / S;  // lines seen by set s
+    const std::size_t base = static_cast<std::size_t>(s) * ways_;
+    for (std::uint64_t w = 0; w < W; ++w) {
+      const std::uint64_t r = W - 1 - w;  // occupant index j satisfies j ≡ r (mod W)
+      if (n_s <= r) continue;             // way never reached: stays invalid
+      const std::uint64_t j = (n_s - 1) - ((n_s - 1 - r) % W);
+      const std::uint64_t global_index = offset + j * S;
+      tags_[base + static_cast<std::size_t>(w)] =
+          line_tag(first_line + global_index);
+      stamps_[base + static_cast<std::size_t>(w)] =
+          static_cast<std::uint32_t>(global_index + 1);
     }
   }
-  tags_[victim] = tag;
-  stamps_[victim] = clock_;
+  clock_ = n_lines;
+  accesses_ = n_lines;
+  misses_ = n_lines;
+  mru_way_ = kNoWay;  // semantically irrelevant (pure fast-path hint)
 }
 
 bool SetAssocCache::contains(std::uint64_t addr) const {
   const std::uint64_t line = addr >> line_shift_;
-  const std::uint64_t set = pow2_sets_ ? (line & set_mask_) : (line % sets_);
-  const std::uint64_t tag = line;
-  const std::size_t base = static_cast<std::size_t>(set) * cfg_.ways;
-  for (std::size_t w = base; w < base + static_cast<std::size_t>(cfg_.ways); ++w)
-    if (tags_[w] == tag) return true;
-  return false;
+  return find_way(set_base(line), line_tag(line)) != kNoWay;
 }
 
 void SetAssocCache::invalidate_all() {
   tags_.assign(tags_.size(), kInvalid);
   stamps_.assign(stamps_.size(), 0);
+  mru_way_ = kNoWay;
 }
 
 CacheHierarchy::CacheHierarchy(HierarchyConfig cfg)
@@ -103,6 +156,25 @@ HitLevel CacheHierarchy::access(std::uint64_t addr) {
 void CacheHierarchy::prefetch_fill(std::uint64_t addr) {
   l2_.insert(addr);
   llc_.insert(addr);
+}
+
+void CacheHierarchy::prewarm_sequential(std::uint64_t first_addr, std::uint64_t end_addr) {
+  const auto step = static_cast<std::uint64_t>(cfg_.l1.line_bytes);
+  if (first_addr >= end_addr) return;
+  const bool uniform_lines =
+      cfg_.l2.line_bytes == cfg_.l1.line_bytes && cfg_.llc.line_bytes == cfg_.l1.line_bytes;
+  if (uniform_lines && l1_.pristine() && l2_.pristine() && llc_.pristine()) {
+    // Distinct consecutive lines against empty caches: every access misses
+    // at every level, so no level ever short-circuits the next and each
+    // warms independently in closed form.
+    const std::uint64_t first_line = first_addr / step;
+    const std::uint64_t n_lines = (end_addr - first_addr + step - 1) / step;
+    l1_.warm_sequential_lines(first_line, n_lines);
+    l2_.warm_sequential_lines(first_line, n_lines);
+    llc_.warm_sequential_lines(first_line, n_lines);
+    return;
+  }
+  for (std::uint64_t addr = first_addr; addr < end_addr; addr += step) (void)access(addr);
 }
 
 int CacheHierarchy::hit_latency(HitLevel level) const {

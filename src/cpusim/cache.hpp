@@ -18,6 +18,14 @@ struct CacheConfig {
 
 /// Set-associative cache with true-LRU replacement (recency stamps).
 /// Addresses are byte addresses; the cache indexes by line.
+///
+/// Tags and stamps are stored as 32-bit values so a 16-way set's tag scan
+/// touches one host cache line instead of two — the simulator's hottest
+/// loop by far (the LLC's metadata alone is tens of MB, so probes miss the
+/// host cache and every line saved is a DRAM access saved).  The narrowing
+/// is loud, not lossy: line ids >= 2^32-1 (byte addresses beyond ~256 GB)
+/// and instances older than 2^32-2 accesses throw instead of aliasing —
+/// both far outside anything the models generate.
 class SetAssocCache {
  public:
   explicit SetAssocCache(CacheConfig cfg);
@@ -29,8 +37,21 @@ class SetAssocCache {
   /// the prefetcher's fills).
   void insert(std::uint64_t addr);
 
+  /// Exactly equivalent to `for (i = 0..n_lines-1) access((first_line + i)
+  /// * line_bytes)` on this cache, but O(entries) instead of O(n_lines):
+  /// every access in such a walk is a compulsory miss installing a distinct
+  /// line, so the final tags/stamps/clock/stats are a closed form.  Used by
+  /// the simulation prewarm (which walks footprints of up to a million
+  /// lines before every run).  Falls back to the literal loop when the
+  /// cache is not empty (the closed form requires the all-invalid state).
+  void warm_sequential_lines(std::uint64_t first_line, std::uint64_t n_lines);
+
   /// Probe without modifying state.
   [[nodiscard]] bool contains(std::uint64_t addr) const;
+
+  /// True while the cache has never been touched (no access/insert since
+  /// construction) — the state warm_sequential_lines' closed form needs.
+  [[nodiscard]] bool pristine() const { return clock_ == 0; }
 
   void invalidate_all();
 
@@ -46,16 +67,43 @@ class SetAssocCache {
   CacheConfig cfg_;
   std::uint64_t sets_ = 0;
   std::uint64_t set_mask_ = 0;
+  std::size_t ways_ = 0;  // cfg_.ways hoisted out of the per-access path
   bool pow2_sets_ = true;
   int line_shift_;
   // tag[set*ways + way]; kInvalid marks empty.  stamp holds last-use time.
-  std::vector<std::uint64_t> tags_;
-  std::vector<std::uint64_t> stamps_;
+  std::vector<std::uint32_t> tags_;
+  std::vector<std::uint32_t> stamps_;
   std::uint64_t clock_ = 0;
   std::uint64_t accesses_ = 0;
   std::uint64_t misses_ = 0;
+  // Way of the most recent demand hit/install (fast path in access()).
+  std::size_t mru_way_ = ~static_cast<std::size_t>(0);
 
-  static constexpr std::uint64_t kInvalid = ~0ULL;
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+  static constexpr std::size_t kNoWay = ~static_cast<std::size_t>(0);
+
+  /// Line id as a stored tag; throws rather than alias when the id cannot
+  /// be represented (would need a byte address beyond ~256 GB).
+  [[nodiscard]] std::uint32_t line_tag(std::uint64_t line) const;
+  /// Advance the recency clock; throws when a single instance has seen
+  /// 2^32-2 accesses (stamps would wrap and corrupt LRU order).
+  std::uint32_t tick();
+
+  [[nodiscard]] std::size_t set_base(std::uint64_t line) const {
+    const std::uint64_t set = pow2_sets_ ? (line & set_mask_) : (line % sets_);
+    return static_cast<std::size_t>(set) * ways_;
+  }
+  /// Way holding `tag`, or kNoWay.  A pure equality scan over the set's
+  /// tags — the hit path touches nothing else (stamps are only read by the
+  /// miss-path victim scan), which lets the compiler vectorize it.
+  [[nodiscard]] std::size_t find_way(std::size_t base, std::uint32_t tag) const {
+    for (std::size_t w = base, end = base + ways_; w < end; ++w)
+      if (tags_[w] == tag) return w;
+    return kNoWay;
+  }
+  /// One shared victim scan for access()/insert(): the empty way if any
+  /// (the last one, matching the historical scan), else true-LRU.
+  [[nodiscard]] std::size_t victim_way(std::size_t base) const;
 };
 
 /// Three-level hierarchy result: the lowest level that hit, or kMemory.
@@ -79,6 +127,13 @@ class CacheHierarchy {
   /// Prefetch fill: installs the line into L2 and LLC (not L1, matching
   /// common L2-prefetcher placement) without counting demand statistics.
   void prefetch_fill(std::uint64_t addr);
+
+  /// Exactly `for (addr = first_addr; addr < end_addr; addr += l1.line)
+  /// access(addr)` — the runner's working-set prewarm — but O(entries)
+  /// when the closed form applies (uniform line sizes, untouched caches):
+  /// every such access misses every level, so the levels warm
+  /// independently via SetAssocCache::warm_sequential_lines.
+  void prewarm_sequential(std::uint64_t first_addr, std::uint64_t end_addr);
 
   [[nodiscard]] const HierarchyConfig& config() const { return cfg_; }
   [[nodiscard]] const SetAssocCache& l1() const { return l1_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "cpusim/miss_profile.hpp"
+
 namespace photorack::cpusim {
 
 Core::Core(CoreConfig cfg, CacheHierarchy& hierarchy, DramModel& dram)
@@ -28,7 +30,17 @@ int Core::effective_mlp() const {
 }
 
 double Core::dram_cycles(std::uint64_t addr) {
-  return dram_->access_ns(addr) * cfg_.freq_ghz;
+  const DramAccess a = dram_->access(addr);
+  last_row_hit_ = a.row_hit;
+  return a.ns * cfg_.freq_ghz;
+}
+
+// Latency-independent cycle increment (issue slot, cache-hit penalty,
+// streamed accelerator line): one place so the miss-profile recorder sees
+// exactly the additions the stats accumulator performs.
+void Core::add_base_cycles(double cycles) {
+  stats_.cycles += cycles;
+  if (recorder_) recorder_->on_base_cycles(cycles);
 }
 
 void Core::execute_inorder_mem(const Instr& ins) {
@@ -39,11 +51,11 @@ void Core::execute_inorder_mem(const Instr& ins) {
       // pipeline; charging it would double-count the issue cycle.
       break;
     case HitLevel::kL2:
-      stats_.cycles += hierarchy_->config().l2.latency_cycles;
+      add_base_cycles(hierarchy_->config().l2.latency_cycles);
       ++stats_.llc_accesses;  // L2 miss probes the LLC
       break;
     case HitLevel::kLlc:
-      stats_.cycles += hierarchy_->config().llc.latency_cycles;
+      add_base_cycles(hierarchy_->config().llc.latency_cycles);
       ++stats_.llc_accesses;
       break;
     case HitLevel::kMemory: {
@@ -52,6 +64,7 @@ void Core::execute_inorder_mem(const Instr& ins) {
       const double dc = dram_cycles(ins.addr);
       stats_.cycles += hierarchy_->config().llc.latency_cycles + dc;
       stats_.llc_miss_stall_cycles += dc;
+      if (recorder_) recorder_->on_miss(MissKind::kInOrder, last_row_hit_, 1);
       handle_prefetch(ins.addr);
       break;
     }
@@ -64,11 +77,11 @@ void Core::execute_ooo_mem(const Instr& ins) {
     case HitLevel::kL1:
       break;
     case HitLevel::kL2:
-      stats_.cycles += cfg_.ooo_hit_exposure * hierarchy_->config().l2.latency_cycles;
+      add_base_cycles(cfg_.ooo_hit_exposure * hierarchy_->config().l2.latency_cycles);
       ++stats_.llc_accesses;
       break;
     case HitLevel::kLlc:
-      stats_.cycles += cfg_.ooo_hit_exposure * hierarchy_->config().llc.latency_cycles;
+      add_base_cycles(cfg_.ooo_hit_exposure * hierarchy_->config().llc.latency_cycles);
       ++stats_.llc_accesses;
       break;
     case HitLevel::kMemory: {
@@ -82,6 +95,7 @@ void Core::execute_ooo_mem(const Instr& ins) {
         // MLP window is left intact.
         exposed = dc;
         stats_.mlp_sum += 1.0;
+        if (recorder_) recorder_->on_miss(MissKind::kOooDependent, last_row_hit_, 1);
       } else {
         // Record this miss, then expose only its share of the pipelined
         // latency: with k independent misses in flight, each costs ~dc/k.
@@ -90,6 +104,7 @@ void Core::execute_ooo_mem(const Instr& ins) {
         const int mlp = effective_mlp();
         stats_.mlp_sum += mlp;
         exposed = dc / static_cast<double>(mlp);
+        if (recorder_) recorder_->on_miss(MissKind::kOooIndependent, last_row_hit_, mlp);
       }
       stats_.cycles += exposed;
       stats_.llc_miss_stall_cycles += exposed;
@@ -110,17 +125,19 @@ void Core::execute_accelerator_mem(const Instr& ins) {
       const double dc = dram_cycles(ins.addr);
       stats_.cycles += dc;
       stats_.llc_miss_stall_cycles += dc;
+      if (recorder_) recorder_->on_miss(MissKind::kAccelBurstHead, last_row_hit_, 1);
     } else {
-      (void)dram_->access_ns(ins.addr);  // row-buffer state still advances
+      const DramAccess a = dram_->access(ins.addr);  // row-buffer state still advances
       stats_.cycles += cfg_.accelerator_line_cycles;
       stats_.llc_miss_stall_cycles += cfg_.accelerator_line_cycles;
+      if (recorder_) recorder_->on_miss(MissKind::kAccelStream, a.row_hit, 1);
     }
     burst_fill_ = (burst_fill_ + 1) % std::max(1, cfg_.accelerator_burst);
   } else if (level == HitLevel::kLlc) {
     ++stats_.llc_accesses;
-    stats_.cycles += cfg_.accelerator_line_cycles;
+    add_base_cycles(cfg_.accelerator_line_cycles);
   } else if (level == HitLevel::kL2) {
-    stats_.cycles += cfg_.accelerator_line_cycles;
+    add_base_cycles(cfg_.accelerator_line_cycles);
   }
 }
 
@@ -129,14 +146,14 @@ void Core::execute(const Instr& ins) {
   ++instr_index_;
   switch (cfg_.kind) {
     case CoreKind::kInOrder:
-      stats_.cycles += 1.0;  // single-issue
+      add_base_cycles(1.0);  // single-issue
       if (ins.kind != OpKind::kAlu) {
         ++stats_.mem_ops;
         execute_inorder_mem(ins);
       }
       break;
     case CoreKind::kOutOfOrder:
-      stats_.cycles += 1.0 / static_cast<double>(cfg_.width);
+      add_base_cycles(1.0 / static_cast<double>(cfg_.width));
       if (ins.kind != OpKind::kAlu) {
         ++stats_.mem_ops;
         execute_ooo_mem(ins);
@@ -144,7 +161,7 @@ void Core::execute(const Instr& ins) {
       break;
     case CoreKind::kDecoupledAccelerator:
       // Spatial pipelines retire one operation per cycle regardless of mix.
-      stats_.cycles += 1.0;
+      add_base_cycles(1.0);
       if (ins.kind != OpKind::kAlu) {
         ++stats_.mem_ops;
         execute_accelerator_mem(ins);

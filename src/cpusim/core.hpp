@@ -10,6 +10,8 @@
 
 namespace photorack::cpusim {
 
+class MissProfileRecorder;  // cpusim/miss_profile.hpp
+
 enum class CoreKind : std::uint8_t {
   kInOrder,
   kOutOfOrder,
@@ -79,12 +81,19 @@ class Core {
   [[nodiscard]] const StridePrefetcher& prefetcher() const { return prefetcher_; }
   void reset_stats();
 
+  /// Attach a miss-profile recorder (null detaches).  The recorder observes
+  /// every cycle increment without changing any of them, so an instrumented
+  /// run stays bit-identical to an uninstrumented one.
+  void set_recorder(MissProfileRecorder* recorder) { recorder_ = recorder; }
+
  private:
   CoreConfig cfg_;
   CacheHierarchy* hierarchy_;
   DramModel* dram_;
   StridePrefetcher prefetcher_;
   CoreStats stats_;
+  MissProfileRecorder* recorder_ = nullptr;
+  bool last_row_hit_ = false;  // row-buffer outcome of the latest dram_cycles()
 
   // OOO sliding-window MLP state: instruction indices of the most recent
   // independent LLC misses (bounded by the MSHR count).
@@ -95,6 +104,7 @@ class Core {
   int burst_fill_ = 0;
 
   void execute(const Instr& ins);
+  void add_base_cycles(double cycles);
   void execute_inorder_mem(const Instr& ins);
   void execute_ooo_mem(const Instr& ins);
   void execute_accelerator_mem(const Instr& ins);

@@ -10,20 +10,23 @@ DramModel::DramModel(DramConfig cfg) : cfg_(cfg) {
   open_row_.assign(static_cast<std::size_t>(cfg_.banks), kNone);
 }
 
-double DramModel::access_ns(std::uint64_t addr) {
+DramAccess DramModel::access(std::uint64_t addr) {
   ++accesses_;
   const std::uint64_t row = addr / cfg_.row_bytes;
   // Rows interleave across banks so streaming spreads over the bank set.
   const auto bank = static_cast<std::size_t>(row % static_cast<std::uint64_t>(cfg_.banks));
+  DramAccess out;
   double latency;
   if (open_row_[bank] == row) {
     ++row_hits_;
+    out.row_hit = true;
     latency = cfg_.row_hit_ns;
   } else {
     open_row_[bank] = row;
     latency = cfg_.row_miss_ns;
   }
-  return latency + cfg_.extra_ns;
+  out.ns = latency + cfg_.extra_ns;
+  return out;
 }
 
 }  // namespace photorack::cpusim

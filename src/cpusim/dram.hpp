@@ -19,12 +19,24 @@ struct DramConfig {
   double extra_ns = 0.0;
 };
 
+/// Outcome of one DRAM access: the response latency plus whether the open
+/// row buffer served it.  The row-buffer outcome is what the miss-profile
+/// recorder needs — it is a pure function of the address stream, so a
+/// replay at a different `extra_ns` can rebuild the latency from it.
+struct DramAccess {
+  double ns = 0.0;
+  bool row_hit = false;
+};
+
 class DramModel {
  public:
   explicit DramModel(DramConfig cfg = {});
 
+  /// Perform a read/write at `addr`: advances row-buffer state and stats.
+  DramAccess access(std::uint64_t addr);
+
   /// Response latency in nanoseconds for a read/write at `addr`.
-  double access_ns(std::uint64_t addr);
+  double access_ns(std::uint64_t addr) { return access(addr).ns; }
 
   [[nodiscard]] const DramConfig& config() const { return cfg_; }
   [[nodiscard]] std::uint64_t accesses() const { return accesses_; }

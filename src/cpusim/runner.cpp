@@ -1,10 +1,20 @@
 #include "cpusim/runner.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "cpusim/miss_profile.hpp"
 
 namespace photorack::cpusim {
 
-SimResult run_simulation(TraceSource& trace, const SimConfig& cfg) {
+namespace {
+
+// One code path for plain simulation and miss-profile recording: with a
+// null recorder this is exactly the historical run_simulation; with a
+// recorder attached (measured phase only) the run is observed without any
+// numerical change — see Core::add_base_cycles.
+SimResult run_impl(TraceSource& trace, const SimConfig& cfg,
+                   MissProfileRecorder* recorder) {
   CacheHierarchy hierarchy(cfg.hierarchy);
   DramModel dram(cfg.dram);
   Core core(cfg.core, hierarchy, dram);
@@ -12,9 +22,7 @@ SimResult run_simulation(TraceSource& trace, const SimConfig& cfg) {
   if (cfg.prewarm_working_set && trace.footprint_bytes() > 0) {
     const std::uint64_t footprint = trace.footprint_bytes();
     const std::uint64_t span = std::min(footprint, cfg.prewarm_cap_bytes);
-    const auto line = static_cast<std::uint64_t>(cfg.hierarchy.l1.line_bytes);
-    for (std::uint64_t addr = footprint - span; addr < footprint; addr += line)
-      hierarchy.access(addr);
+    hierarchy.prewarm_sequential(footprint - span, footprint);
   }
 
   trace.reset();
@@ -23,8 +31,10 @@ SimResult run_simulation(TraceSource& trace, const SimConfig& cfg) {
   hierarchy.reset_stats();
   dram.reset_stats();
 
+  if (recorder) core.set_recorder(recorder);
   core.run(trace, cfg.measured_instructions);
   const CoreStats& s = core.stats();
+  if (recorder) recorder->finish(cfg, s, dram.row_hit_rate());
 
   SimResult r;
   r.instructions = s.instructions;
@@ -42,6 +52,18 @@ SimResult run_simulation(TraceSource& trace, const SimConfig& cfg) {
                                      : 0.0;
   r.dram_row_hit_rate = dram.row_hit_rate();
   return r;
+}
+
+}  // namespace
+
+SimResult run_simulation(TraceSource& trace, const SimConfig& cfg) {
+  return run_impl(trace, cfg, nullptr);
+}
+
+MissProfile record_miss_profile(TraceSource& trace, const SimConfig& cfg) {
+  MissProfileRecorder recorder;
+  (void)run_impl(trace, cfg, &recorder);
+  return std::move(recorder).take();
 }
 
 double slowdown(const SimResult& baseline, const SimResult& perturbed) {

@@ -1,6 +1,7 @@
 #include "gpusim/gpu_runner.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace photorack::gpusim {
 
@@ -10,14 +11,22 @@ int AppProfile::total_launches() const {
   return n;
 }
 
-AppResult run_app(const AppProfile& app, const GpuConfig& gpu) {
+namespace {
+
+/// Shared launch-weighted aggregation: `kernel_eval(launch, index)` supplies
+/// the per-shape KernelResult (full evaluation for run_app, miss-rate
+/// replay for replay_app) and everything downstream is identical.
+template <typename KernelEval>
+AppResult run_app_impl(const AppProfile& app, const GpuConfig& gpu,
+                       KernelEval&& kernel_eval) {
   if (app.kernels.empty()) throw std::invalid_argument("run_app: app has no kernels");
   AppResult out;
   out.name = app.name;
 
   double total_instrs = 0.0, total_l2_txn = 0.0, total_hbm_txn = 0.0, total_mem_instr = 0.0;
-  for (const auto& launch : app.kernels) {
-    KernelResult kr = evaluate_kernel(launch.profile, gpu);
+  for (std::size_t i = 0; i < app.kernels.size(); ++i) {
+    const KernelLaunch& launch = app.kernels[i];
+    KernelResult kr = kernel_eval(launch, i);
     const double n = launch.launches;
     out.time_us += kr.time_us * n;
 
@@ -38,11 +47,51 @@ AppResult run_app(const AppProfile& app, const GpuConfig& gpu) {
   return out;
 }
 
+}  // namespace
+
+AppResult run_app(const AppProfile& app, const GpuConfig& gpu) {
+  return run_app_impl(app, gpu, [&](const KernelLaunch& launch, std::size_t) {
+    return evaluate_kernel(launch.profile, gpu);
+  });
+}
+
+AppMissProfile record_app_profile(const AppProfile& app, const GpuConfig& gpu) {
+  if (app.kernels.empty())
+    throw std::invalid_argument("record_app_profile: app has no kernels");
+  AppMissProfile profile;
+  profile.app_name = app.name;
+  profile.l2_bytes = gpu.l2_bytes;
+  profile.l2_ways = gpu.l2_ways;
+  profile.sector_bytes = gpu.sector_bytes;
+  profile.kernel_l2_miss_rates.reserve(app.kernels.size());
+  for (const auto& launch : app.kernels)
+    profile.kernel_l2_miss_rates.push_back(simulate_l2_miss_rate(launch.profile, gpu));
+  return profile;
+}
+
+AppResult replay_app(const AppProfile& app, const AppMissProfile& profile,
+                     const GpuConfig& gpu) {
+  if (profile.app_name != app.name ||
+      profile.kernel_l2_miss_rates.size() != app.kernels.size())
+    throw std::invalid_argument("replay_app: profile was recorded for a different app");
+  if (profile.l2_bytes != gpu.l2_bytes || profile.l2_ways != gpu.l2_ways ||
+      profile.sector_bytes != gpu.sector_bytes)
+    throw std::invalid_argument(
+        "replay_app: profile was recorded for a different L2 geometry");
+  return run_app_impl(app, gpu, [&](const KernelLaunch& launch, std::size_t i) {
+    return evaluate_kernel_with_miss_rate(launch.profile, gpu,
+                                          profile.kernel_l2_miss_rates[i]);
+  });
+}
+
 double app_slowdown(const AppProfile& app, GpuConfig gpu, double extra_ns) {
+  // The L2 miss rates are latency-independent: record them once and replay
+  // both latency points instead of simulating the L2 twice.
   gpu.extra_hbm_ns = 0.0;
-  const AppResult base = run_app(app, gpu);
+  const AppMissProfile profile = record_app_profile(app, gpu);
+  const AppResult base = replay_app(app, profile, gpu);
   gpu.extra_hbm_ns = extra_ns;
-  const AppResult perturbed = run_app(app, gpu);
+  const AppResult perturbed = replay_app(app, profile, gpu);
   if (base.time_us <= 0.0) throw std::logic_error("app_slowdown: empty baseline");
   return perturbed.time_us / base.time_us - 1.0;
 }

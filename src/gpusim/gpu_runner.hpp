@@ -37,6 +37,28 @@ struct AppResult {
 /// Evaluate every kernel shape once and combine launch-weighted.
 [[nodiscard]] AppResult run_app(const AppProfile& app, const GpuConfig& gpu);
 
+/// Latency-independent skeleton of one application on one L2 geometry: the
+/// emergent L2 miss rate per kernel shape.  extra_hbm_ns and
+/// hbm_bandwidth_derate enter the kernel roofline only AFTER the L2
+/// simulation, so one recorded profile replays exactly for any latency or
+/// bandwidth derate — the GPU counterpart of cpusim::MissProfile.
+struct AppMissProfile {
+  std::string app_name;
+  std::uint64_t l2_bytes = 0;
+  int l2_ways = 0;
+  int sector_bytes = 0;
+  std::vector<double> kernel_l2_miss_rates;  // parallel to AppProfile::kernels
+};
+
+/// Phase 1: simulate every kernel shape's L2 stream once.
+[[nodiscard]] AppMissProfile record_app_profile(const AppProfile& app, const GpuConfig& gpu);
+
+/// Phase 2: rebuild run_app(app, gpu) bit-for-bit from the recorded miss
+/// rates in O(kernels).  Throws std::invalid_argument when the profile was
+/// recorded for a different app or L2 geometry.
+[[nodiscard]] AppResult replay_app(const AppProfile& app, const AppMissProfile& profile,
+                                   const GpuConfig& gpu);
+
 /// Relative slowdown of the app at `extra_ns` vs a zero-extra baseline.
 [[nodiscard]] double app_slowdown(const AppProfile& app, GpuConfig gpu, double extra_ns);
 

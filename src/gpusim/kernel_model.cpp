@@ -68,15 +68,11 @@ class SectorStream {
 
 }  // namespace
 
-KernelResult evaluate_kernel(const KernelProfile& kernel, const GpuConfig& gpu,
+double simulate_l2_miss_rate(const KernelProfile& kernel, const GpuConfig& gpu,
                              std::uint64_t sample_transactions) {
-  KernelResult r;
-  r.name = kernel.name;
-
   const double warp_mem_instrs = kernel.warp_instructions * kernel.mem_fraction;
   const double l2_transactions = warp_mem_instrs * kernel.sectors_per_access;
 
-  // --- L2 simulation on a sampled stream. ---
   cpusim::CacheConfig l2cfg;
   l2cfg.size_bytes = gpu.l2_bytes;
   l2cfg.ways = gpu.l2_ways;
@@ -86,12 +82,13 @@ KernelResult evaluate_kernel(const KernelProfile& kernel, const GpuConfig& gpu,
 
   // Pre-warm the L2 over the tail of the working set (capped at 2x the L2)
   // so L2-resident kernels measure steady-state hit rates rather than
-  // compulsory misses; thrashing kernels are unaffected.
+  // compulsory misses; thrashing kernels are unaffected.  The fresh cache
+  // plus a sector-stride walk makes the O(entries) closed form apply.
   {
     const std::uint64_t sector = gpu.sector_bytes;
     const std::uint64_t span = std::min(kernel.working_set, 2 * gpu.l2_bytes);
-    for (std::uint64_t a = kernel.working_set - span; a < kernel.working_set; a += sector)
-      l2.access(a);
+    const std::uint64_t first = kernel.working_set - span;
+    l2.warm_sequential_lines(first / sector, (span + sector - 1) / sector);
     l2.reset_stats();
   }
 
@@ -101,7 +98,23 @@ KernelResult evaluate_kernel(const KernelProfile& kernel, const GpuConfig& gpu,
   for (std::uint64_t i = 0; i < warmup; ++i) l2.access(stream.next());
   l2.reset_stats();
   for (std::uint64_t i = warmup; i < sample; ++i) l2.access(stream.next());
-  r.l2_miss_rate = sample > warmup ? l2.miss_rate() : 0.0;
+  return sample > warmup ? l2.miss_rate() : 0.0;
+}
+
+KernelResult evaluate_kernel(const KernelProfile& kernel, const GpuConfig& gpu,
+                             std::uint64_t sample_transactions) {
+  return evaluate_kernel_with_miss_rate(
+      kernel, gpu, simulate_l2_miss_rate(kernel, gpu, sample_transactions));
+}
+
+KernelResult evaluate_kernel_with_miss_rate(const KernelProfile& kernel,
+                                            const GpuConfig& gpu, double l2_miss_rate) {
+  KernelResult r;
+  r.name = kernel.name;
+
+  const double warp_mem_instrs = kernel.warp_instructions * kernel.mem_fraction;
+  const double l2_transactions = warp_mem_instrs * kernel.sectors_per_access;
+  r.l2_miss_rate = l2_miss_rate;
 
   const double hbm_transactions = l2_transactions * r.l2_miss_rate;
   r.hbm_txn_per_instr = hbm_transactions / kernel.warp_instructions;

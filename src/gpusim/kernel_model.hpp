@@ -57,4 +57,20 @@ struct KernelResult {
 [[nodiscard]] KernelResult evaluate_kernel(const KernelProfile& kernel, const GpuConfig& gpu,
                                            std::uint64_t sample_transactions = 300'000);
 
+/// The expensive half of evaluate_kernel: simulate the sampled L2 stream
+/// and return the emergent miss rate.  Depends only on the kernel shape and
+/// the GPU's L2 geometry (l2_bytes/l2_ways/sector_bytes) — NOT on
+/// extra_hbm_ns or hbm_bandwidth_derate — which is what makes GPU latency
+/// sweeps profile-once/replay-many (see gpusim/gpu_runner.hpp).
+[[nodiscard]] double simulate_l2_miss_rate(const KernelProfile& kernel, const GpuConfig& gpu,
+                                           std::uint64_t sample_transactions = 300'000);
+
+/// The cheap half: the O(1) roofline arithmetic given an already-known L2
+/// miss rate.  evaluate_kernel(k, gpu, n) ==
+/// evaluate_kernel_with_miss_rate(k, gpu, simulate_l2_miss_rate(k, gpu, n))
+/// bit-for-bit.
+[[nodiscard]] KernelResult evaluate_kernel_with_miss_rate(const KernelProfile& kernel,
+                                                          const GpuConfig& gpu,
+                                                          double l2_miss_rate);
+
 }  // namespace photorack::gpusim

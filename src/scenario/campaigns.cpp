@@ -1,12 +1,16 @@
 #include "scenario/campaigns.hpp"
 
+#include <chrono>
 #include <cstdint>
+#include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <tuple>
 
 #include "core/rack_system.hpp"
+#include "cpusim/miss_profile.hpp"
 #include "cpusim/runner.hpp"
 #include "gpusim/gpu_runner.hpp"
 #include "phot/links.hpp"
@@ -72,29 +76,99 @@ const std::vector<std::string> kCpuColumns = {
     "suite",   "input",    "bench",       "core", "extra_ns", "baseline_ns",
     "time_ns", "slowdown", "llc_miss_rate", "ipc"};
 
-/// Process-wide memo for the extra=0 baseline runs.  run_simulation is
-/// bit-deterministic, so caching is invisible to results — it only avoids
-/// re-simulating the identical baseline for every extra_ns grid point (fig8
-/// would otherwise run each benchmark's baseline three times).  The key must
-/// cover every SimConfig/TraceConfig field the CPU campaigns vary.
-cpusim::SimResult cpu_baseline(const workloads::CpuBenchmark& bench,
-                               const cpusim::SimConfig& cfg,
-                               const workloads::TraceConfig& trace_cfg) {
+/// Single-flight memo: concurrent get()s of one key share one in-flight
+/// computation via a shared_future, so parallel sweep workers never
+/// duplicate a recording (the PR 2 memo they replace allowed that).  With
+/// a nonzero capacity, completed entries beyond it are LRU-evicted — an
+/// eviction at worst recomputes later and, the computations being
+/// bit-deterministic, never changes results.  A failed computation is
+/// removed (matched by entry id, in case eviction already dropped it) so a
+/// later get() retries; every sharer of the failed flight rethrows.
+template <typename Key, typename Value>
+class SingleFlightCache {
+ public:
+  explicit SingleFlightCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  template <typename Compute>
+  Value get(const Key& key, Compute&& compute) {
+    std::shared_future<Value> fut;
+    std::promise<Value> prom;
+    std::uint64_t id = 0;
+    bool owner = false;
+    {
+      std::lock_guard lock(mu_);
+      ++tick_;
+      const auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        it->second.last_use = tick_;
+        fut = it->second.fut;
+      } else {
+        owner = true;
+        id = tick_;
+        fut = prom.get_future().share();
+        if (capacity_ != 0) evict_locked();
+        entries_.emplace(key, Entry{fut, tick_, id});
+      }
+    }
+    if (owner) {
+      try {
+        prom.set_value(compute());
+      } catch (...) {
+        prom.set_exception(std::current_exception());
+        std::lock_guard lock(mu_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end() && it->second.id == id) entries_.erase(it);
+      }
+    }
+    return fut.get();  // rethrows a computation failure to every sharer
+  }
+
+ private:
+  struct Entry {
+    std::shared_future<Value> fut;
+    std::uint64_t last_use = 0;
+    std::uint64_t id = 0;
+  };
+
+  void evict_locked() {
+    while (entries_.size() >= capacity_) {
+      auto victim = entries_.end();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->second.fut.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+          continue;  // never evict an in-flight computation
+        if (victim == entries_.end() || it->second.last_use < victim->second.last_use)
+          victim = it;
+      }
+      if (victim == entries_.end()) return;  // everything in flight
+      entries_.erase(victim);
+    }
+  }
+
+  std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  std::uint64_t tick_ = 0;
+  std::size_t capacity_;
+};
+
+/// Process-wide cache of recorded CPU miss profiles (supersedes the PR 2
+/// extra=0 SimResult memo): one instrumented simulation per (benchmark,
+/// core, instruction budget, seed) serves the baseline AND every extra_ns
+/// grid point as an O(misses) replay, bit-identical to simulating each
+/// point from scratch.  Bounded: grid order keeps one benchmark's latency
+/// points adjacent, so a handful of live profiles bounds memory.
+std::shared_ptr<const cpusim::MissProfile> cpu_profile(
+    const workloads::CpuBenchmark& bench, const cpusim::SimConfig& cfg,
+    const workloads::TraceConfig& trace_cfg) {
   using Key = std::tuple<std::string, int, std::uint64_t, std::uint64_t, std::uint64_t>;
-  static std::mutex mu;
-  static std::map<Key, cpusim::SimResult> memo;
+  static SingleFlightCache<Key, std::shared_ptr<const cpusim::MissProfile>> cache(12);
   const Key key{bench.full_name(), static_cast<int>(cfg.core.kind),
                 cfg.warmup_instructions, cfg.measured_instructions, trace_cfg.seed};
-  {
-    std::lock_guard lock(mu);
-    const auto it = memo.find(key);
-    if (it != memo.end()) return it->second;
-  }
-  workloads::SyntheticTrace trace(trace_cfg);
-  const cpusim::SimResult result = cpusim::run_simulation(trace, cfg);
-  std::lock_guard lock(mu);
-  memo.emplace(key, result);  // concurrent computers produced identical bits
-  return result;
+  return cache.get(key, [&] {
+    workloads::SyntheticTrace trace(trace_cfg);
+    return std::make_shared<const cpusim::MissProfile>(
+        cpusim::record_miss_profile(trace, cfg));
+  });
 }
 
 std::vector<ResultRow> eval_cpu_point(const ScenarioSpec& spec) {
@@ -111,15 +185,12 @@ std::vector<ResultRow> eval_cpu_point(const ScenarioSpec& spec) {
   if (spec.base_seed != 0) trace_cfg.seed = spec.derived_seed();
 
   cfg.dram.extra_ns = 0.0;
-  const cpusim::SimResult baseline = cpu_baseline(bench, cfg, trace_cfg);
+  const auto profile = cpu_profile(bench, cfg, trace_cfg);
+  const cpusim::SimResult baseline = cpusim::replay_profile(*profile, 0.0);
 
   const double extra = spec.num("extra_ns");
-  cpusim::SimResult result = baseline;
-  if (extra != 0.0) {
-    cfg.dram.extra_ns = extra;
-    workloads::SyntheticTrace trace(trace_cfg);
-    result = cpusim::run_simulation(trace, cfg);
-  }
+  const cpusim::SimResult result =
+      extra != 0.0 ? cpusim::replay_profile(*profile, extra) : baseline;
 
   ResultRow row;
   row.cells = {bench.suite,
@@ -154,17 +225,32 @@ const std::vector<std::string> kGpuColumns = {
     "app",     "suite",    "extra_ns",     "derate",
     "baseline_us", "time_us", "slowdown", "l2_miss_rate"};
 
+/// GPU counterpart of the CPU profile cache: the per-kernel L2 simulation
+/// is independent of extra_hbm_ns and the bandwidth derate (the only axes
+/// the GPU campaigns sweep), so one AppMissProfile per app serves every
+/// grid point.  Profiles are a few doubles each, so unbounded (capacity 0).
+std::shared_ptr<const gpusim::AppMissProfile> gpu_app_profile(
+    const gpusim::AppProfile& app) {
+  static SingleFlightCache<std::string, std::shared_ptr<const gpusim::AppMissProfile>>
+      cache;
+  return cache.get(app.name, [&] {
+    return std::make_shared<const gpusim::AppMissProfile>(
+        gpusim::record_app_profile(app, gpusim::GpuConfig{}));
+  });
+}
+
 std::vector<ResultRow> eval_gpu_point(const ScenarioSpec& spec) {
   const auto& app = find_gpu_app(spec.at("app"));
+  const auto profile = gpu_app_profile(app);
 
   // Baseline is always the photonic configuration: zero extra latency, full
   // HBM bandwidth (matches core::run_gpu_sweep).
-  const double baseline_us = gpusim::run_app(app, gpusim::GpuConfig{}).time_us;
+  const double baseline_us = gpusim::replay_app(app, *profile, gpusim::GpuConfig{}).time_us;
 
   gpusim::GpuConfig gpu;
   gpu.extra_hbm_ns = spec.num("extra_ns");
   gpu.hbm_bandwidth_derate = spec.num("derate");
-  const gpusim::AppResult result = gpusim::run_app(app, gpu);
+  const gpusim::AppResult result = gpusim::replay_app(app, *profile, gpu);
 
   ResultRow row;
   row.cells = {app.name,

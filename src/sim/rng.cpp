@@ -1,5 +1,7 @@
 #include "sim/rng.hpp"
 
+#include <limits>
+
 namespace photorack::sim {
 
 std::uint64_t Rng::below(std::uint64_t n) {
@@ -52,15 +54,40 @@ std::uint64_t Rng::zipf(std::uint64_t n, double s) {
     if (s == 1.0) return std::exp(y);
     return std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
   };
-  const double hx0 = h(0.5) - 1.0;
-  const double hn = h(nd + 0.5);
+  // hx0/hn — and the per-k acceptance thresholds below — depend only on
+  // (n, s), which a trace generator passes unchanged for millions of
+  // samples.  Memoizing them skips most log()/pow() calls while computing
+  // the identical arithmetic, so the sampled stream is bit-for-bit the
+  // same as the unmemoized form.
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_hx0_ = h(0.5) - 1.0;
+    zipf_hn_ = h(nd + 0.5);
+    zipf_accept_.clear();
+    if (n <= kZipfTableMax)
+      zipf_accept_.assign(static_cast<std::size_t>(n) + 1,
+                          std::numeric_limits<double>::quiet_NaN());
+  }
+  const double hx0 = zipf_hx0_;
+  const double hn = zipf_hn_;
   for (;;) {
     const double u = hx0 + uniform() * (hn - hx0);
     const double x = h_inv(u);
     const auto k = static_cast<std::uint64_t>(x + 0.5);
     if (k < 1 || k > n) continue;
     const double kd = static_cast<double>(k);
-    if (u >= h(kd + 0.5) - std::pow(kd, -s)) continue;
+    double accept;
+    if (!zipf_accept_.empty()) {
+      accept = zipf_accept_[static_cast<std::size_t>(k)];
+      if (std::isnan(accept)) {
+        accept = h(kd + 0.5) - std::pow(kd, -s);
+        zipf_accept_[static_cast<std::size_t>(k)] = accept;
+      }
+    } else {
+      accept = h(kd + 0.5) - std::pow(kd, -s);
+    }
+    if (u >= accept) continue;
     return k;
   }
 }

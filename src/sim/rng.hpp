@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <numbers>
+#include <vector>
 
 namespace photorack::sim {
 
@@ -98,6 +99,15 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
   bool have_gauss_ = false;
   double gauss_ = 0.0;
+  // zipf() memo for the last (n, s) pair: range constants plus lazily
+  // filled per-k acceptance thresholds (NaN = not yet computed).  Pure
+  // derived values, not stream state, so reseed() need not clear them.
+  static constexpr std::uint64_t kZipfTableMax = 1 << 21;  // 16 MB ceiling
+  std::uint64_t zipf_n_ = 0;
+  double zipf_s_ = 0.0;
+  double zipf_hx0_ = 0.0;
+  double zipf_hn_ = 0.0;
+  std::vector<double> zipf_accept_;
 };
 
 }  // namespace photorack::sim

@@ -95,6 +95,48 @@ TEST(Hierarchy, StatsReset) {
   EXPECT_EQ(h.llc().misses(), 0u);
 }
 
+/// The closed-form sequential warm must leave a cache in EXACTLY the state
+/// the literal access() loop produces — pinned by running an identical
+/// probe sequence against both and requiring identical hit/miss streams,
+/// stats, and (via eviction behavior) identical LRU stamp order.
+TEST(Cache, ClosedFormWarmMatchesLiteralAccessLoop) {
+  const CacheConfig configs[] = {
+      {64 * 1024, 8, 64, 1},             // pow2 sets, partially refilled
+      {1024, 2, 64, 1},                  // tiny: heavy wraparound
+      {40ULL * 1024 * 1024, 16, 32, 1},  // non-pow2 sets (A100 L2 geometry)
+  };
+  for (const auto& cfg : configs) {
+    for (const std::uint64_t first_line : {0ULL, 123ULL}) {
+      for (const std::uint64_t n_lines : {0ULL, 1ULL, 7ULL, 1000ULL, 5000ULL}) {
+        SetAssocCache warmed(cfg);
+        warmed.warm_sequential_lines(first_line, n_lines);
+        SetAssocCache looped(cfg);
+        const auto line = static_cast<std::uint64_t>(cfg.line_bytes);
+        for (std::uint64_t i = 0; i < n_lines; ++i)
+          (void)looped.access((first_line + i) * line);
+
+        EXPECT_EQ(warmed.accesses(), looped.accesses());
+        EXPECT_EQ(warmed.misses(), looped.misses());
+        // Same probe stream afterwards: hit/miss decisions and evictions
+        // depend on every tag and the full LRU order, so any divergence in
+        // the warmed state shows up here.
+        {
+          std::uint64_t x = 12345;
+          for (int i = 0; i < 4000; ++i) {
+            x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+            const std::uint64_t addr =
+                (x >> 16) % ((first_line + n_lines + 64) * line);
+            ASSERT_EQ(warmed.access(addr), looped.access(addr))
+                << "cfg " << cfg.size_bytes << " first " << first_line << " n "
+                << n_lines << " probe " << i;
+          }
+        }
+        EXPECT_EQ(warmed.misses(), looped.misses());
+      }
+    }
+  }
+}
+
 /// Property sweep: for a cyclic streaming scan, the LLC miss rate is ~0
 /// when the working set fits and ~1 when it exceeds capacity.
 class StreamingMissRate : public ::testing::TestWithParam<std::uint64_t> {};

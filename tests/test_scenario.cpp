@@ -11,7 +11,10 @@
 #include <vector>
 
 #include "core/experiments.hpp"
+#include "cpusim/runner.hpp"
 #include "scenario/campaigns.hpp"
+#include "workloads/cpu_profiles.hpp"
+#include "workloads/generators.hpp"
 #include "scenario/result_sink.hpp"
 #include "scenario/scenario_spec.hpp"
 #include "scenario/sweep_grid.hpp"
@@ -362,6 +365,91 @@ TEST(SweepDeterminism, BaseSeedReseedsTheWorkload) {
 // CPU-sweep numbers).  Run both at reduced instruction counts and require
 // bit-equal slowdowns for every benchmark.
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Replay-rework byte identity: the fig6/fig8 campaigns now evaluate every
+// latency point by replaying one recorded miss profile per (bench, core).
+// These tests pin the campaign CSV/JSONL bytes against a reference campaign
+// that still simulates every point from scratch — i.e. the exact evaluator
+// the campaigns used before the rework — so the profile engine cannot move
+// a single output byte.
+// ---------------------------------------------------------------------------
+
+/// The pre-replay eval_cpu_point: one full run_simulation per grid point
+/// (baseline + perturbed), no memoization, no profiles.
+std::vector<ResultRow> eval_cpu_point_from_scratch(const ScenarioSpec& spec) {
+  const workloads::CpuBenchmark* bench = nullptr;
+  for (const auto& b : workloads::cpu_benchmarks())
+    if (b.full_name() == spec.at("bench")) bench = &b;
+  if (bench == nullptr) throw std::out_of_range("no benchmark " + spec.at("bench"));
+
+  cpusim::SimConfig cfg;
+  cfg.core.kind = spec.at("core") == "inorder" ? cpusim::CoreKind::kInOrder
+                                               : cpusim::CoreKind::kOutOfOrder;
+  cfg.warmup_instructions = spec.uint("warmup");
+  cfg.measured_instructions = spec.uint("measured");
+  workloads::TraceConfig trace_cfg = bench->trace;
+  if (spec.base_seed != 0) trace_cfg.seed = spec.derived_seed();
+
+  cfg.dram.extra_ns = 0.0;
+  workloads::SyntheticTrace baseline_trace(trace_cfg);
+  const cpusim::SimResult baseline = cpusim::run_simulation(baseline_trace, cfg);
+
+  const double extra = spec.num("extra_ns");
+  cpusim::SimResult result = baseline;
+  if (extra != 0.0) {
+    cfg.dram.extra_ns = extra;
+    workloads::SyntheticTrace trace(trace_cfg);
+    result = cpusim::run_simulation(trace, cfg);
+  }
+
+  ResultRow row;
+  row.cells = {bench->suite,
+               bench->input,
+               bench->full_name(),
+               spec.at("core"),
+               scenario::num_to_string(extra),
+               scenario::num_to_string(baseline.time_ns),
+               scenario::num_to_string(result.time_ns),
+               scenario::num_to_string(result.time_ns / baseline.time_ns - 1.0),
+               scenario::num_to_string(result.llc_miss_rate),
+               scenario::num_to_string(result.ipc)};
+  return {std::move(row)};
+}
+
+void expect_campaign_bytes_match_from_scratch(const char* name, SweepGrid grid) {
+  const Campaign& campaign = scenario::campaign_by_name(name);
+  Campaign reference = campaign;  // same columns, same grid; old evaluator
+  reference.evaluate = eval_cpu_point_from_scratch;
+
+  const auto [replay_csv, replay_jsonl] = serialize(campaign, grid, 2, 0);
+  std::ostringstream csv_os, jsonl_os;
+  scenario::CsvSink csv(csv_os);
+  scenario::JsonlSink jsonl(jsonl_os);
+  SweepRunner(SweepOptions{.jobs = 1}).run(reference, grid, {&csv, &jsonl});
+
+  EXPECT_FALSE(replay_csv.empty()) << name;
+  EXPECT_EQ(replay_csv, csv_os.str()) << name;
+  EXPECT_EQ(replay_jsonl, jsonl_os.str()) << name;
+}
+
+TEST(ReplayByteIdentity, Fig6CampaignCsvIsByteIdenticalToFromScratchSimulation) {
+  SweepGrid grid = scenario::campaign_by_name("fig6").default_grid();
+  grid.set("bench", {"PARSEC/streamcluster/large", "Rodinia/nw/default", "NAS/cg/B"});
+  grid.set("warmup", {"20000"});
+  grid.set("measured", {"50000"});
+  expect_campaign_bytes_match_from_scratch("fig6", std::move(grid));
+}
+
+TEST(ReplayByteIdentity, Fig8CampaignCsvIsByteIdenticalToFromScratchSimulation) {
+  // fig8's shape: one core, a 25/30/35 ns grid — every point must replay to
+  // the exact bytes a per-point simulation produces.
+  SweepGrid grid = scenario::campaign_by_name("fig8").default_grid();
+  grid.set("bench", {"PARSEC/streamcluster/large", "PARSEC/canneal/medium"});
+  grid.set("warmup", {"20000"});
+  grid.set("measured", {"50000"});
+  expect_campaign_bytes_match_from_scratch("fig8", std::move(grid));
+}
 
 TEST(SweepEquivalence, Fig6CampaignMatchesRunCpuSweep) {
   core::CpuSweepOptions opt;
