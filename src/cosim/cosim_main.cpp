@@ -1,0 +1,135 @@
+// photorack_cosim — closed-loop rack co-simulation (jobs × fabric × power).
+//
+//   photorack_cosim [--policy static|disagg] [--rate R] [--duration-ms D]
+//                   [--horizon-ms H] [--seed S] [--mcms N] [--open-loop]
+//                   [--traffic-scale X] [--quiet]
+//
+// Runs one co-simulation and prints the coupled report: acceptance and
+// utilization from the allocator, satisfaction/indirection from the fabric,
+// stretch from the contention feedback, and the integrated energy trace.
+// For design-space sweeps over these knobs use the scenario engine:
+// `photorack_sweep --campaign cosim_acceptance|cosim_contention|cosim_energy`.
+#include <cstdint>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "cosim/rack_cosim.hpp"
+#include "sim/table.hpp"
+
+namespace {
+
+using namespace photorack;
+
+void print_usage(std::ostream& os) {
+  os << "usage: photorack_cosim [options]\n"
+        "\n"
+        "options:\n"
+        "  --policy static|disagg  allocation policy (default: disagg)\n"
+        "  --rate <R>              job arrivals per ms (default: 4)\n"
+        "  --duration-ms <D>       mean job duration in ms (default: 20)\n"
+        "  --horizon-ms <H>        arrival horizon in ms (default: 400)\n"
+        "  --seed <S>              base seed (default: 7)\n"
+        "  --mcms <N>              co-sim fabric endpoints (default: 24)\n"
+        "  --traffic-scale <X>     scale on per-flow demand (default: 1)\n"
+        "  --open-loop             disable contention feedback (no stretch)\n"
+        "  --quiet                 print only the one-line summary\n"
+        "  --help                  this message\n";
+}
+
+struct CliOptions {
+  disagg::AllocationPolicy policy = disagg::AllocationPolicy::kDisaggregated;
+  cosim::CosimConfig cfg;
+  bool quiet = false;
+};
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      std::exit(0);
+    } else if (arg == "--policy") {
+      opt.policy = disagg::parse_allocation_policy(value("--policy"));
+    } else if (arg == "--rate") {
+      opt.cfg.arrivals_per_ms = std::stod(value("--rate"));
+    } else if (arg == "--duration-ms") {
+      opt.cfg.mean_duration =
+          static_cast<sim::TimePs>(std::stod(value("--duration-ms")) * sim::kPsPerMs);
+    } else if (arg == "--horizon-ms") {
+      opt.cfg.sim_time =
+          static_cast<sim::TimePs>(std::stod(value("--horizon-ms")) * sim::kPsPerMs);
+    } else if (arg == "--seed") {
+      opt.cfg.seed = static_cast<std::uint64_t>(std::stoull(value("--seed")));
+    } else if (arg == "--mcms") {
+      opt.cfg.mcms = std::stoi(value("--mcms"));
+    } else if (arg == "--traffic-scale") {
+      opt.cfg.traffic_scale = std::stod(value("--traffic-scale"));
+    } else if (arg == "--open-loop") {
+      opt.cfg.contention_feedback = false;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else {
+      throw std::invalid_argument("unknown option '" + arg + "'");
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  try {
+    opt = parse_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "photorack_cosim: " << e.what() << "\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    const auto report =
+        cosim::run_rack_cosim({}, opt.policy, workloads::UsageModel::cori(), opt.cfg);
+
+    if (!opt.quiet) {
+      sim::Table table({"metric", "value"});
+      table.add_row({"offered jobs", sim::fmt_int(static_cast<long long>(report.jobs.offered))});
+      table.add_row({"accepted jobs",
+                     sim::fmt_int(static_cast<long long>(report.jobs.accepted))});
+      table.add_row({"acceptance", sim::fmt_pct(report.jobs.acceptance())});
+      table.add_row({"mean CPU utilization", sim::fmt_pct(report.jobs.mean_cpu_utilization)});
+      table.add_row(
+          {"mean memory utilization", sim::fmt_pct(report.jobs.mean_memory_utilization)});
+      table.add_row(
+          {"marooned memory (mean)", sim::fmt_pct(report.jobs.mean_marooned_memory)});
+      table.add_row({"flows routed", sim::fmt_int(static_cast<long long>(report.flows.flows))});
+      table.add_row({"bandwidth satisfied", sim::fmt_pct(report.flows.satisfied_fraction)});
+      table.add_row({"indirect share", sim::fmt_pct(report.flows.indirect_fraction)});
+      table.add_row({"peak fabric utilization", sim::fmt_pct(report.flows.peak_utilization)});
+      table.add_row({"mean job speed", sim::fmt_pct(report.mean_speed_fraction)});
+      table.add_row({"mean stretch", sim::fmt_fixed(report.mean_stretch, 3)});
+      table.add_row({"max stretch", sim::fmt_fixed(report.max_stretch, 3)});
+      table.add_row({"energy (kJ)", sim::fmt_fixed(report.energy_joules / 1e3, 2)});
+      table.add_row({"mean power (kW)", sim::fmt_fixed(report.mean_power_w / 1e3, 2)});
+      table.add_row({"peak power (kW)", sim::fmt_fixed(report.peak_power_w / 1e3, 2)});
+      table.add_row({"photonic power (kW)", sim::fmt_fixed(report.photonic_power_w / 1e3, 2)});
+      table.print(std::cout);
+    }
+
+    std::cerr << "photorack_cosim: " << report.jobs.offered << " jobs offered, "
+              << report.jobs.accepted << " accepted, mean stretch "
+              << sim::fmt_fixed(report.mean_stretch, 3) << ", "
+              << sim::fmt_fixed(report.energy_joules / 1e3, 1) << " kJ over "
+              << sim::fmt_fixed(sim::to_s(report.completed_at) * 1e3, 1) << " ms\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "photorack_cosim: " << e.what() << "\n";
+    return 1;
+  }
+}

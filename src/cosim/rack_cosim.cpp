@@ -1,0 +1,219 @@
+#include "cosim/rack_cosim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rack/rack_builder.hpp"
+
+namespace photorack::cosim {
+
+namespace {
+
+/// All-pairs AWGR plan at co-sim scale: `lambdas_per_pair` parallel AWGRs of
+/// radix `mcms`, every port fully populated, so each (src,dst) pair owns
+/// exactly `lambdas_per_pair` direct wavelengths — the §V-B case (A)
+/// topology shrunk to the slice of the rack one job mix actually stresses.
+rack::AwgrFabricPlan small_awgr_plan(const CosimConfig& cfg) {
+  rack::AwgrFabricPlan plan;
+  plan.parallel_awgrs = cfg.lambdas_per_pair;
+  plan.awgr_radix = cfg.mcms;
+  plan.port_wavelength_cap = cfg.mcms;
+  plan.lambdas_per_port.assign(static_cast<std::size_t>(cfg.lambdas_per_pair), cfg.mcms);
+  plan.full_coverage_awgrs = cfg.lambdas_per_pair;
+  plan.min_direct_lambdas_per_pair = cfg.lambdas_per_pair;
+  plan.direct_pair_bandwidth = phot::Gbps{cfg.lambdas_per_pair * cfg.gbps_per_lambda};
+  return plan;
+}
+
+CosimConfig validated(CosimConfig cfg, const rack::RackConfig& rack) {
+  if (cfg.mcms < 2) throw std::invalid_argument("RackCosim: need >= 2 MCMs");
+  if (cfg.lambdas_per_pair < 1)
+    throw std::invalid_argument("RackCosim: need >= 1 wavelength per pair");
+  if (cfg.gbps_per_lambda <= 0.0)
+    throw std::invalid_argument("RackCosim: wavelength rate must be positive");
+  if (cfg.arrivals_per_ms <= 0.0)
+    throw std::invalid_argument("RackCosim: arrival rate must be positive");
+  if (cfg.mean_duration <= 0)
+    throw std::invalid_argument("RackCosim: mean_duration must be positive");
+  if (cfg.sim_time < 0)
+    throw std::invalid_argument("RackCosim: sim_time must be non-negative");
+  if (cfg.min_speed_fraction <= 0.0 || cfg.min_speed_fraction > 1.0)
+    throw std::invalid_argument("RackCosim: min_speed_fraction must be in (0,1]");
+  if (cfg.traffic_scale < 0.0 || cfg.gpu_traffic_mult < 0.0)
+    throw std::invalid_argument("RackCosim: traffic scales must be non-negative");
+  if (cfg.idle_power_fraction < 0.0 || cfg.idle_power_fraction > 1.0)
+    throw std::invalid_argument("RackCosim: idle_power_fraction must be in [0,1]");
+  // The power trace describes the rack the allocator manages.
+  cfg.baseline.nodes = rack.nodes;
+  cfg.baseline.gpus_per_node = rack.node.gpus;
+  return cfg;
+}
+
+}  // namespace
+
+RackCosim::RackCosim(const rack::RackConfig& rack, disagg::AllocationPolicy policy,
+                     const workloads::UsageModel& usage, CosimConfig cfg)
+    : rack_(rack),
+      cfg_(validated(cfg, rack)),
+      usage_(usage),
+      demand_(workloads::FlowDemandModel::cpu_memory()),
+      allocator_(rack, policy),
+      fabric_(std::make_unique<net::WavelengthFabric>(cfg_.mcms, small_awgr_plan(cfg_))),
+      // Same child-stream layout as FlowSimulator: router seed is the
+      // first draw of child(1), arrivals come from child(2).
+      engine_(*fabric_, cfg_.piggyback_interval, sim::Rng(cfg_.seed).child(1)()),
+      base_rng_(cfg_.seed),
+      arrival_rng_(base_rng_.child(2)) {
+  // §VI-C overhead at co-sim scale: every wavelength the fabric lights burns
+  // transceiver energy whether or not a flow uses it (lasers always on).
+  phot::PhotonicPowerConfig photonic;
+  photonic.mcms = cfg_.mcms;
+  photonic.wavelengths_per_mcm = cfg_.lambdas_per_pair * cfg_.mcms;
+  photonic.gbps_per_wavelength = phot::Gbps{cfg_.gbps_per_lambda};
+  photonic_w_ = phot::photonic_power_overhead(photonic, cfg_.baseline).total.value;
+
+  energy_.step_to(0.0, phot::Watts{compute_power_w() + photonic_w_});
+  schedule_next_arrival();
+}
+
+RackCosim::JobPlan RackCosim::make_plan(sim::Rng& rng) const {
+  JobPlan plan;
+  // The one definition of the §II-A demand shape, shared with
+  // disagg::JobStreamSim — both simulators must offer identical job mixes
+  // for closed-vs-open and static-vs-disagg comparisons to be controlled.
+  const disagg::JobDraw draw =
+      disagg::draw_job_request(rng, usage_, rack_.node, cfg_.max_job_nodes);
+  plan.request = draw.request;
+  plan.breadth = draw.breadth;
+  plan.base_hold = std::max<sim::TimePs>(
+      1, static_cast<sim::TimePs>(
+             rng.exponential(static_cast<double>(cfg_.mean_duration))));
+
+  // Fabric demand: one CPU↔memory flow per node of breadth; GPU jobs add a
+  // heavier GPU↔memory flow per node.  Endpoints are uniform over the co-sim
+  // MCMs — disaggregated placement scatters a job's resources rack-wide.
+  auto draw_flow = [&](double scale) {
+    net::FlowSpec spec;
+    spec.src = static_cast<int>(rng.below(static_cast<std::uint64_t>(cfg_.mcms)));
+    spec.dst = static_cast<int>(
+        (spec.src + 1 + rng.below(static_cast<std::uint64_t>(cfg_.mcms - 1))) %
+        cfg_.mcms);
+    spec.gbps = demand_.sample_gbps(rng) * scale;
+    return spec;
+  };
+  for (int i = 0; i < plan.breadth; ++i)
+    plan.flows.push_back(draw_flow(cfg_.traffic_scale));
+  if (plan.request.gpus > 0)
+    for (int i = 0; i < plan.breadth; ++i)
+      plan.flows.push_back(draw_flow(cfg_.traffic_scale * cfg_.gpu_traffic_mult));
+  return plan;
+}
+
+double RackCosim::compute_power_w() const {
+  const auto& pools = allocator_.pools();
+  const auto& base = cfg_.baseline;
+  const double idle = cfg_.idle_power_fraction;
+  auto level = [&](double utilization, double full_watts) {
+    return full_watts * (idle + (1.0 - idle) * utilization);
+  };
+  const double nodes = static_cast<double>(base.nodes);
+  return level(pools.cpu_utilization(), nodes * base.cpu_per_node.value) +
+         level(pools.gpu_utilization(),
+               nodes * base.gpus_per_node * base.gpu_each.value) +
+         level(pools.memory_utilization(), nodes * base.memory_per_node.value);
+}
+
+void RackCosim::step_energy() {
+  energy_.step_to(sim::to_s(queue_.now()),
+                  phot::Watts{compute_power_w() + photonic_w_});
+}
+
+void RackCosim::schedule_next_arrival() {
+  // Scaled-gap arrivals: a unit-exponential stream divided by the rate, so
+  // raising arrivals_per_ms compresses the *same* arrival pattern instead of
+  // drawing an unrelated one — load sweeps then compare like against like
+  // (and monotone-degradation tests are not at the mercy of resampling).
+  const double unit = arrival_rng_.exponential(1.0);
+  const auto gap = static_cast<sim::TimePs>(
+      unit * static_cast<double>(sim::kPsPerMs) / cfg_.arrivals_per_ms);
+  if (queue_.now() + gap >= cfg_.sim_time) return;
+  queue_.schedule_after(gap, [this]() { on_arrival(); });
+}
+
+void RackCosim::on_arrival() {
+  engine_.refresh_view(queue_.now());
+  stats_.offer();
+  // Per-job child stream keyed by arrival index: a job's demands, duration
+  // and flow layout are a pure function of (seed, index), independent of
+  // every placement decision before it.
+  sim::Rng job_rng = base_rng_.child(16 + next_job_index_++);
+  const JobPlan plan = make_plan(job_rng);
+
+  auto alloc = std::make_shared<disagg::Allocation>(allocator_.allocate(plan.request));
+  if (alloc->placed) {
+    stats_.accept();
+    ++live_jobs_;
+    auto flow_ids = std::make_shared<std::vector<std::uint64_t>>();
+    double requested = 0.0, satisfied = 0.0;
+    flow_ids->reserve(plan.flows.size());
+    for (const auto& spec : plan.flows) {
+      const std::uint64_t id = engine_.open(spec);
+      flow_ids->push_back(id);
+      const net::RouteResult& route = engine_.result(id);
+      requested += route.requested;
+      satisfied += route.satisfied();
+    }
+    const double speed =
+        requested > 0.0
+            ? std::clamp(satisfied / requested, cfg_.min_speed_fraction, 1.0)
+            : 1.0;
+    const double stretch = cfg_.contention_feedback ? 1.0 / speed : 1.0;
+    speed_.add(speed);
+    stretch_.add(stretch);
+    const auto hold = std::max<sim::TimePs>(
+        1, static_cast<sim::TimePs>(static_cast<double>(plan.base_hold) * stretch));
+    queue_.schedule_after(hold, [this, alloc, flow_ids]() {
+      for (const std::uint64_t id : *flow_ids) engine_.close(id);
+      allocator_.release(*alloc);
+      --live_jobs_;
+      step_energy();
+    });
+  }
+  // Step the trace on EVERY arrival, rejected ones included: the level only
+  // changes on placements, but the integration point must advance to the
+  // last event or the tail of the horizon silently drops out of the total
+  // (an all-rejected stream still burns idle + lasers-on photonic power).
+  step_energy();
+
+  stats_.sample(allocator_);
+  schedule_next_arrival();
+}
+
+void RackCosim::advance_to(sim::TimePs t) { queue_.run(t); }
+
+void RackCosim::finish() { queue_.run(); }
+
+CosimReport RackCosim::report() const {
+  CosimReport report;
+  report.jobs = stats_.report();
+  report.flows = engine_.report();
+  report.mean_speed_fraction = speed_.count() ? speed_.mean() : 1.0;
+  report.mean_stretch = stretch_.count() ? stretch_.mean() : 1.0;
+  report.max_stretch = stretch_.count() ? stretch_.max() : 1.0;
+  report.energy_joules = energy_.joules();
+  report.mean_power_w = energy_.mean_power().value;
+  report.peak_power_w = energy_.peak_power().value;
+  report.photonic_power_w = photonic_w_;
+  report.completed_at = queue_.now();
+  return report;
+}
+
+CosimReport run_rack_cosim(const rack::RackConfig& rack, disagg::AllocationPolicy policy,
+                           const workloads::UsageModel& usage, const CosimConfig& cfg) {
+  RackCosim sim(rack, policy, usage, cfg);
+  sim.finish();
+  return sim.report();
+}
+
+}  // namespace photorack::cosim

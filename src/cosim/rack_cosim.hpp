@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "disagg/allocator.hpp"
+#include "disagg/job_scheduler.hpp"
+#include "net/flow_sim.hpp"
+#include "phot/power.hpp"
+#include "rack/chips.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "workloads/usage.hpp"
+
+namespace photorack::cosim {
+
+/// Closed-loop rack co-simulation (§II-A telemetry × §IV fabric × §VI-C
+/// power, evaluated *together* under one live job stream).
+///
+/// One sim::EventQueue drives three coupled layers:
+///
+///   jobs    — Poisson arrivals whose demands come from workloads::UsageModel
+///   fabric  — each placed job opens CPU↔memory (and GPU↔memory) flows on a
+///             net::WavelengthFabric through net::FlowEngine
+///   power   — every allocation change steps a phot::EnergyTrace at the
+///             utilization-scaled rack power level
+///
+/// The loop closes through contention: a job's measured satisfied fraction
+/// (reserved / requested fabric bandwidth at admission) stretches its
+/// residual duration, so congested racks hold resources longer, which
+/// raises occupancy, which lowers acceptance — the dynamics an open-loop
+/// job stream (disagg::JobStreamSim) cannot express.
+struct CosimConfig {
+  // --- job stream (mirrors disagg::JobSimConfig) ---
+  double arrivals_per_ms = 4.0;
+  sim::TimePs mean_duration = 20 * sim::kPsPerMs;
+  sim::TimePs sim_time = 400 * sim::kPsPerMs;
+  std::uint64_t seed = 7;
+  int max_job_nodes = 8;  // job breadth drawn in [1, max]
+
+  // --- contention feedback ---
+  /// true: closed loop — residual duration is stretched by 1/satisfied.
+  /// false: open loop — flows still occupy the fabric (statistics accrue)
+  /// but durations are never stretched.  Same seed ⇒ identical job plans in
+  /// both modes, so closed-vs-open is a controlled comparison.
+  bool contention_feedback = true;
+  /// Floor on the per-job speed fraction (caps the stretch at 1/floor), so
+  /// one fully blocked flow cannot pin a job forever.
+  double min_speed_fraction = 0.05;
+
+  // --- co-sim fabric geometry ---
+  /// MCM endpoints of the co-sim fabric.  Deliberately smaller than the
+  /// paper's 350-MCM rack: job traffic concentrates on the handful of
+  /// memory-pool MCMs a rack slice actually spans, which is where the
+  /// contention the loop feeds back on lives.
+  int mcms = 24;
+  int lambdas_per_pair = 1;        // direct wavelengths per (src,dst) pair
+  double gbps_per_lambda = 25.0;   // per-wavelength rate (Table III)
+  sim::TimePs piggyback_interval = 10 * sim::kPsPerUs;
+
+  // --- traffic model ---
+  /// Every placed job opens one CPU↔memory flow per node of breadth, with
+  /// demand drawn from workloads::FlowDemandModel::cpu_memory() × this
+  /// scale; GPU jobs add one GPU↔memory flow per node at gpu_traffic_mult ×
+  /// the same distribution.
+  double traffic_scale = 1.0;
+  double gpu_traffic_mult = 4.0;
+
+  // --- power model (§VI-C, made utilization-aware) ---
+  /// Idle fraction of each part's full power; the remainder scales linearly
+  /// with that pool's utilization.
+  double idle_power_fraction = 0.30;
+  phot::BaselineRackPower baseline{};  // nodes/gpus_per_node resynced to rack
+};
+
+struct CosimReport {
+  disagg::JobSimReport jobs;   // offered/accepted/utilization means
+  net::FlowSimReport flows;    // satisfaction, indirection, blocking
+  double mean_speed_fraction = 1.0;  // mean per-job satisfied fraction
+  double mean_stretch = 1.0;         // mean duration multiplier (>= 1)
+  double max_stretch = 1.0;
+  double energy_joules = 0.0;
+  double mean_power_w = 0.0;
+  double peak_power_w = 0.0;
+  double photonic_power_w = 0.0;  // constant lasers-on fabric overhead
+  sim::TimePs completed_at = 0;   // queue time when the report was taken
+};
+
+class RackCosim {
+ public:
+  RackCosim(const rack::RackConfig& rack, disagg::AllocationPolicy policy,
+            const workloads::UsageModel& usage, CosimConfig cfg = {});
+
+  // Queued event handlers capture `this`; a copied or moved instance would
+  // leave them pointing at the original object.
+  RackCosim(const RackCosim&) = delete;
+  RackCosim& operator=(const RackCosim&) = delete;
+
+  /// Process every event strictly before time `t`.
+  void advance_to(sim::TimePs t);
+  /// Drain everything: completions of jobs still running past the arrival
+  /// horizon (stretched durations can run far beyond sim_time).
+  void finish();
+
+  [[nodiscard]] sim::TimePs now() const { return queue_.now(); }
+  [[nodiscard]] CosimReport report() const;
+  [[nodiscard]] const disagg::RackAllocator& allocator() const { return allocator_; }
+  [[nodiscard]] double fabric_utilization() const { return engine_.fabric_utilization(); }
+  [[nodiscard]] std::uint64_t live_jobs() const { return live_jobs_; }
+
+ private:
+  // Everything one job will do, drawn up front from the job's own RNG child
+  // stream at arrival — *before* placement.  Acceptance therefore never
+  // perturbs later jobs' draws: the offered stream is identical across
+  // policies and feedback modes, which is what makes closed-vs-open and
+  // static-vs-disaggregated controlled comparisons.
+  struct JobPlan {
+    disagg::JobRequest request;
+    int breadth = 1;
+    sim::TimePs base_hold = 1;
+    std::vector<net::FlowSpec> flows;
+  };
+
+  rack::RackConfig rack_;
+  CosimConfig cfg_;
+  workloads::UsageModel usage_;
+  workloads::FlowDemandModel demand_;
+  disagg::RackAllocator allocator_;
+  std::unique_ptr<net::WavelengthFabric> fabric_;
+  net::FlowEngine engine_;
+  sim::EventQueue queue_;
+  sim::Rng base_rng_;
+  sim::Rng arrival_rng_;
+  std::uint64_t next_job_index_ = 0;
+
+  std::uint64_t live_jobs_ = 0;
+  disagg::JobStreamStats stats_;  // shared with JobStreamSim: same telemetry
+  sim::RunningStats speed_, stretch_;
+  phot::EnergyTrace energy_;
+  double photonic_w_ = 0.0;
+
+  [[nodiscard]] JobPlan make_plan(sim::Rng& rng) const;
+  [[nodiscard]] double compute_power_w() const;
+  void step_energy();
+  void schedule_next_arrival();
+  void on_arrival();
+};
+
+/// Run-to-completion convenience over RackCosim.
+[[nodiscard]] CosimReport run_rack_cosim(const rack::RackConfig& rack,
+                                         disagg::AllocationPolicy policy,
+                                         const workloads::UsageModel& usage,
+                                         const CosimConfig& cfg = {});
+
+}  // namespace photorack::cosim

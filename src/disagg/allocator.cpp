@@ -1,10 +1,35 @@
 #include "disagg/allocator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace photorack::disagg {
+
+namespace {
+
+/// Allocation ids are unique across every allocator in the process, so an
+/// Allocation handed to the wrong allocator can never alias an id that
+/// allocator granted itself — release() then reliably throws instead of
+/// silently draining pools that were never charged.
+std::uint64_t next_global_allocation_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+AllocationPolicy parse_allocation_policy(const std::string& v) {
+  if (v == "static") return AllocationPolicy::kStaticNodes;
+  if (v == "disagg") return AllocationPolicy::kDisaggregated;
+  throw std::invalid_argument("unknown policy '" + v + "' (want static|disagg)");
+}
+
+const char* to_string(AllocationPolicy policy) {
+  return policy == AllocationPolicy::kStaticNodes ? "static" : "disagg";
+}
 
 RackAllocator::RackAllocator(const rack::RackConfig& rack, AllocationPolicy policy,
                              double memory_gb_per_node, double nic_gbps_per_node)
@@ -70,23 +95,46 @@ Allocation RackAllocator::allocate(const JobRequest& req) {
     pools_.memory_gb_used += a.memory_gb;
     pools_.nic_gbps_used += a.nic_gbps;
   }
-  a.id = next_id_++;
+  a.id = next_global_allocation_id();
+  live_.emplace(a.id, a);
   return a;
 }
 
 void RackAllocator::release(const Allocation& alloc) {
   if (!alloc.placed) return;
-  pools_.cpus_used -= alloc.cpus;
-  pools_.gpus_used -= alloc.gpus;
-  pools_.memory_gb_used -= alloc.memory_gb;
-  pools_.nic_gbps_used -= alloc.nic_gbps;
+  const auto it = live_.find(alloc.id);
+  if (it == live_.end())
+    throw std::logic_error("release: allocation id " + std::to_string(alloc.id) +
+                           " was never granted or is already released");
+  // Decrement by the grant this allocator recorded, never by the caller's
+  // copy: mutated Allocation fields cannot skew the accounting, and the
+  // pools can only ever return to exactly what allocate() charged.
+  const Allocation granted = it->second;
+  live_.erase(it);
+  pools_.cpus_used -= granted.cpus;
+  pools_.gpus_used -= granted.gpus;
+  pools_.memory_gb_used -= granted.memory_gb;
+  pools_.nic_gbps_used -= granted.nic_gbps;
   if (policy_ == AllocationPolicy::kStaticNodes) {
-    free_nodes_ += alloc.nodes;
-    marooned_cpus_ -= alloc.marooned_cpus;
-    marooned_memory_gb_ -= alloc.marooned_memory_gb;
+    free_nodes_ += granted.nodes;
+    marooned_cpus_ -= granted.marooned_cpus;
+    marooned_memory_gb_ -= granted.marooned_memory_gb;
   }
-  if (pools_.cpus_used < 0 || pools_.memory_gb_used < -1e-9)
-    throw std::logic_error("release: double free");
+  if (live_.empty()) {
+    // Releasing in a different order than allocating leaves ~1e-16-scale
+    // residue in the floating-point accumulators; an empty allocator must
+    // be *bit-exactly* pristine ("free restores exactly").  Keep the
+    // threshold tight: it must absorb rounding residue only, never mask a
+    // genuine sub-microscopic accounting leak.
+    constexpr double kRoundingEps = 1e-9;
+    auto snap = [](double& v) {
+      if (v > -kRoundingEps && v < kRoundingEps) v = 0.0;
+    };
+    snap(pools_.memory_gb_used);
+    snap(pools_.nic_gbps_used);
+    snap(marooned_cpus_);
+    snap(marooned_memory_gb_);
+  }
 }
 
 double RackAllocator::marooned_cpu_fraction() const {

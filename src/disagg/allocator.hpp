@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "rack/chips.hpp"
@@ -61,6 +63,11 @@ struct PoolState {
 /// rack-wide pool; jobs take exactly what they request.
 enum class AllocationPolicy { kStaticNodes, kDisaggregated };
 
+/// Canonical CLI/campaign-axis spellings: "static" | "disagg".  The one
+/// definition shared by photorack_cosim and the scenario campaigns.
+[[nodiscard]] AllocationPolicy parse_allocation_policy(const std::string& v);
+[[nodiscard]] const char* to_string(AllocationPolicy policy);
+
 class RackAllocator {
  public:
   RackAllocator(const rack::RackConfig& rack, AllocationPolicy policy,
@@ -68,11 +75,19 @@ class RackAllocator {
 
   /// Try to place a job; marooned resources are tracked for static nodes.
   [[nodiscard]] Allocation allocate(const JobRequest& req);
+
+  /// Return a placed allocation's resources to the pools.  Only `placed`
+  /// and `id` are consulted: the pools are decremented by the *stored*
+  /// grant, so caller-side mutation of an Allocation's resource fields can
+  /// never skew the accounting.  Releasing an unplaced allocation is a
+  /// no-op; releasing an id this allocator never granted, or the same id
+  /// twice, throws std::logic_error before touching any pool.
   void release(const Allocation& alloc);
 
   [[nodiscard]] const PoolState& pools() const { return pools_; }
   [[nodiscard]] AllocationPolicy policy() const { return policy_; }
   [[nodiscard]] int free_nodes() const { return free_nodes_; }
+  [[nodiscard]] std::size_t live_allocations() const { return live_.size(); }
 
   /// Resources granted but idle (static-node only): the utilization gap
   /// that motivates disaggregation.
@@ -88,7 +103,9 @@ class RackAllocator {
   double nic_gbps_per_node_;
   int free_nodes_;
   PoolState pools_;
-  std::uint64_t next_id_ = 1;
+  // Grants not yet released, keyed by id; release() decrements by the
+  // stored record, never by the caller's (possibly mutated) copy.
+  std::unordered_map<std::uint64_t, Allocation> live_;
 
   double marooned_cpus_ = 0.0;
   double marooned_memory_gb_ = 0.0;

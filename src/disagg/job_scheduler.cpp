@@ -6,74 +6,96 @@
 
 namespace photorack::disagg {
 
+void JobStreamStats::sample(const RackAllocator& allocator) {
+  cpu_util_.add(allocator.pools().cpu_utilization());
+  gpu_util_.add(allocator.pools().gpu_utilization());
+  mem_util_.add(allocator.pools().memory_utilization());
+  marooned_cpu_.add(allocator.marooned_cpu_fraction());
+  marooned_mem_.add(allocator.marooned_memory_fraction());
+}
+
+JobSimReport JobStreamStats::report() const {
+  JobSimReport report;
+  report.offered = offered_;
+  report.accepted = accepted_;
+  report.mean_cpu_utilization = cpu_util_.mean();
+  report.mean_gpu_utilization = gpu_util_.mean();
+  report.mean_memory_utilization = mem_util_.mean();
+  report.mean_marooned_cpu = marooned_cpu_.mean();
+  report.mean_marooned_memory = marooned_mem_.mean();
+  return report;
+}
+
+JobStreamSim::JobStreamSim(const rack::RackConfig& rack, AllocationPolicy policy,
+                           const workloads::UsageModel& usage, JobSimConfig cfg)
+    : allocator_(rack, policy),
+      usage_(usage),
+      cfg_(cfg),
+      rack_(rack),
+      arrival_rng_(cfg.seed),
+      job_rng_(arrival_rng_.child(1)) {
+  schedule_next_arrival();
+}
+
+// Job demands: breadth in nodes, then per-resource usage fractions drawn
+// from the production distributions — exactly the §II-A picture where a
+// job occupies N nodes but touches a small slice of their memory/NIC.
+JobDraw draw_job_request(sim::Rng& rng, const workloads::UsageModel& usage,
+                         const rack::NodeConfig& node, int max_job_nodes) {
+  JobDraw draw;
+  draw.breadth =
+      static_cast<int>(1 + rng.below(static_cast<std::uint64_t>(max_job_nodes)));
+  const double cpu_frac = usage.cpu_cores.sample(rng);
+  const double mem_frac = usage.memory_capacity.sample(rng);
+  const double nic_frac = usage.nic_bandwidth.sample(rng);
+  draw.request.cpus = std::max(
+      1, static_cast<int>(std::lround(draw.breadth * node.cpus * cpu_frac)));
+  // GPUs: half the jobs are GPU jobs asking for 1..4 GPUs per node.
+  draw.request.gpus =
+      rng.bernoulli(0.5)
+          ? draw.breadth * static_cast<int>(
+                               1 + rng.below(static_cast<std::uint64_t>(node.gpus)))
+          : 0;
+  draw.request.memory_gb = draw.breadth * 256.0 * mem_frac;
+  draw.request.nic_gbps = draw.breadth * 800.0 * nic_frac;
+  return draw;
+}
+
+JobRequest JobStreamSim::make_request() {
+  return draw_job_request(job_rng_, usage_, rack_.node, cfg_.max_job_nodes).request;
+}
+
+void JobStreamSim::schedule_next_arrival() {
+  const double mean_gap = static_cast<double>(sim::kPsPerMs) / cfg_.arrivals_per_ms;
+  const auto gap = static_cast<sim::TimePs>(arrival_rng_.exponential(mean_gap));
+  if (queue_.now() + gap >= cfg_.sim_time) return;
+  queue_.schedule_after(gap, [this]() {
+    stats_.offer();
+    const JobRequest req = make_request();
+    auto alloc = std::make_shared<Allocation>(allocator_.allocate(req));
+    if (alloc->placed) {
+      stats_.accept();
+      const auto hold = static_cast<sim::TimePs>(
+          job_rng_.exponential(static_cast<double>(cfg_.mean_duration)));
+      queue_.schedule_after(std::max<sim::TimePs>(hold, 1),
+                            [this, alloc]() { allocator_.release(*alloc); });
+    }
+    stats_.sample(allocator_);
+    schedule_next_arrival();
+  });
+}
+
+void JobStreamSim::advance_to(sim::TimePs t) { queue_.run(t); }
+
+void JobStreamSim::finish() { queue_.run(); }
+
+JobSimReport JobStreamSim::report() const { return stats_.report(); }
+
 JobSimReport run_job_stream(const rack::RackConfig& rack, AllocationPolicy policy,
                             const workloads::UsageModel& usage, const JobSimConfig& cfg) {
-  RackAllocator allocator(rack, policy);
-  sim::EventQueue queue;
-  sim::Rng arrival_rng(cfg.seed);
-  sim::Rng job_rng = arrival_rng.child(1);
-
-  JobSimReport report;
-  sim::RunningStats cpu_util, gpu_util, mem_util, marooned_cpu, marooned_mem;
-
-  const double mean_gap =
-      static_cast<double>(sim::kPsPerMs) / cfg.arrivals_per_ms;
-
-  // Job demands: breadth in nodes, then per-resource usage fractions drawn
-  // from the production distributions — exactly the §II-A picture where a
-  // job occupies N nodes but touches a small slice of their memory/NIC.
-  auto make_request = [&]() {
-    JobRequest req;
-    const auto breadth =
-        static_cast<int>(1 + job_rng.below(static_cast<std::uint64_t>(cfg.max_job_nodes)));
-    const double cpu_frac = usage.cpu_cores.sample(job_rng);
-    const double mem_frac = usage.memory_capacity.sample(job_rng);
-    const double nic_frac = usage.nic_bandwidth.sample(job_rng);
-    req.cpus = std::max(1, static_cast<int>(std::lround(breadth * rack.node.cpus * cpu_frac)));
-    // GPUs: half the jobs are GPU jobs asking for 1..4 GPUs per node.
-    req.gpus = job_rng.bernoulli(0.5)
-                   ? breadth * static_cast<int>(1 + job_rng.below(
-                                   static_cast<std::uint64_t>(rack.node.gpus)))
-                   : 0;
-    req.memory_gb = breadth * 256.0 * mem_frac;
-    req.nic_gbps = breadth * 800.0 * nic_frac;
-    return req;
-  };
-
-  std::function<void()> schedule_next = [&]() {
-    const auto gap = static_cast<sim::TimePs>(arrival_rng.exponential(mean_gap));
-    if (queue.now() + gap >= cfg.sim_time) return;
-    queue.schedule_after(gap, [&]() {
-      ++report.offered;
-      const JobRequest req = make_request();
-      auto alloc = std::make_shared<Allocation>(allocator.allocate(req));
-      if (alloc->placed) {
-        ++report.accepted;
-        const auto hold =
-            static_cast<sim::TimePs>(job_rng.exponential(
-                static_cast<double>(cfg.mean_duration)));
-        queue.schedule_after(std::max<sim::TimePs>(hold, 1),
-                             [&, alloc]() { allocator.release(*alloc); });
-      }
-      // Sample utilization at every arrival (an unbiased-enough probe for
-      // Poisson arrivals, by PASTA).
-      cpu_util.add(allocator.pools().cpu_utilization());
-      gpu_util.add(allocator.pools().gpu_utilization());
-      mem_util.add(allocator.pools().memory_utilization());
-      marooned_cpu.add(allocator.marooned_cpu_fraction());
-      marooned_mem.add(allocator.marooned_memory_fraction());
-      schedule_next();
-    });
-  };
-  schedule_next();
-  queue.run();
-
-  report.mean_cpu_utilization = cpu_util.mean();
-  report.mean_gpu_utilization = gpu_util.mean();
-  report.mean_memory_utilization = mem_util.mean();
-  report.mean_marooned_cpu = marooned_cpu.mean();
-  report.mean_marooned_memory = marooned_mem.mean();
-  return report;
+  JobStreamSim sim(rack, policy, usage, cfg);
+  sim.finish();
+  return sim.report();
 }
 
 }  // namespace photorack::disagg

@@ -22,6 +22,13 @@ struct JobSimConfig {
   int max_job_nodes = 16;  // job breadth drawn in [1, max]
 };
 
+/// Acceptance reported for a stream that offered no jobs at all.  An empty
+/// stream rejects nothing, so the vacuous value is 1.0 — chosen explicitly
+/// (rather than 0/0 = NaN) so downstream aggregation over sweeps that
+/// include a degenerate horizon stays NaN-free.  Callers that must tell
+/// "accepted everything" from "offered nothing" check `offered` directly.
+inline constexpr double kEmptyStreamAcceptance = 1.0;
+
 struct JobSimReport {
   std::uint64_t offered = 0;
   std::uint64_t accepted = 0;
@@ -32,14 +39,88 @@ struct JobSimReport {
   double mean_marooned_memory = 0.0;  // fraction of rack memory idle-but-held
 
   [[nodiscard]] double acceptance() const {
-    return offered ? static_cast<double>(accepted) / static_cast<double>(offered) : 1.0;
+    return offered ? static_cast<double>(accepted) / static_cast<double>(offered)
+                   : kEmptyStreamAcceptance;
   }
 };
 
-/// Run the same deterministic job stream against one rack policy.
+/// Job-stream telemetry shared by every simulator that offers the §II-A
+/// stream (JobStreamSim and cosim::RackCosim): the offered/accepted
+/// counters, the PASTA utilization probes taken at each arrival, and the
+/// JobSimReport assembly.  One definition keeps the simulators' reports
+/// field-for-field comparable — the controlled closed-vs-open comparisons
+/// depend on it.
+class JobStreamStats {
+ public:
+  void offer() { ++offered_; }
+  void accept() { ++accepted_; }
+  /// Sample the allocator state (call at every arrival — PASTA probe).
+  void sample(const RackAllocator& allocator);
+  [[nodiscard]] JobSimReport report() const;
+
+ private:
+  std::uint64_t offered_ = 0;
+  std::uint64_t accepted_ = 0;
+  sim::RunningStats cpu_util_, gpu_util_, mem_util_, marooned_cpu_, marooned_mem_;
+};
+
+/// Stepwise job-stream simulation against one rack policy.  advance_to(t)
+/// processes arrivals and departures strictly before t, finish() drains the
+/// departures of jobs still holding resources after the arrival horizon, and
+/// report() snapshots the statistics at any point in between.  The rack
+/// co-simulation engine layers fabric traffic on the same event loop; this
+/// class is the open-loop (no contention feedback) core.
+class JobStreamSim {
+ public:
+  JobStreamSim(const rack::RackConfig& rack, AllocationPolicy policy,
+               const workloads::UsageModel& usage, JobSimConfig cfg = {});
+
+  // Queued event handlers capture `this`; a copied or moved instance would
+  // leave them pointing at the original object.
+  JobStreamSim(const JobStreamSim&) = delete;
+  JobStreamSim& operator=(const JobStreamSim&) = delete;
+
+  /// Process every event strictly before time `t`.
+  void advance_to(sim::TimePs t);
+  /// Drain all remaining events (job departures past the arrival horizon).
+  void finish();
+
+  [[nodiscard]] sim::TimePs now() const { return queue_.now(); }
+  [[nodiscard]] JobSimReport report() const;
+  [[nodiscard]] const RackAllocator& allocator() const { return allocator_; }
+
+ private:
+  RackAllocator allocator_;
+  workloads::UsageModel usage_;
+  JobSimConfig cfg_;
+  rack::RackConfig rack_;
+  sim::EventQueue queue_;
+  sim::Rng arrival_rng_;
+  sim::Rng job_rng_;
+  JobStreamStats stats_;
+
+  [[nodiscard]] JobRequest make_request();
+  void schedule_next_arrival();
+};
+
+/// Run the same deterministic job stream against one rack policy
+/// (run-to-completion convenience over JobStreamSim).
 [[nodiscard]] JobSimReport run_job_stream(const rack::RackConfig& rack,
                                           AllocationPolicy policy,
                                           const workloads::UsageModel& usage,
                                           const JobSimConfig& cfg = {});
+
+/// One §II-A-shaped job demand: breadth in nodes plus the request it implies.
+struct JobDraw {
+  JobRequest request;
+  int breadth = 1;
+};
+
+/// Draw one job's demands from the usage distributions, in a fixed RNG
+/// order.  Shared by JobStreamSim and cosim::RackCosim — both simulators
+/// MUST offer the same demand shape or their comparisons stop being
+/// controlled, so this is the single definition.
+[[nodiscard]] JobDraw draw_job_request(sim::Rng& rng, const workloads::UsageModel& usage,
+                                       const rack::NodeConfig& node, int max_job_nodes);
 
 }  // namespace photorack::disagg

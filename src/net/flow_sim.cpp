@@ -1,65 +1,101 @@
 #include "net/flow_sim.hpp"
 
-#include <memory>
+#include <algorithm>
+#include <stdexcept>
 
 namespace photorack::net {
 
+FlowEngine::FlowEngine(WavelengthFabric& fabric, sim::TimePs piggyback_interval,
+                       std::uint64_t router_seed)
+    : fabric_(&fabric),
+      view_(fabric, piggyback_interval),
+      router_(fabric, view_, router_seed) {}
+
+void FlowEngine::refresh_view(sim::TimePs now) { view_.maybe_refresh(now); }
+
+std::uint64_t FlowEngine::open(const FlowSpec& spec) {
+  RouteResult result = router_.route(spec.src, spec.dst, spec.gbps);
+  ++flows_;
+  if (result.fully_satisfied()) ++fully_satisfied_;
+  offered_.add(spec.gbps);
+  intermediates_.add(result.intermediates_used);
+  requested_total_ += spec.gbps;
+  satisfied_total_ += result.satisfied();
+  direct_total_ += result.direct_gbps;
+  indirect_total_ += result.indirect_gbps;
+  peak_util_ = std::max(peak_util_, fabric_->utilization());
+  const std::uint64_t id = next_id_++;
+  live_.emplace(id, std::move(result));
+  return id;
+}
+
+const RouteResult& FlowEngine::result(std::uint64_t flow_id) const {
+  const auto it = live_.find(flow_id);
+  if (it == live_.end())
+    throw std::out_of_range("FlowEngine: no live flow with id " + std::to_string(flow_id));
+  return it->second;
+}
+
+void FlowEngine::close(std::uint64_t flow_id) {
+  const auto it = live_.find(flow_id);
+  if (it == live_.end())
+    throw std::out_of_range("FlowEngine: closing unknown flow id " +
+                            std::to_string(flow_id));
+  router_.release(it->second);
+  live_.erase(it);
+}
+
+FlowSimReport FlowEngine::report() const {
+  FlowSimReport report;
+  report.flows = flows_;
+  report.fully_satisfied = fully_satisfied_;
+  report.offered_gbps_mean = offered_.mean();
+  report.satisfied_fraction =
+      requested_total_ > 0 ? satisfied_total_ / requested_total_ : 1.0;
+  report.direct_fraction = satisfied_total_ > 0 ? direct_total_ / satisfied_total_ : 0.0;
+  report.indirect_fraction =
+      satisfied_total_ > 0 ? indirect_total_ / satisfied_total_ : 0.0;
+  report.stale_mispicks = router_.total_mispicks();
+  report.second_hops = router_.total_second_hops();
+  report.mean_intermediates = intermediates_.mean();
+  report.peak_utilization = peak_util_;
+  return report;
+}
+
 FlowSimulator::FlowSimulator(WavelengthFabric& fabric, FlowGenerator generator,
                              FlowSimConfig cfg)
-    : fabric_(&fabric), generator_(std::move(generator)), cfg_(cfg) {}
+    : generator_(std::move(generator)),
+      cfg_(cfg),
+      // Child-stream layout predates the FlowEngine split (router = the
+      // first draw of child(1)); keep it so seeded runs reproduce.
+      engine_(fabric, cfg.piggyback_interval, sim::Rng(cfg.seed).child(1)()),
+      arrival_rng_(sim::Rng(cfg.seed).child(2)),
+      flow_rng_(sim::Rng(cfg.seed).child(3)) {
+  schedule_next_arrival();
+}
 
-FlowSimReport FlowSimulator::run() {
-  sim::EventQueue queue;
-  sim::Rng rng(cfg_.seed);
-  PiggybackView view(*fabric_, cfg_.piggyback_interval);
-  IndirectRouter router(*fabric_, view, rng.child(1)());
-
-  FlowSimReport report;
-  sim::RunningStats offered, intermediates;
-  double requested_total = 0.0, satisfied_total = 0.0;
-  double direct_total = 0.0, indirect_total = 0.0;
-  double peak_util = 0.0;
-
+void FlowSimulator::schedule_next_arrival() {
   const double mean_interarrival_ps =
       static_cast<double>(sim::kPsPerUs) / cfg_.arrivals_per_us;
-  sim::Rng arrival_rng = rng.child(2);
-  sim::Rng flow_rng = rng.child(3);
+  const auto gap =
+      static_cast<sim::TimePs>(arrival_rng_.exponential(mean_interarrival_ps));
+  if (queue_.now() + gap >= cfg_.sim_time) return;
+  queue_.schedule_after(gap, [this]() {
+    engine_.refresh_view(queue_.now());
+    const FlowSpec spec = generator_(flow_rng_);
+    const std::uint64_t id = engine_.open(spec);
+    queue_.schedule_after(spec.duration, [this, id]() { engine_.close(id); });
+    schedule_next_arrival();
+  });
+}
 
-  // Active-flow bookkeeping lives in shared_ptrs captured by the departure
-  // events; the queue owns the closures.
-  std::function<void()> schedule_next_arrival = [&]() {
-    const auto gap =
-        static_cast<sim::TimePs>(arrival_rng.exponential(mean_interarrival_ps));
-    if (queue.now() + gap >= cfg_.sim_time) return;
-    queue.schedule_after(gap, [&]() {
-      view.maybe_refresh(queue.now());
-      const FlowSpec spec = generator_(flow_rng);
-      auto result = std::make_shared<RouteResult>(router.route(spec.src, spec.dst, spec.gbps));
-      ++report.flows;
-      if (result->fully_satisfied()) ++report.fully_satisfied;
-      offered.add(spec.gbps);
-      intermediates.add(result->intermediates_used);
-      requested_total += spec.gbps;
-      satisfied_total += result->satisfied();
-      direct_total += result->direct_gbps;
-      indirect_total += result->indirect_gbps;
-      peak_util = std::max(peak_util, fabric_->utilization());
-      queue.schedule_after(spec.duration, [&, result]() { router.release(*result); });
-      schedule_next_arrival();
-    });
-  };
-  schedule_next_arrival();
-  queue.run();
+void FlowSimulator::advance_to(sim::TimePs t) { queue_.run(t); }
 
-  report.offered_gbps_mean = offered.mean();
-  report.satisfied_fraction = requested_total > 0 ? satisfied_total / requested_total : 1.0;
-  report.direct_fraction = satisfied_total > 0 ? direct_total / satisfied_total : 0.0;
-  report.indirect_fraction = satisfied_total > 0 ? indirect_total / satisfied_total : 0.0;
-  report.stale_mispicks = router.total_mispicks();
-  report.second_hops = router.total_second_hops();
-  report.mean_intermediates = intermediates.mean();
-  report.peak_utilization = peak_util;
-  return report;
+void FlowSimulator::finish() { queue_.run(); }
+
+FlowSimReport FlowSimulator::run() {
+  finish();
+  return report();
 }
 
 }  // namespace photorack::net

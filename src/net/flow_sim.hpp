@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "net/routing.hpp"
@@ -46,20 +47,91 @@ struct FlowSimReport {
   }
 };
 
+/// Stateful flow session over the AWGR fabric: open() routes a demand
+/// through IndirectRouter (recording satisfaction/indirection statistics),
+/// close() releases every reserved segment.  The engine owns the piggyback
+/// view and router, so any event-driven layer — FlowSimulator's Poisson
+/// arrivals or the rack co-simulation's job-emitted traffic — can share the
+/// same contention model without re-implementing the bookkeeping.
+class FlowEngine {
+ public:
+  FlowEngine(WavelengthFabric& fabric, sim::TimePs piggyback_interval,
+             std::uint64_t router_seed);
+
+  // The router holds a pointer to this engine's view member; a copied or
+  // moved engine would route against the original's stale snapshot.
+  FlowEngine(const FlowEngine&) = delete;
+  FlowEngine& operator=(const FlowEngine&) = delete;
+
+  /// Refresh the stale piggyback view if `now` passed the next update point.
+  void refresh_view(sim::TimePs now);
+
+  /// Route a flow's demand; statistics accrue immediately.  Returns a handle
+  /// for result() / close().
+  std::uint64_t open(const FlowSpec& spec);
+  /// Routing outcome of a live flow (throws std::out_of_range for dead ids).
+  [[nodiscard]] const RouteResult& result(std::uint64_t flow_id) const;
+  /// Release every segment the flow reserved; the id becomes invalid.
+  void close(std::uint64_t flow_id);
+
+  [[nodiscard]] std::uint64_t live_flows() const { return live_.size(); }
+  [[nodiscard]] double fabric_utilization() const { return fabric_->utilization(); }
+  /// Snapshot of the cumulative statistics over every open() so far.
+  [[nodiscard]] FlowSimReport report() const;
+
+ private:
+  WavelengthFabric* fabric_;
+  PiggybackView view_;
+  IndirectRouter router_;
+  std::unordered_map<std::uint64_t, RouteResult> live_;
+  std::uint64_t next_id_ = 1;
+
+  sim::RunningStats offered_, intermediates_;
+  double requested_total_ = 0.0, satisfied_total_ = 0.0;
+  double direct_total_ = 0.0, indirect_total_ = 0.0;
+  double peak_util_ = 0.0;
+  std::uint64_t flows_ = 0, fully_satisfied_ = 0;
+};
+
 /// Event-driven flow-level simulation over the AWGR fabric: Poisson flow
 /// arrivals, exponential-ish holding times from the generator, allocation
 /// through IndirectRouter, release on departure, periodic piggyback
 /// refresh.  Used by the §VI-A bandwidth bench and the routing tests.
+///
+/// The simulator is stepwise: advance_to(t) processes arrivals and
+/// departures up to t, finish() drains the remaining departures (arrivals
+/// stop at cfg.sim_time), and report() is valid at any point in between.
+/// run() is the run-to-completion convenience the benches use.
 class FlowSimulator {
  public:
   FlowSimulator(WavelengthFabric& fabric, FlowGenerator generator, FlowSimConfig cfg = {});
 
+  // Queued event handlers capture `this`; a copied or moved instance would
+  // leave them pointing at the original object.
+  FlowSimulator(const FlowSimulator&) = delete;
+  FlowSimulator& operator=(const FlowSimulator&) = delete;
+
+  /// Process every event strictly before time `t`.
+  void advance_to(sim::TimePs t);
+  /// Drain all remaining events (departures past the arrival horizon).
+  void finish();
+
+  [[nodiscard]] sim::TimePs now() const { return queue_.now(); }
+  [[nodiscard]] FlowSimReport report() const { return engine_.report(); }
+  [[nodiscard]] const FlowEngine& engine() const { return engine_; }
+
+  /// advance_to(cfg.sim_time) + finish() + report().
   FlowSimReport run();
 
  private:
-  WavelengthFabric* fabric_;
   FlowGenerator generator_;
   FlowSimConfig cfg_;
+  sim::EventQueue queue_;
+  FlowEngine engine_;
+  sim::Rng arrival_rng_;
+  sim::Rng flow_rng_;
+
+  void schedule_next_arrival();
 };
 
 }  // namespace photorack::net

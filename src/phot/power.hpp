@@ -45,4 +45,35 @@ struct BaselineRackPower {
 [[nodiscard]] PowerBreakdown photonic_power_overhead(const PhotonicPowerConfig& cfg = {},
                                                      const BaselineRackPower& base = {});
 
+/// Time-weighted rack energy integrator over a piecewise-constant power
+/// profile.  Callers report each power *change point* via step_to(t, W):
+/// energy accrues at the previous level from the previous change point to t,
+/// then the level becomes W.  The first call only sets the origin.  Used by
+/// the rack co-simulation to turn utilization-driven power levels into an
+/// energy trace (§VI-C extended from static overhead to a live job stream).
+class EnergyTrace {
+ public:
+  /// Record that rack power changed to `watts` at `seconds` (monotone
+  /// non-decreasing; going backwards throws std::invalid_argument).
+  void step_to(double seconds, Watts watts);
+
+  [[nodiscard]] double joules() const { return joules_; }
+  /// Simulated span covered so far (last change point minus origin).
+  [[nodiscard]] double seconds() const { return started_ ? last_t_ - t0_ : 0.0; }
+  /// joules()/seconds(); the last recorded level for a zero-length trace.
+  [[nodiscard]] Watts mean_power() const;
+  /// Highest power level ever recorded (zero-length levels included).
+  [[nodiscard]] Watts peak_power() const { return Watts{peak_}; }
+  [[nodiscard]] std::size_t steps() const { return steps_; }
+
+ private:
+  bool started_ = false;
+  double t0_ = 0.0;
+  double last_t_ = 0.0;
+  double last_w_ = 0.0;
+  double joules_ = 0.0;
+  double peak_ = 0.0;
+  std::size_t steps_ = 0;
+};
+
 }  // namespace photorack::phot

@@ -10,6 +10,7 @@
 #include <tuple>
 
 #include "core/rack_system.hpp"
+#include "cosim/rack_cosim.hpp"
 #include "cpusim/miss_profile.hpp"
 #include "cpusim/runner.hpp"
 #include "gpusim/gpu_runner.hpp"
@@ -372,6 +373,128 @@ SweepGrid sec6c_grid() {
   return grid;
 }
 
+// ---------------------------------------------------------------------------
+// Rack co-simulation campaigns: the closed loop of jobs × fabric × power
+// evaluated together (§II-A telemetry, §IV routing, §VI-C power).  Every
+// evaluator is a pure function of its spec — the co-sim seeds itself from
+// the spec, so sweeps stay bit-identical for any --jobs level.
+// ---------------------------------------------------------------------------
+
+bool parse_feedback(const std::string& v) {
+  if (v == "closed") return true;
+  if (v == "open") return false;
+  throw std::invalid_argument("unknown feedback '" + v + "' (want closed|open)");
+}
+
+/// Shared axis → CosimConfig translation.  base_seed == 0 keeps the engine's
+/// default seed (one canonical trajectory per grid point); any other value
+/// re-seeds from the spec id for independent replications.
+cosim::CosimConfig cosim_config_from(const ScenarioSpec& spec) {
+  cosim::CosimConfig cfg;
+  cfg.arrivals_per_ms = spec.num("arrivals_per_ms");
+  cfg.sim_time = static_cast<sim::TimePs>(spec.num("horizon_ms") * sim::kPsPerMs);
+  if (spec.has("feedback")) cfg.contention_feedback = parse_feedback(spec.at("feedback"));
+  if (spec.base_seed != 0) cfg.seed = spec.derived_seed();
+  return cfg;
+}
+
+cosim::CosimReport eval_cosim(const ScenarioSpec& spec,
+                              disagg::AllocationPolicy policy) {
+  return cosim::run_rack_cosim({}, policy, workloads::UsageModel::cori(),
+                               cosim_config_from(spec));
+}
+
+const std::vector<std::string> kCosimAcceptanceColumns = {
+    "policy",        "arrivals_per_ms", "horizon_ms",       "offered",
+    "accepted",      "acceptance",      "mean_cpu_util",    "mean_mem_util",
+    "marooned_mem",  "mean_speed"};
+
+std::vector<ResultRow> eval_cosim_acceptance(const ScenarioSpec& spec) {
+  const auto report =
+      eval_cosim(spec, disagg::parse_allocation_policy(spec.at("policy")));
+  ResultRow row;
+  row.cells = {spec.at("policy"),
+               spec.at("arrivals_per_ms"),
+               spec.at("horizon_ms"),
+               num_to_string(static_cast<double>(report.jobs.offered)),
+               num_to_string(static_cast<double>(report.jobs.accepted)),
+               num_to_string(report.jobs.acceptance()),
+               num_to_string(report.jobs.mean_cpu_utilization),
+               num_to_string(report.jobs.mean_memory_utilization),
+               num_to_string(report.jobs.mean_marooned_memory),
+               num_to_string(report.mean_speed_fraction)};
+  return {std::move(row)};
+}
+
+SweepGrid cosim_acceptance_grid() {
+  SweepGrid grid;
+  grid.axis("policy", std::vector<std::string>{"static", "disagg"})
+      .axis("arrivals_per_ms", std::vector<double>{2, 4, 8})
+      .axis("horizon_ms", std::vector<double>{200});
+  return grid;
+}
+
+const std::vector<std::string> kCosimContentionColumns = {
+    "feedback",       "arrivals_per_ms",    "horizon_ms",  "acceptance",
+    "satisfied_frac", "indirect_frac",      "blocking",    "mean_speed",
+    "mean_stretch",   "peak_fabric_util"};
+
+std::vector<ResultRow> eval_cosim_contention(const ScenarioSpec& spec) {
+  const auto report = eval_cosim(spec, disagg::AllocationPolicy::kDisaggregated);
+  ResultRow row;
+  row.cells = {spec.at("feedback"),
+               spec.at("arrivals_per_ms"),
+               spec.at("horizon_ms"),
+               num_to_string(report.jobs.acceptance()),
+               num_to_string(report.flows.satisfied_fraction),
+               num_to_string(report.flows.indirect_fraction),
+               num_to_string(report.flows.blocking_probability()),
+               num_to_string(report.mean_speed_fraction),
+               num_to_string(report.mean_stretch),
+               num_to_string(report.flows.peak_utilization)};
+  return {std::move(row)};
+}
+
+SweepGrid cosim_contention_grid() {
+  SweepGrid grid;
+  grid.axis("feedback", std::vector<std::string>{"open", "closed"})
+      .axis("arrivals_per_ms", std::vector<double>{2, 4, 8, 16})
+      .axis("horizon_ms", std::vector<double>{200});
+  return grid;
+}
+
+const std::vector<std::string> kCosimEnergyColumns = {
+    "policy",     "arrivals_per_ms", "horizon_ms",  "accepted",
+    "energy_kj",  "mean_kw",         "peak_kw",     "photonic_kw",
+    "kj_per_job"};
+
+std::vector<ResultRow> eval_cosim_energy(const ScenarioSpec& spec) {
+  const auto report =
+      eval_cosim(spec, disagg::parse_allocation_policy(spec.at("policy")));
+  const double kj = report.energy_joules / 1e3;
+  ResultRow row;
+  row.cells = {spec.at("policy"),
+               spec.at("arrivals_per_ms"),
+               spec.at("horizon_ms"),
+               num_to_string(static_cast<double>(report.jobs.accepted)),
+               num_to_string(kj),
+               num_to_string(report.mean_power_w / 1e3),
+               num_to_string(report.peak_power_w / 1e3),
+               num_to_string(report.photonic_power_w / 1e3),
+               num_to_string(report.jobs.accepted
+                                 ? kj / static_cast<double>(report.jobs.accepted)
+                                 : 0.0)};
+  return {std::move(row)};
+}
+
+SweepGrid cosim_energy_grid() {
+  SweepGrid grid;
+  grid.axis("policy", std::vector<std::string>{"static", "disagg"})
+      .axis("arrivals_per_ms", std::vector<double>{2, 8})
+      .axis("horizon_ms", std::vector<double>{200});
+  return grid;
+}
+
 std::vector<Campaign> make_campaigns() {
   std::vector<Campaign> all;
 
@@ -422,6 +545,30 @@ std::vector<Campaign> make_campaigns() {
       kSec6cColumns,
       sec6c_grid,
       eval_sec6c_point});
+
+  all.push_back(Campaign{
+      "cosim_acceptance",
+      "Closed-loop job acceptance per policy under rising load",
+      "Sections II-A and VI (co-simulation)",
+      kCosimAcceptanceColumns,
+      cosim_acceptance_grid,
+      eval_cosim_acceptance});
+
+  all.push_back(Campaign{
+      "cosim_contention",
+      "Contention feedback: open vs closed loop on the shared fabric",
+      "Section IV-A (co-simulation)",
+      kCosimContentionColumns,
+      cosim_contention_grid,
+      eval_cosim_contention});
+
+  all.push_back(Campaign{
+      "cosim_energy",
+      "Time-integrated rack energy under the live job stream",
+      "Section VI-C (co-simulation)",
+      kCosimEnergyColumns,
+      cosim_energy_grid,
+      eval_cosim_energy});
 
   return all;
 }

@@ -1,6 +1,5 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace photorack::sim {
@@ -9,25 +8,13 @@ std::uint64_t EventQueue::schedule_at(TimePs at, Handler fn) {
   if (at < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
   const std::uint64_t id = next_seq_++;
   heap_.push(Entry{at, id, std::move(fn)});
-  ++live_count_;
+  pending_ids_.insert(id);
   return id;
 }
 
-bool EventQueue::is_cancelled(std::uint64_t seq) const {
-  return std::binary_search(cancelled_.begin(), cancelled_.end(), seq);
-}
-
-void EventQueue::forget_cancelled(std::uint64_t seq) {
-  auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), seq);
-  if (it != cancelled_.end() && *it == seq) cancelled_.erase(it);
-}
-
 bool EventQueue::cancel(std::uint64_t event_id) {
-  if (event_id >= next_seq_) return false;
-  if (is_cancelled(event_id)) return true;
-  auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), event_id);
-  cancelled_.insert(it, event_id);
-  if (live_count_ > 0) --live_count_;
+  if (event_id >= next_seq_) return false;  // never scheduled
+  pending_ids_.erase(event_id);  // fired/cancelled ids are already gone: no-op
   return true;
 }
 
@@ -35,12 +22,8 @@ bool EventQueue::step() {
   while (!heap_.empty()) {
     Entry e = std::move(const_cast<Entry&>(heap_.top()));
     heap_.pop();
-    if (is_cancelled(e.seq)) {
-      forget_cancelled(e.seq);
-      continue;
-    }
+    if (pending_ids_.erase(e.seq) == 0) continue;  // cancelled: skip
     now_ = e.time;
-    --live_count_;
     ++executed_;
     e.fn();
     return true;
@@ -52,8 +35,7 @@ std::uint64_t EventQueue::run(TimePs until) {
   std::uint64_t n = 0;
   while (!heap_.empty()) {
     // Peek past cancelled entries without executing.
-    if (is_cancelled(heap_.top().seq)) {
-      forget_cancelled(heap_.top().seq);
+    if (pending_ids_.count(heap_.top().seq) == 0) {
       heap_.pop();
       continue;
     }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -30,8 +31,10 @@ class EventQueue {
 
   /// Lazily cancel a pending event.  Cancelled events are skipped when they
   /// reach the head of the queue.  Returns false if the id was never
-  /// scheduled (cancelling an already-fired event returns true and is a
-  /// no-op).
+  /// scheduled; cancelling an already-fired (or already-cancelled) event
+  /// returns true and is a true no-op — pending() and empty() are
+  /// unaffected.  Safe to call from inside a running handler, including for
+  /// events scheduled at the current timestamp.
   bool cancel(std::uint64_t event_id);
 
   /// Run a single event.  Returns false when the queue is empty.
@@ -42,8 +45,8 @@ class EventQueue {
   std::uint64_t run(TimePs until = INT64_MAX);
 
   [[nodiscard]] TimePs now() const { return now_; }
-  [[nodiscard]] bool empty() const { return live_count_ == 0; }
-  [[nodiscard]] std::uint64_t pending() const { return live_count_; }
+  [[nodiscard]] bool empty() const { return pending_ids_.empty(); }
+  [[nodiscard]] std::uint64_t pending() const { return pending_ids_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
@@ -60,14 +63,13 @@ class EventQueue {
   };
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::vector<std::uint64_t> cancelled_;  // sorted ids pending skip
+  // Ids scheduled but neither fired nor cancelled.  A heap entry whose id is
+  // no longer here was cancelled and is skipped when it surfaces; ids are
+  // erased before dispatch, so a late cancel() of a fired event is a no-op.
+  std::unordered_set<std::uint64_t> pending_ids_;
   TimePs now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t live_count_ = 0;
   std::uint64_t executed_ = 0;
-
-  [[nodiscard]] bool is_cancelled(std::uint64_t seq) const;
-  void forget_cancelled(std::uint64_t seq);
 };
 
 }  // namespace photorack::sim

@@ -1,0 +1,222 @@
+// Property-based invariant tests for disagg::RackAllocator: randomized
+// alloc/free streams across both policies must never over-commit a pool,
+// must restore state exactly on release, and must reject a double free
+// without corrupting anything (the ISSUE 4 satellite).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "disagg/allocator.hpp"
+#include "sim/rng.hpp"
+
+namespace photorack::disagg {
+namespace {
+
+JobRequest random_request(sim::Rng& rng) {
+  JobRequest req;
+  req.cpus = static_cast<int>(rng.below(129));     // up to ~2 nodes of CPUs
+  req.gpus = static_cast<int>(rng.below(17));      // up to 4 nodes of GPUs
+  req.memory_gb = rng.uniform(0.0, 2048.0);        // up to 8 nodes of memory
+  req.nic_gbps = rng.uniform(0.0, 3200.0);         // up to 4 nodes of NIC
+  return req;
+}
+
+void expect_pools_within_capacity(const RackAllocator& alloc, int nodes) {
+  const PoolState& pools = alloc.pools();
+  EXPECT_GE(pools.cpus_used, 0);
+  EXPECT_LE(pools.cpus_used, pools.cpus_total);
+  EXPECT_GE(pools.gpus_used, 0);
+  EXPECT_LE(pools.gpus_used, pools.gpus_total);
+  EXPECT_GE(pools.memory_gb_used, -1e-9);
+  EXPECT_LE(pools.memory_gb_used, pools.memory_gb_total + 1e-9);
+  EXPECT_GE(pools.nic_gbps_used, -1e-9);
+  EXPECT_LE(pools.nic_gbps_used, pools.nic_gbps_total + 1e-9);
+  EXPECT_GE(alloc.free_nodes(), 0);
+  EXPECT_LE(alloc.free_nodes(), nodes);
+  EXPECT_GE(alloc.marooned_cpu_fraction(), -1e-12);
+  EXPECT_LE(alloc.marooned_cpu_fraction(), 1.0 + 1e-12);
+  EXPECT_GE(alloc.marooned_memory_fraction(), -1e-12);
+  EXPECT_LE(alloc.marooned_memory_fraction(), 1.0 + 1e-12);
+}
+
+void expect_pools_empty(const RackAllocator& alloc, int nodes) {
+  EXPECT_EQ(alloc.pools().cpus_used, 0);
+  EXPECT_EQ(alloc.pools().gpus_used, 0);
+  EXPECT_NEAR(alloc.pools().memory_gb_used, 0.0, 1e-6);
+  EXPECT_NEAR(alloc.pools().nic_gbps_used, 0.0, 1e-6);
+  EXPECT_EQ(alloc.free_nodes(), nodes);
+  EXPECT_DOUBLE_EQ(alloc.marooned_cpu_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(alloc.marooned_memory_fraction(), 0.0);
+  EXPECT_EQ(alloc.live_allocations(), 0u);
+}
+
+class AllocatorProperties : public ::testing::TestWithParam<AllocationPolicy> {};
+
+TEST_P(AllocatorProperties, RandomStreamNeverOvercommits) {
+  const rack::RackConfig rack;
+  RackAllocator alloc(rack, GetParam());
+  sim::Rng rng(20260730);
+  std::vector<Allocation> live;
+
+  for (int op = 0; op < 4000; ++op) {
+    if (live.empty() || rng.bernoulli(0.6)) {
+      const Allocation a = alloc.allocate(random_request(rng));
+      if (a.placed) live.push_back(a);
+    } else {
+      const std::size_t victim = rng.below(live.size());
+      alloc.release(live[victim]);
+      live[victim] = live.back();
+      live.pop_back();
+    }
+    expect_pools_within_capacity(alloc, rack.nodes);
+    ASSERT_EQ(alloc.live_allocations(), live.size()) << "op " << op;
+  }
+}
+
+TEST_P(AllocatorProperties, ReleasingEverythingRestoresExactly) {
+  const rack::RackConfig rack;
+  RackAllocator alloc(rack, GetParam());
+  sim::Rng rng(99);
+  std::vector<Allocation> live;
+  for (int i = 0; i < 500; ++i) {
+    const Allocation a = alloc.allocate(random_request(rng));
+    if (a.placed) live.push_back(a);
+  }
+  ASSERT_GT(live.size(), 0u);
+  // Release in a shuffled order — exact restoration must not depend on
+  // LIFO/FIFO discipline.
+  while (!live.empty()) {
+    const std::size_t victim = rng.below(live.size());
+    alloc.release(live[victim]);
+    live[victim] = live.back();
+    live.pop_back();
+  }
+  expect_pools_empty(alloc, rack.nodes);
+}
+
+TEST_P(AllocatorProperties, AccountingMatchesSumOfLiveAllocations) {
+  const rack::RackConfig rack;
+  RackAllocator alloc(rack, GetParam());
+  sim::Rng rng(4242);
+  std::vector<Allocation> live;
+  for (int op = 0; op < 1000; ++op) {
+    if (live.empty() || rng.bernoulli(0.55)) {
+      const Allocation a = alloc.allocate(random_request(rng));
+      if (a.placed) live.push_back(a);
+    } else {
+      const std::size_t victim = rng.below(live.size());
+      alloc.release(live[victim]);
+      live[victim] = live.back();
+      live.pop_back();
+    }
+    long long cpus = 0, gpus = 0, nodes = 0;
+    double mem = 0.0, nic = 0.0;
+    for (const Allocation& a : live) {
+      cpus += a.cpus;
+      gpus += a.gpus;
+      nodes += a.nodes;
+      mem += a.memory_gb;
+      nic += a.nic_gbps;
+    }
+    ASSERT_EQ(alloc.pools().cpus_used, cpus) << "op " << op;
+    ASSERT_EQ(alloc.pools().gpus_used, gpus) << "op " << op;
+    ASSERT_NEAR(alloc.pools().memory_gb_used, mem, 1e-6) << "op " << op;
+    ASSERT_NEAR(alloc.pools().nic_gbps_used, nic, 1e-6) << "op " << op;
+    ASSERT_EQ(alloc.free_nodes(), rack.nodes - nodes) << "op " << op;
+  }
+}
+
+TEST_P(AllocatorProperties, DoubleFreeIsRejectedWithoutCorruption) {
+  RackAllocator alloc({}, GetParam());
+  sim::Rng rng(1);
+  JobRequest req;
+  req.cpus = 8;
+  req.gpus = 2;
+  req.memory_gb = 64.0;
+  const Allocation keep = alloc.allocate(random_request(rng));
+  const Allocation once = alloc.allocate(req);
+  ASSERT_TRUE(once.placed);
+
+  const PoolState before_release = alloc.pools();
+  alloc.release(once);
+  const PoolState after_release = alloc.pools();
+  EXPECT_LT(after_release.cpus_used, before_release.cpus_used);
+
+  // The second free of the same allocation must throw *and* leave every
+  // pool exactly where the first release put it.
+  EXPECT_THROW(alloc.release(once), std::logic_error);
+  EXPECT_EQ(alloc.pools().cpus_used, after_release.cpus_used);
+  EXPECT_EQ(alloc.pools().gpus_used, after_release.gpus_used);
+  EXPECT_DOUBLE_EQ(alloc.pools().memory_gb_used, after_release.memory_gb_used);
+  EXPECT_DOUBLE_EQ(alloc.pools().nic_gbps_used, after_release.nic_gbps_used);
+
+  // A still-live allocation releases fine after the rejected double free.
+  if (keep.placed) alloc.release(keep);
+}
+
+TEST_P(AllocatorProperties, ForeignAllocationIsRejected) {
+  RackAllocator owner({}, GetParam());
+  RackAllocator other({}, GetParam());
+  JobRequest req;
+  req.cpus = 4;
+  // The aliasing trap: both allocators grant their FIRST allocation here.
+  // Were ids per-allocator counters, owner's id would collide with other's
+  // and the foreign release would silently drain other's pools; ids are
+  // process-globally unique precisely so this throws instead.
+  const Allocation foreign = owner.allocate(req);
+  const Allocation own = other.allocate(req);
+  ASSERT_TRUE(foreign.placed);
+  ASSERT_TRUE(own.placed);
+  const int other_cpus_used = other.pools().cpus_used;
+  EXPECT_THROW(other.release(foreign), std::logic_error);
+  EXPECT_EQ(other.pools().cpus_used, other_cpus_used);
+  EXPECT_EQ(other.live_allocations(), 1u);
+  other.release(own);  // other's own grant is still releasable
+  owner.release(foreign);
+  EXPECT_EQ(owner.live_allocations(), 0u);
+  EXPECT_EQ(other.live_allocations(), 0u);
+}
+
+TEST_P(AllocatorProperties, MutatedHandleReleasesExactlyTheStoredGrant) {
+  // release() decrements by the grant the allocator recorded, not by the
+  // caller's copy: corrupting an Allocation's resource fields cannot skew
+  // the accounting in either direction.
+  RackAllocator alloc({}, GetParam());
+  JobRequest req;
+  req.cpus = 1;
+  req.memory_gb = 64.0;
+  Allocation a = alloc.allocate(req);
+  ASSERT_TRUE(a.placed);
+  Allocation mutated = a;
+  mutated.cpus = 1'000'000;
+  mutated.memory_gb = 10'000.0;  // caller corruption, silently ignored
+  mutated.marooned_cpus = 1e9;
+  alloc.release(mutated);
+  EXPECT_EQ(alloc.pools().cpus_used, 0);
+  EXPECT_DOUBLE_EQ(alloc.pools().memory_gb_used, 0.0);
+  EXPECT_DOUBLE_EQ(alloc.marooned_cpu_fraction(), 0.0);
+  EXPECT_EQ(alloc.live_allocations(), 0u);
+  // The id is spent: the original handle is now a double free.
+  EXPECT_THROW(alloc.release(a), std::logic_error);
+}
+
+TEST_P(AllocatorProperties, UnplacedReleaseIsStillANoop) {
+  RackAllocator alloc({}, GetParam());
+  Allocation unplaced;
+  alloc.release(unplaced);  // must not throw
+  EXPECT_EQ(alloc.live_allocations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, AllocatorProperties,
+                         ::testing::Values(AllocationPolicy::kStaticNodes,
+                                           AllocationPolicy::kDisaggregated),
+                         [](const ::testing::TestParamInfo<AllocationPolicy>& info) {
+                           return info.param == AllocationPolicy::kStaticNodes
+                                      ? "StaticNodes"
+                                      : "Disaggregated";
+                         });
+
+}  // namespace
+}  // namespace photorack::disagg

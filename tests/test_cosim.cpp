@@ -1,0 +1,283 @@
+// Closed-loop rack co-simulation: the pinned contracts from ISSUE 4 —
+// contention can only hurt acceptance, load can only degrade it, and the
+// scenario campaigns serialize bit-identically for any --jobs level — plus
+// the stepwise-API and conservation invariants of the engine itself.
+#include "cosim/rack_cosim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "scenario/campaigns.hpp"
+#include "scenario/result_sink.hpp"
+#include "scenario/sweep_runner.hpp"
+
+namespace photorack::cosim {
+namespace {
+
+CosimConfig quick(double arrivals_per_ms = 4.0, bool feedback = true) {
+  CosimConfig cfg;
+  cfg.arrivals_per_ms = arrivals_per_ms;
+  cfg.sim_time = 150 * sim::kPsPerMs;
+  cfg.mean_duration = 20 * sim::kPsPerMs;
+  cfg.contention_feedback = feedback;
+  return cfg;
+}
+
+CosimReport run_quick(disagg::AllocationPolicy policy, const CosimConfig& cfg) {
+  return run_rack_cosim({}, policy, workloads::UsageModel::cori(), cfg);
+}
+
+void expect_reports_identical(const CosimReport& a, const CosimReport& b) {
+  EXPECT_EQ(a.jobs.offered, b.jobs.offered);
+  EXPECT_EQ(a.jobs.accepted, b.jobs.accepted);
+  EXPECT_EQ(a.jobs.mean_cpu_utilization, b.jobs.mean_cpu_utilization);
+  EXPECT_EQ(a.jobs.mean_memory_utilization, b.jobs.mean_memory_utilization);
+  EXPECT_EQ(a.flows.flows, b.flows.flows);
+  EXPECT_EQ(a.flows.satisfied_fraction, b.flows.satisfied_fraction);
+  EXPECT_EQ(a.flows.peak_utilization, b.flows.peak_utilization);
+  EXPECT_EQ(a.mean_speed_fraction, b.mean_speed_fraction);
+  EXPECT_EQ(a.mean_stretch, b.mean_stretch);
+  EXPECT_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_EQ(a.peak_power_w, b.peak_power_w);
+  EXPECT_EQ(a.completed_at, b.completed_at);
+}
+
+TEST(Cosim, OffersPlacesAndRoutesJobs) {
+  const auto report = run_quick(disagg::AllocationPolicy::kDisaggregated, quick());
+  EXPECT_GT(report.jobs.offered, 100u);
+  EXPECT_GT(report.jobs.accepted, 0u);
+  EXPECT_LE(report.jobs.accepted, report.jobs.offered);
+  EXPECT_GT(report.flows.flows, report.jobs.accepted);  // >= 1 flow per job
+  EXPECT_GT(report.flows.peak_utilization, 0.0);
+  EXPECT_GT(report.energy_joules, 0.0);
+}
+
+TEST(Cosim, DeterministicForSeed) {
+  const auto a = run_quick(disagg::AllocationPolicy::kDisaggregated, quick());
+  const auto b = run_quick(disagg::AllocationPolicy::kDisaggregated, quick());
+  expect_reports_identical(a, b);
+}
+
+TEST(Cosim, SeedPlusOneProducesDifferentTrajectory) {
+  auto cfg = quick();
+  const auto a = run_quick(disagg::AllocationPolicy::kDisaggregated, cfg);
+  cfg.seed += 1;
+  const auto b = run_quick(disagg::AllocationPolicy::kDisaggregated, cfg);
+  EXPECT_NE(a.jobs.offered, b.jobs.offered);
+  EXPECT_NE(a.energy_joules, b.energy_joules);
+}
+
+// The ISSUE 4 acceptance pin: at equal load the closed loop can only do
+// worse — stretched jobs hold CPUs, memory and wavelengths longer, so a
+// later arrival sees a fuller rack.  The offered stream is identical in
+// both modes (per-job child RNG streams), making this a controlled pair.
+TEST(Cosim, ClosedLoopAcceptanceAtMostOpenLoop) {
+  for (const double rate : {4.0, 8.0, 16.0}) {
+    const auto closed = run_quick(disagg::AllocationPolicy::kDisaggregated,
+                                  quick(rate, /*feedback=*/true));
+    const auto open = run_quick(disagg::AllocationPolicy::kDisaggregated,
+                                quick(rate, /*feedback=*/false));
+    ASSERT_EQ(closed.jobs.offered, open.jobs.offered) << "rate " << rate;
+    EXPECT_LE(closed.jobs.accepted, open.jobs.accepted) << "rate " << rate;
+    EXPECT_LE(closed.jobs.acceptance(), open.jobs.acceptance() + 1e-12)
+        << "rate " << rate;
+  }
+}
+
+// Second pin: raising arrivals_per_ms can only degrade acceptance.  The
+// arrival process divides one unit-exponential gap stream by the rate, so a
+// higher rate offers a superset pattern of the same compressed jobs.
+TEST(Cosim, AcceptanceDegradesMonotonicallyWithLoad) {
+  double previous = 2.0;  // above any acceptance ratio
+  for (const double rate : {2.0, 8.0, 32.0}) {
+    const auto report = run_quick(disagg::AllocationPolicy::kDisaggregated, quick(rate));
+    EXPECT_LE(report.jobs.acceptance(), previous + 1e-12) << "rate " << rate;
+    previous = report.jobs.acceptance();
+  }
+  EXPECT_LT(previous, 0.5);  // the top of the sweep is genuinely saturated
+}
+
+TEST(Cosim, OpenLoopNeverStretches) {
+  const auto report = run_quick(disagg::AllocationPolicy::kDisaggregated,
+                                quick(8.0, /*feedback=*/false));
+  EXPECT_DOUBLE_EQ(report.mean_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(report.max_stretch, 1.0);
+  // Contention is still measured (the fabric sees the same flows)...
+  EXPECT_LT(report.mean_speed_fraction, 1.0);
+  EXPECT_GT(report.mean_speed_fraction, 0.0);
+}
+
+TEST(Cosim, ClosedLoopStretchBoundedByFloor) {
+  auto cfg = quick(16.0);
+  cfg.min_speed_fraction = 0.25;
+  const auto report = run_quick(disagg::AllocationPolicy::kDisaggregated, cfg);
+  EXPECT_GE(report.mean_stretch, 1.0);
+  EXPECT_LE(report.max_stretch, 1.0 / cfg.min_speed_fraction + 1e-12);
+}
+
+TEST(Cosim, EverythingDrainsAfterFinish) {
+  RackCosim sim({}, disagg::AllocationPolicy::kDisaggregated,
+                workloads::UsageModel::cori(), quick(8.0));
+  sim.finish();
+  EXPECT_EQ(sim.live_jobs(), 0u);
+  EXPECT_EQ(sim.allocator().live_allocations(), 0u);
+  EXPECT_EQ(sim.allocator().pools().cpus_used, 0);
+  EXPECT_NEAR(sim.allocator().pools().memory_gb_used, 0.0, 1e-9);
+  EXPECT_NEAR(sim.fabric_utilization(), 0.0, 1e-12);
+}
+
+TEST(Cosim, StepwiseAdvanceMatchesRunToCompletion) {
+  const auto cfg = quick(8.0);
+  RackCosim whole({}, disagg::AllocationPolicy::kDisaggregated,
+                  workloads::UsageModel::cori(), cfg);
+  whole.finish();
+
+  RackCosim chunked({}, disagg::AllocationPolicy::kDisaggregated,
+                    workloads::UsageModel::cori(), cfg);
+  for (sim::TimePs t = 17 * sim::kPsPerMs; t < cfg.sim_time; t += 23 * sim::kPsPerMs)
+    chunked.advance_to(t);
+  chunked.finish();
+
+  expect_reports_identical(whole.report(), chunked.report());
+}
+
+TEST(Cosim, MidRunReportIsUsable) {
+  RackCosim sim({}, disagg::AllocationPolicy::kDisaggregated,
+                workloads::UsageModel::cori(), quick(8.0));
+  sim.advance_to(50 * sim::kPsPerMs);
+  const auto mid = sim.report();
+  EXPECT_GT(mid.jobs.offered, 0u);
+  EXPECT_LE(sim.now(), 50 * sim::kPsPerMs);
+  sim.finish();
+  EXPECT_GE(sim.report().jobs.offered, mid.jobs.offered);
+}
+
+TEST(Cosim, NonPositiveDurationsAreRejected) {
+  auto cfg = quick();
+  cfg.mean_duration = 0;
+  EXPECT_THROW(run_quick(disagg::AllocationPolicy::kDisaggregated, cfg),
+               std::invalid_argument);
+  cfg = quick();
+  cfg.sim_time = -1;
+  EXPECT_THROW(run_quick(disagg::AllocationPolicy::kDisaggregated, cfg),
+               std::invalid_argument);
+}
+
+TEST(Cosim, EmptyStreamReportsSentinelNotNan) {
+  auto cfg = quick();
+  cfg.sim_time = 0;  // no arrival fits the horizon
+  const auto report = run_quick(disagg::AllocationPolicy::kDisaggregated, cfg);
+  EXPECT_EQ(report.jobs.offered, 0u);
+  EXPECT_DOUBLE_EQ(report.jobs.acceptance(), disagg::kEmptyStreamAcceptance);
+  EXPECT_FALSE(std::isnan(report.jobs.acceptance()));
+  EXPECT_DOUBLE_EQ(report.mean_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(report.energy_joules, 0.0);
+}
+
+TEST(Cosim, PowerTraceCoversComputePlusPhotonics) {
+  const auto report = run_quick(disagg::AllocationPolicy::kDisaggregated, quick(8.0));
+  const phot::BaselineRackPower base;  // defaults match RackConfig{}
+  EXPECT_GT(report.photonic_power_w, 0.0);
+  // Mean power sits between the idle floor and the all-on ceiling.
+  EXPECT_GT(report.mean_power_w, 0.3 * base.total().value);
+  EXPECT_LT(report.mean_power_w, base.total().value + report.photonic_power_w);
+  EXPECT_GE(report.peak_power_w, report.mean_power_w);
+  EXPECT_DOUBLE_EQ(report.energy_joules,
+                   report.mean_power_w * sim::to_s(report.completed_at));
+}
+
+TEST(Cosim, AllRejectedStreamStillAccruesIdleAndPhotonicEnergy) {
+  // A zero-node rack rejects every job; the energy trace must still cover
+  // the whole offered stream at the idle + lasers-on photonic level, not
+  // stop at the last placement (there is none).
+  rack::RackConfig empty_rack;
+  empty_rack.nodes = 0;
+  auto cfg = quick();
+  const auto report = run_rack_cosim(empty_rack, disagg::AllocationPolicy::kDisaggregated,
+                                     workloads::UsageModel::cori(), cfg);
+  EXPECT_GT(report.jobs.offered, 0u);
+  EXPECT_EQ(report.jobs.accepted, 0u);
+  EXPECT_GT(report.energy_joules, 0.0);
+  // No compute (zero nodes): the trace is exactly the photonic constant.
+  EXPECT_NEAR(report.mean_power_w, report.photonic_power_w, 1e-9);
+  EXPECT_NEAR(report.energy_joules,
+              report.photonic_power_w * sim::to_s(report.completed_at), 1e-6);
+}
+
+TEST(Cosim, StaticPolicyMaroonsAndCloseLoopStillApplies) {
+  const auto report = run_quick(disagg::AllocationPolicy::kStaticNodes, quick(8.0));
+  EXPECT_GT(report.jobs.mean_marooned_memory, 0.05);
+  EXPECT_GE(report.mean_stretch, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign determinism: the third ISSUE 4 pin — cosim campaign CSV bytes are
+// identical for --jobs 1 and --jobs 4 (short horizon to keep this fast).
+// ---------------------------------------------------------------------------
+
+std::pair<std::string, std::string> serialize(const scenario::Campaign& campaign,
+                                              const scenario::SweepGrid& grid,
+                                              std::size_t jobs) {
+  std::ostringstream csv_os, jsonl_os;
+  scenario::CsvSink csv(csv_os);
+  scenario::JsonlSink jsonl(jsonl_os);
+  scenario::SweepRunner(scenario::SweepOptions{.jobs = jobs, .base_seed = 0})
+      .run(campaign, grid, {&csv, &jsonl});
+  return {csv_os.str(), jsonl_os.str()};
+}
+
+TEST(CosimCampaigns, CsvAndJsonlBitIdenticalForJobs1VsJobs4) {
+  for (const char* name : {"cosim_acceptance", "cosim_contention", "cosim_energy"}) {
+    const auto& campaign = scenario::campaign_by_name(name);
+    scenario::SweepGrid grid = campaign.default_grid();
+    grid.set("horizon_ms", {"40"});
+    const auto [csv1, jsonl1] = serialize(campaign, grid, 1);
+    const auto [csv4, jsonl4] = serialize(campaign, grid, 4);
+    EXPECT_FALSE(csv1.empty()) << name;
+    EXPECT_EQ(csv1, csv4) << name;
+    EXPECT_EQ(jsonl1, jsonl4) << name;
+  }
+}
+
+TEST(CosimCampaigns, NonZeroBaseSeedReseedsScenarios) {
+  const auto& campaign = scenario::campaign_by_name("cosim_acceptance");
+  scenario::SweepGrid grid = campaign.default_grid();
+  grid.set("horizon_ms", {"40"});
+  grid.set("policy", {"disagg"});
+  grid.set("arrivals_per_ms", {"4"});
+  std::ostringstream a_os, b_os;
+  scenario::CsvSink a_sink(a_os), b_sink(b_os);
+  scenario::SweepRunner(scenario::SweepOptions{.jobs = 1, .base_seed = 1})
+      .run(campaign, grid, {&a_sink});
+  scenario::SweepRunner(scenario::SweepOptions{.jobs = 1, .base_seed = 2})
+      .run(campaign, grid, {&b_sink});
+  EXPECT_NE(a_os.str(), b_os.str());
+}
+
+TEST(CosimCampaigns, ContentionCampaignPinsClosedVsOpen) {
+  // The campaign view of the acceptance pin: for each arrival rate the
+  // closed-loop row's acceptance is at most the open-loop row's.
+  const auto& campaign = scenario::campaign_by_name("cosim_contention");
+  scenario::SweepGrid grid = campaign.default_grid();
+  grid.set("horizon_ms", {"60"});
+  grid.set("arrivals_per_ms", {"4", "16"});
+  const auto result = scenario::SweepRunner(scenario::SweepOptions{.jobs = 2})
+                          .run(campaign, grid);
+  for (const char* rate : {"4", "16"}) {
+    const auto& open = result.find({{"feedback", "open"}, {"arrivals_per_ms", rate}});
+    const auto& closed =
+        result.find({{"feedback", "closed"}, {"arrivals_per_ms", rate}});
+    EXPECT_LE(result.num(closed, "acceptance"), result.num(open, "acceptance") + 1e-12)
+        << "rate " << rate;
+    EXPECT_DOUBLE_EQ(result.num(open, "mean_stretch"), 1.0);
+    EXPECT_GE(result.num(closed, "mean_stretch"), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace photorack::cosim

@@ -9,7 +9,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "cosim/rack_cosim.hpp"
 #include "cpusim/trace.hpp"
+#include "disagg/job_scheduler.hpp"
 #include "sim/rng.hpp"
 #include "workloads/cpu_profiles.hpp"
 #include "workloads/generators.hpp"
@@ -131,6 +133,77 @@ TEST(Determinism, SyntheticTraceBatchSizeDoesNotChangeStream) {
   small_batches.resize(10'000);
   big_batches.resize(10'000);
   expect_identical(small_batches, big_batches);
+}
+
+// ---------------------------------------------------------------------------
+// Seed sensitivity of the job-stream simulators (ISSUE 4 satellite): the
+// same seed must reproduce byte-identical reports, and seed+1 must diverge —
+// guarding the PR 2 id-hash seed derivation against a silent "all seeds
+// collapse to one stream" regression.
+// ---------------------------------------------------------------------------
+
+disagg::JobSimConfig job_stream_config(std::uint64_t seed) {
+  disagg::JobSimConfig cfg;
+  cfg.sim_time = 200 * sim::kPsPerMs;
+  cfg.arrivals_per_ms = 4.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(SeedSensitivity, JobStreamSameSeedIsBitIdentical) {
+  const auto a = disagg::run_job_stream({}, disagg::AllocationPolicy::kStaticNodes,
+                                        workloads::UsageModel::cori(),
+                                        job_stream_config(7));
+  const auto b = disagg::run_job_stream({}, disagg::AllocationPolicy::kStaticNodes,
+                                        workloads::UsageModel::cori(),
+                                        job_stream_config(7));
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.accepted, b.accepted);
+  // EXPECT_EQ on doubles: bit-identical, not merely close.
+  EXPECT_EQ(a.mean_cpu_utilization, b.mean_cpu_utilization);
+  EXPECT_EQ(a.mean_memory_utilization, b.mean_memory_utilization);
+  EXPECT_EQ(a.mean_marooned_memory, b.mean_marooned_memory);
+}
+
+TEST(SeedSensitivity, JobStreamSeedPlusOneDiverges) {
+  const auto a = disagg::run_job_stream({}, disagg::AllocationPolicy::kStaticNodes,
+                                        workloads::UsageModel::cori(),
+                                        job_stream_config(7));
+  const auto b = disagg::run_job_stream({}, disagg::AllocationPolicy::kStaticNodes,
+                                        workloads::UsageModel::cori(),
+                                        job_stream_config(8));
+  EXPECT_TRUE(a.offered != b.offered || a.accepted != b.accepted ||
+              a.mean_memory_utilization != b.mean_memory_utilization);
+}
+
+cosim::CosimConfig cosim_config(std::uint64_t seed) {
+  cosim::CosimConfig cfg;
+  cfg.sim_time = 100 * sim::kPsPerMs;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(SeedSensitivity, CosimSameSeedIsBitIdentical) {
+  const auto a = cosim::run_rack_cosim({}, disagg::AllocationPolicy::kDisaggregated,
+                                       workloads::UsageModel::cori(), cosim_config(7));
+  const auto b = cosim::run_rack_cosim({}, disagg::AllocationPolicy::kDisaggregated,
+                                       workloads::UsageModel::cori(), cosim_config(7));
+  EXPECT_EQ(a.jobs.offered, b.jobs.offered);
+  EXPECT_EQ(a.jobs.accepted, b.jobs.accepted);
+  EXPECT_EQ(a.flows.flows, b.flows.flows);
+  EXPECT_EQ(a.flows.satisfied_fraction, b.flows.satisfied_fraction);
+  EXPECT_EQ(a.mean_stretch, b.mean_stretch);
+  EXPECT_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_EQ(a.completed_at, b.completed_at);
+}
+
+TEST(SeedSensitivity, CosimSeedPlusOneDiverges) {
+  const auto a = cosim::run_rack_cosim({}, disagg::AllocationPolicy::kDisaggregated,
+                                       workloads::UsageModel::cori(), cosim_config(7));
+  const auto b = cosim::run_rack_cosim({}, disagg::AllocationPolicy::kDisaggregated,
+                                       workloads::UsageModel::cori(), cosim_config(8));
+  EXPECT_TRUE(a.jobs.offered != b.jobs.offered || a.flows.flows != b.flows.flows ||
+              a.energy_joules != b.energy_joules);
 }
 
 TEST(Determinism, BenchmarkRegistryTracesAreReproducible) {

@@ -99,5 +99,121 @@ TEST(EventQueue, PendingCountsLiveEvents) {
   EXPECT_EQ(q.pending(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Stress and interleaving (ISSUE 4 satellite): mass timestamp ties, cancels
+// issued from inside running handlers, and re-entrant scheduling at the
+// current timestamp — the patterns the co-simulation's coupled layers lean
+// on for determinism.
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueStress, TenThousandEqualTimestampsPopInInsertionOrder) {
+  EventQueue q;
+  constexpr int kEvents = 10'000;
+  std::vector<int> order;
+  order.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i)
+    q.schedule_at(42, [&order, i] { order.push_back(i); });
+  q.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i)
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], i) << "tie broken out of order at " << i;
+  EXPECT_EQ(q.executed(), static_cast<std::uint64_t>(kEvents));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueStress, CancelDuringDispatchSkipsSameTimeAndLaterEvents) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::uint64_t same_time_id = 0, later_id = 0;
+  q.schedule_at(5, [&] {
+    fired.push_back(0);
+    EXPECT_TRUE(q.cancel(same_time_id));  // tie scheduled after this handler
+    EXPECT_TRUE(q.cancel(later_id));
+  });
+  same_time_id = q.schedule_at(5, [&] { fired.push_back(1); });
+  later_id = q.schedule_at(9, [&] { fired.push_back(2); });
+  q.schedule_at(10, [&] { fired.push_back(3); });
+  q.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 3}));
+}
+
+TEST(EventQueueStress, CancellingTheRunningEventIsANoop) {
+  EventQueue q;
+  int fired = 0;
+  std::uint64_t self = 0;
+  self = q.schedule_at(5, [&] {
+    ++fired;
+    EXPECT_TRUE(q.cancel(self));  // already dispatched: returns true, no-op
+  });
+  q.schedule_at(6, [&] { ++fired; });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueStress, LateCancelOfFiredEventDoesNotCorruptPending) {
+  EventQueue q;
+  const auto early = q.schedule_at(1, [] {});
+  q.step();
+  q.schedule_at(10, [] {});
+  ASSERT_EQ(q.pending(), 1u);
+  EXPECT_TRUE(q.cancel(early));  // fired long ago: true, but a real no-op
+  EXPECT_EQ(q.pending(), 1u);    // the regression: this used to drop to 0
+  EXPECT_FALSE(q.empty());
+  q.run();
+  EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(EventQueueStress, ReentrantSchedulingAtCurrentTimeRunsAfterExistingTies) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(7, [&] {
+    order.push_back(0);
+    // Same-timestamp re-entrant event: must fire after every tie that was
+    // already queued (insertion order), not before.
+    q.schedule_at(7, [&] { order.push_back(9); });
+  });
+  q.schedule_at(7, [&] { order.push_back(1); });
+  q.schedule_at(7, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 9}));
+}
+
+TEST(EventQueueStress, DeepReentrantChainsAtOneTimestampTerminate) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> reenter = [&] {
+    if (++depth < 5'000) q.schedule_at(q.now(), reenter);
+  };
+  q.schedule_at(3, reenter);
+  q.run();
+  EXPECT_EQ(depth, 5'000);
+  EXPECT_EQ(q.now(), 3);
+}
+
+TEST(EventQueueStress, RandomCancellationStormStaysConsistent) {
+  EventQueue q;
+  // Deterministic LCG so the storm replays identically.
+  std::uint64_t state = 12345;
+  auto rnd = [&state](std::uint64_t n) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (state >> 33) % n;
+  };
+  std::vector<std::uint64_t> ids;
+  int fired = 0;
+  for (int i = 0; i < 10'000; ++i)
+    ids.push_back(q.schedule_at(static_cast<TimePs>(rnd(100)), [&] { ++fired; }));
+  // Cancel a random half — repeats included, so some cancels hit ids that
+  // are already cancelled and must stay no-ops.
+  for (int i = 0; i < 5'000; ++i) EXPECT_TRUE(q.cancel(ids[rnd(ids.size())]));
+  // Conservation: exactly the surviving pending events fire, nothing else.
+  const std::uint64_t pending_before = q.pending();
+  q.run();
+  EXPECT_EQ(static_cast<std::uint64_t>(fired), pending_before);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace photorack::sim

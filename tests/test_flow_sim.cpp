@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "rack/rack_builder.hpp"
 #include "workloads/usage.hpp"
 
@@ -74,6 +76,88 @@ TEST(FlowSim, DeterministicForSeed) {
   EXPECT_EQ(r1.flows, r2.flows);
   EXPECT_DOUBLE_EQ(r1.satisfied_fraction, r2.satisfied_fraction);
   EXPECT_EQ(r1.stale_mispicks, r2.stale_mispicks);
+}
+
+TEST(FlowSim, StepwiseAdvanceMatchesRunToCompletion) {
+  FlowSimConfig cfg;
+  cfg.sim_time = 100 * sim::kPsPerUs;
+  auto f1 = make_fabric();
+  auto f2 = make_fabric();
+  FlowSimulator whole(f1, cori_generator(), cfg);
+  const auto expected = whole.run();
+
+  FlowSimulator chunked(f2, cori_generator(), cfg);
+  for (sim::TimePs t = 7 * sim::kPsPerUs; t < cfg.sim_time; t += 13 * sim::kPsPerUs)
+    chunked.advance_to(t);
+  chunked.finish();
+  const auto actual = chunked.report();
+
+  EXPECT_EQ(expected.flows, actual.flows);
+  EXPECT_EQ(expected.fully_satisfied, actual.fully_satisfied);
+  EXPECT_EQ(expected.satisfied_fraction, actual.satisfied_fraction);
+  EXPECT_EQ(expected.direct_fraction, actual.direct_fraction);
+  EXPECT_EQ(expected.stale_mispicks, actual.stale_mispicks);
+  EXPECT_EQ(expected.peak_utilization, actual.peak_utilization);
+}
+
+TEST(FlowSim, MidRunReportSeesPartialTraffic) {
+  auto fabric = make_fabric();
+  FlowSimConfig cfg;
+  cfg.sim_time = 100 * sim::kPsPerUs;
+  FlowSimulator sim_inst(fabric, cori_generator(), cfg);
+  sim_inst.advance_to(30 * sim::kPsPerUs);
+  const auto mid = sim_inst.report();
+  EXPECT_LE(sim_inst.now(), 30 * sim::kPsPerUs);
+  sim_inst.finish();
+  const auto final_report = sim_inst.report();
+  EXPECT_GT(final_report.flows, mid.flows);
+}
+
+TEST(FlowEngine, OpenReservesAndCloseReleases) {
+  auto fabric = make_fabric();
+  FlowEngine engine(fabric, 1 * sim::kPsPerUs, /*router_seed=*/99);
+  FlowSpec spec;
+  spec.src = 0;
+  spec.dst = 1;
+  spec.gbps = 50.0;
+  const auto id = engine.open(spec);
+  EXPECT_EQ(engine.live_flows(), 1u);
+  EXPECT_GT(engine.fabric_utilization(), 0.0);
+  EXPECT_GT(engine.result(id).satisfied(), 0.0);
+  engine.close(id);
+  EXPECT_EQ(engine.live_flows(), 0u);
+  EXPECT_NEAR(engine.fabric_utilization(), 0.0, 1e-12);
+}
+
+TEST(FlowEngine, DeadFlowIdsAreRejected) {
+  auto fabric = make_fabric();
+  FlowEngine engine(fabric, 1 * sim::kPsPerUs, /*router_seed=*/99);
+  FlowSpec spec;
+  spec.src = 2;
+  spec.dst = 3;
+  spec.gbps = 10.0;
+  const auto id = engine.open(spec);
+  engine.close(id);
+  EXPECT_THROW(engine.result(id), std::out_of_range);
+  EXPECT_THROW(engine.close(id), std::out_of_range);
+  EXPECT_THROW(engine.close(424242), std::out_of_range);
+}
+
+TEST(FlowEngine, ReportAccumulatesAcrossOpens) {
+  auto fabric = make_fabric();
+  FlowEngine engine(fabric, 1 * sim::kPsPerUs, /*router_seed=*/7);
+  FlowSpec spec;
+  spec.gbps = 20.0;
+  for (int i = 0; i < 8; ++i) {
+    spec.src = i;
+    spec.dst = i + 10;
+    engine.open(spec);
+  }
+  const auto report = engine.report();
+  EXPECT_EQ(report.flows, 8u);
+  EXPECT_DOUBLE_EQ(report.offered_gbps_mean, 20.0);
+  EXPECT_GT(report.satisfied_fraction, 0.99);
+  EXPECT_GT(report.peak_utilization, 0.0);
 }
 
 TEST(FlowSim, HeavyElephantsForceIndirectRouting) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace photorack::disagg {
 namespace {
 
@@ -51,6 +53,51 @@ TEST(JobScheduler, DisaggregationAcceptsAtLeastAsMuch) {
   const auto disagg = run_job_stream({}, AllocationPolicy::kDisaggregated,
                                      workloads::UsageModel::cori(), quick());
   EXPECT_GE(disagg.acceptance(), stat.acceptance() - 1e-9);
+}
+
+TEST(JobScheduler, EmptyStreamReportsDocumentedSentinelNotNan) {
+  // Zero-length horizon: nothing is offered.  acceptance() must return the
+  // documented sentinel (1.0, "rejected nothing"), never NaN.
+  auto cfg = quick();
+  cfg.sim_time = 0;
+  const auto report = run_job_stream({}, AllocationPolicy::kDisaggregated,
+                                     workloads::UsageModel::cori(), cfg);
+  EXPECT_EQ(report.offered, 0u);
+  EXPECT_EQ(report.accepted, 0u);
+  EXPECT_DOUBLE_EQ(report.acceptance(), kEmptyStreamAcceptance);
+  EXPECT_FALSE(std::isnan(report.acceptance()));
+  EXPECT_DOUBLE_EQ(report.mean_cpu_utilization, 0.0);
+}
+
+TEST(JobScheduler, StepwiseAdvanceMatchesRunJobStream) {
+  const auto cfg = quick();
+  const auto expected = run_job_stream({}, AllocationPolicy::kStaticNodes,
+                                       workloads::UsageModel::cori(), cfg);
+
+  JobStreamSim sim({}, AllocationPolicy::kStaticNodes, workloads::UsageModel::cori(),
+                   cfg);
+  for (sim::TimePs t = 11 * sim::kPsPerMs; t < cfg.sim_time; t += 37 * sim::kPsPerMs)
+    sim.advance_to(t);
+  sim.finish();
+  const auto actual = sim.report();
+
+  EXPECT_EQ(expected.offered, actual.offered);
+  EXPECT_EQ(expected.accepted, actual.accepted);
+  EXPECT_EQ(expected.mean_cpu_utilization, actual.mean_cpu_utilization);
+  EXPECT_EQ(expected.mean_memory_utilization, actual.mean_memory_utilization);
+  EXPECT_EQ(expected.mean_marooned_memory, actual.mean_marooned_memory);
+}
+
+TEST(JobScheduler, MidStreamReportAndAllocatorAreObservable) {
+  JobStreamSim sim({}, AllocationPolicy::kStaticNodes, workloads::UsageModel::cori(),
+                   quick());
+  sim.advance_to(100 * sim::kPsPerMs);
+  const auto mid = sim.report();
+  EXPECT_GT(mid.offered, 0u);
+  EXPECT_GT(sim.allocator().pools().cpus_used, 0);  // jobs are holding nodes
+  sim.finish();
+  EXPECT_GE(sim.report().offered, mid.offered);
+  EXPECT_EQ(sim.allocator().live_allocations(), 0u);  // everything drained
 }
 
 TEST(JobScheduler, HeavierLoadLowersStaticAcceptance) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace photorack::phot {
 namespace {
 
@@ -47,6 +49,73 @@ TEST(Power, OverheadAgainstCustomBaseline) {
   // Whole-rack photonics against one node is absurdly high — the point is
   // the denominator is respected.
   EXPECT_GT(breakdown.overhead_vs_baseline, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// EnergyTrace: the time-weighted integrator behind the co-simulation's
+// energy campaign.
+// ---------------------------------------------------------------------------
+
+TEST(EnergyTrace, ConstantPowerIntegratesExactly) {
+  EnergyTrace trace;
+  trace.step_to(0.0, Watts{100.0});
+  trace.step_to(10.0, Watts{100.0});
+  EXPECT_DOUBLE_EQ(trace.joules(), 1000.0);
+  EXPECT_DOUBLE_EQ(trace.seconds(), 10.0);
+  EXPECT_DOUBLE_EQ(trace.mean_power().value, 100.0);
+  EXPECT_DOUBLE_EQ(trace.peak_power().value, 100.0);
+}
+
+TEST(EnergyTrace, PiecewiseProfileWeightsEachLevelByItsDuration) {
+  EnergyTrace trace;
+  trace.step_to(0.0, Watts{100.0});   // 100 W over [0, 5)
+  trace.step_to(5.0, Watts{200.0});   // 200 W over [5, 10)
+  trace.step_to(10.0, Watts{50.0});   // closes the 200 W interval
+  EXPECT_DOUBLE_EQ(trace.joules(), 5.0 * 100.0 + 5.0 * 200.0);
+  EXPECT_DOUBLE_EQ(trace.mean_power().value, 150.0);
+  EXPECT_DOUBLE_EQ(trace.peak_power().value, 200.0);
+  EXPECT_EQ(trace.steps(), 3u);
+}
+
+TEST(EnergyTrace, FirstStepOnlySetsTheOrigin) {
+  EnergyTrace trace;
+  trace.step_to(3.5, Watts{400.0});
+  EXPECT_DOUBLE_EQ(trace.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.seconds(), 0.0);
+  // Degenerate span: mean falls back to the last recorded level.
+  EXPECT_DOUBLE_EQ(trace.mean_power().value, 400.0);
+}
+
+TEST(EnergyTrace, NonZeroOriginDoesNotAccrueEnergyBeforeIt) {
+  EnergyTrace trace;
+  trace.step_to(100.0, Watts{10.0});
+  trace.step_to(101.0, Watts{10.0});
+  EXPECT_DOUBLE_EQ(trace.joules(), 10.0);
+  EXPECT_DOUBLE_EQ(trace.seconds(), 1.0);
+}
+
+TEST(EnergyTrace, ZeroLengthStepsAreAllowedAndCountTowardPeak) {
+  EnergyTrace trace;
+  trace.step_to(0.0, Watts{100.0});
+  trace.step_to(1.0, Watts{900.0});  // spike...
+  trace.step_to(1.0, Watts{100.0});  // ...reverted in the same instant
+  trace.step_to(2.0, Watts{100.0});
+  EXPECT_DOUBLE_EQ(trace.joules(), 200.0);
+  EXPECT_DOUBLE_EQ(trace.peak_power().value, 900.0);
+}
+
+TEST(EnergyTrace, TimeMovingBackwardsThrows) {
+  EnergyTrace trace;
+  trace.step_to(5.0, Watts{100.0});
+  EXPECT_THROW(trace.step_to(4.0, Watts{100.0}), std::invalid_argument);
+}
+
+TEST(EnergyTrace, EmptyTraceIsAllZeros) {
+  const EnergyTrace trace;
+  EXPECT_DOUBLE_EQ(trace.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.mean_power().value, 0.0);
+  EXPECT_DOUBLE_EQ(trace.peak_power().value, 0.0);
 }
 
 }  // namespace
