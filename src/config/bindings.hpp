@@ -1,0 +1,25 @@
+#pragma once
+
+#include "config/enum_codec.hpp"
+#include "config/param_registry.hpp"
+#include "rack/rack_builder.hpp"
+
+namespace photorack::config {
+
+/// Top-level knobs that pick between whole designs rather than configure
+/// one struct; registered as the "system" section.
+struct SystemParams {
+  rack::FabricKind fabric = rack::FabricKind::kParallelAwgrs;
+};
+
+/// Canonical spelling of the co-simulation feedback mode: "closed" (stretch
+/// durations by measured contention) | "open" (flows occupy the fabric but
+/// never slow jobs).  Maps onto CosimConfig::contention_feedback.
+[[nodiscard]] const EnumCodec<bool>& feedback_codec();
+
+/// The process-wide parameter space: every layer's config struct registered
+/// as a section of typed, documented, validated paths.  Built once on first
+/// use; see bindings.cpp for the per-section knob tables.
+[[nodiscard]] const ParamRegistry& registry();
+
+}  // namespace photorack::config

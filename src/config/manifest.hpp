@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "config/param_registry.hpp"
+
+namespace photorack::config {
+
+/// Reproducibility record of one run: the campaign identity, seeds, the
+/// sweep axes, the explicit overrides, and the FULL resolved parameter
+/// tree.  Serialized as deterministic JSON (fixed key order; params sorted
+/// by path; all values as strings in their canonical registry form), so
+/// two runs of the same configuration produce byte-identical manifests and
+/// any published CSV row is reproducible from its artifact alone:
+/// single-valued knobs come from "params", the row's own axis columns pick
+/// the point out of "axes", and per-scenario seeds derive from campaign +
+/// axis values + base_seed (ScenarioSpec::derived_seed).
+struct Manifest {
+  std::string tool;      // emitting binary ("photorack_sweep", ...)
+  std::string campaign;  // campaign name or run label
+  std::uint64_t base_seed = 0;
+
+  /// Grid axes in grid order (registry paths or free axes like "bench").
+  std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+  /// The ordered --set list as given (values may be multi-valued).
+  std::vector<std::pair<std::string, std::vector<std::string>>> overrides;
+
+  [[nodiscard]] std::string to_json(const ParamRegistry& reg) const;
+};
+
+}  // namespace photorack::config

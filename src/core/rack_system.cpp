@@ -5,8 +5,15 @@
 namespace photorack::core {
 
 RackSystem::RackSystem(rack::FabricKind fabric, const rack::RackConfig& rack,
-                       const rack::McmConfig& mcm)
-    : design_(rack::build_rack_design(fabric, rack, mcm)) {}
+                       const rack::McmConfig& mcm,
+                       const phot::PhotonicPowerConfig& power_base)
+    : design_(rack::build_rack_design(fabric, rack, mcm)), power_base_(power_base) {}
+
+RackSystem::RackSystem(const config::ConfigTree& tree)
+    : RackSystem(tree.build<config::SystemParams>("system").fabric,
+                 tree.build<rack::RackConfig>("rack"),
+                 tree.build<rack::McmConfig>("mcm"),
+                 tree.build<phot::PhotonicPowerConfig>("phot")) {}
 
 double RackSystem::direct_pair_bandwidth_gbps() const {
   switch (design_.fabric) {
@@ -22,7 +29,7 @@ double RackSystem::direct_pair_bandwidth_gbps() const {
 
 phot::PowerBreakdown RackSystem::power_overhead() const {
   if (design_.fabric == rack::FabricKind::kElectronicSwitches) return {};
-  phot::PhotonicPowerConfig cfg;
+  phot::PhotonicPowerConfig cfg = power_base_;
   cfg.mcms = design_.mcm_plan.total_mcms;
   cfg.wavelengths_per_mcm = design_.mcm_plan.mcm.total_wavelengths();
   cfg.gbps_per_wavelength = design_.mcm_plan.mcm.gbps_per_wavelength;

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "config/bindings.hpp"
 #include "net/fabric.hpp"
 #include "phot/power.hpp"
 #include "rack/rack_builder.hpp"
@@ -16,7 +17,13 @@ namespace photorack::core {
 class RackSystem {
  public:
   explicit RackSystem(rack::FabricKind fabric = rack::FabricKind::kParallelAwgrs,
-                      const rack::RackConfig& rack = {}, const rack::McmConfig& mcm = {});
+                      const rack::RackConfig& rack = {}, const rack::McmConfig& mcm = {},
+                      const phot::PhotonicPowerConfig& power_base = {});
+
+  /// Build from a resolved config tree: fabric from "system.fabric", the
+  /// rack/MCM geometry from "rack"/"mcm", power assumptions from "phot" —
+  /// so a CLI's ordered `--set path=value` list IS a rack design.
+  explicit RackSystem(const config::ConfigTree& tree);
 
   [[nodiscard]] const rack::RackDesign& design() const { return design_; }
 
@@ -42,6 +49,9 @@ class RackSystem {
 
  private:
   rack::RackDesign design_;
+  /// Non-geometry power assumptions (transceiver pJ/bit, switch budget);
+  /// the geometry fields are overridden from the built design.
+  phot::PhotonicPowerConfig power_base_;
 };
 
 }  // namespace photorack::core

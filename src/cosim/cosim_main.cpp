@@ -2,18 +2,29 @@
 //
 //   photorack_cosim [--policy static|disagg] [--rate R] [--duration-ms D]
 //                   [--horizon-ms H] [--seed S] [--mcms N] [--open-loop]
-//                   [--traffic-scale X] [--quiet]
+//                   [--traffic-scale X] [--set path=value]
+//                   [--manifest file.json] [--quiet]
 //
 // Runs one co-simulation and prints the coupled report: acceptance and
 // utilization from the allocator, satisfaction/indirection from the fabric,
 // stretch from the contention feedback, and the integrated energy trace.
-// For design-space sweeps over these knobs use the scenario engine:
-// `photorack_sweep --campaign cosim_acceptance|cosim_contention|cosim_energy`.
+//
+// Configuration goes through the config registry: the named flags are sugar
+// for `--set` on the corresponding paths (--rate = cosim.arrivals_per_ms,
+// --mcms = net.mcms, ...), and `--set` reaches ANY registered cosim/net/rack
+// knob (`photorack_sweep --params` lists them); unknown paths and
+// out-of-range values are rejected with suggestions before the run starts.
+// --manifest writes the resolved parameter tree as a reproducibility
+// sidecar.  For design-space sweeps over these knobs use the scenario
+// engine: `photorack_sweep --campaign cosim_acceptance|...`.
 #include <cstdint>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "config/bindings.hpp"
+#include "config/manifest.hpp"
 #include "cosim/rack_cosim.hpp"
 #include "sim/table.hpp"
 
@@ -33,13 +44,17 @@ void print_usage(std::ostream& os) {
         "  --mcms <N>              co-sim fabric endpoints (default: 24)\n"
         "  --traffic-scale <X>     scale on per-flow demand (default: 1)\n"
         "  --open-loop             disable contention feedback (no stretch)\n"
+        "  --set <path>=<value>    set any registered cosim/net/rack knob\n"
+        "                          (repeatable; photorack_sweep --params lists)\n"
+        "  --manifest <file>       write the resolved config tree as JSON\n"
         "  --quiet                 print only the one-line summary\n"
         "  --help                  this message\n";
 }
 
 struct CliOptions {
   disagg::AllocationPolicy policy = disagg::AllocationPolicy::kDisaggregated;
-  cosim::CosimConfig cfg;
+  config::ConfigTree tree{config::registry()};
+  std::string manifest_path;
   bool quiet = false;
 };
 
@@ -55,23 +70,29 @@ CliOptions parse_cli(int argc, char** argv) {
       print_usage(std::cout);
       std::exit(0);
     } else if (arg == "--policy") {
-      opt.policy = disagg::parse_allocation_policy(value("--policy"));
+      opt.policy = disagg::allocation_policy_codec().parse(value("--policy"));
     } else if (arg == "--rate") {
-      opt.cfg.arrivals_per_ms = std::stod(value("--rate"));
+      opt.tree.set("cosim.arrivals_per_ms", value("--rate"));
     } else if (arg == "--duration-ms") {
-      opt.cfg.mean_duration =
-          static_cast<sim::TimePs>(std::stod(value("--duration-ms")) * sim::kPsPerMs);
+      opt.tree.set("cosim.duration_ms", value("--duration-ms"));
     } else if (arg == "--horizon-ms") {
-      opt.cfg.sim_time =
-          static_cast<sim::TimePs>(std::stod(value("--horizon-ms")) * sim::kPsPerMs);
+      opt.tree.set("cosim.horizon_ms", value("--horizon-ms"));
     } else if (arg == "--seed") {
-      opt.cfg.seed = static_cast<std::uint64_t>(std::stoull(value("--seed")));
+      opt.tree.set("cosim.seed", value("--seed"));
     } else if (arg == "--mcms") {
-      opt.cfg.mcms = std::stoi(value("--mcms"));
+      opt.tree.set("net.mcms", value("--mcms"));
     } else if (arg == "--traffic-scale") {
-      opt.cfg.traffic_scale = std::stod(value("--traffic-scale"));
+      opt.tree.set("cosim.traffic_scale", value("--traffic-scale"));
     } else if (arg == "--open-loop") {
-      opt.cfg.contention_feedback = false;
+      opt.tree.set("cosim.contention_feedback", "open");
+    } else if (arg == "--set") {
+      const std::string kv = value("--set");
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == kv.size())
+        throw std::invalid_argument("--set wants path=value, got '" + kv + "'");
+      opt.tree.set(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (arg == "--manifest") {
+      opt.manifest_path = value("--manifest");
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else {
@@ -94,8 +115,31 @@ int main(int argc, char** argv) {
   }
 
   try {
+    cosim::CosimConfig cfg = opt.tree.build<cosim::CosimConfig>("cosim");
+    cfg.fabric = opt.tree.build<net::FabricSliceConfig>("net");
+    const rack::RackConfig rack = opt.tree.build<rack::RackConfig>("rack");
+
+    if (!opt.manifest_path.empty()) {
+      config::Manifest manifest;
+      manifest.tool = "photorack_cosim";
+      manifest.campaign = "cosim";
+      // The policy is a CLI argument, not a registry knob — record it as a
+      // free axis so two runs differing only in --policy differ here too.
+      manifest.axes.emplace_back(
+          "policy",
+          std::vector<std::string>{disagg::allocation_policy_codec().name(opt.policy)});
+      for (const auto& [path, v] : opt.tree.overrides())
+        manifest.overrides.emplace_back(path, std::vector<std::string>{v});
+      // Single-valued overrides resolve into the params map too.
+      for (const auto& ov : manifest.overrides) manifest.axes.push_back(ov);
+      std::ofstream out(opt.manifest_path);
+      if (!out)
+        throw std::runtime_error("cannot open " + opt.manifest_path);
+      out << manifest.to_json(config::registry()) << "\n";
+    }
+
     const auto report =
-        cosim::run_rack_cosim({}, opt.policy, workloads::UsageModel::cori(), opt.cfg);
+        cosim::run_rack_cosim(rack, opt.policy, workloads::UsageModel::cori(), cfg);
 
     if (!opt.quiet) {
       sim::Table table({"metric", "value"});

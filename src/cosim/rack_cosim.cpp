@@ -16,21 +16,23 @@ namespace {
 /// topology shrunk to the slice of the rack one job mix actually stresses.
 rack::AwgrFabricPlan small_awgr_plan(const CosimConfig& cfg) {
   rack::AwgrFabricPlan plan;
-  plan.parallel_awgrs = cfg.lambdas_per_pair;
-  plan.awgr_radix = cfg.mcms;
-  plan.port_wavelength_cap = cfg.mcms;
-  plan.lambdas_per_port.assign(static_cast<std::size_t>(cfg.lambdas_per_pair), cfg.mcms);
-  plan.full_coverage_awgrs = cfg.lambdas_per_pair;
-  plan.min_direct_lambdas_per_pair = cfg.lambdas_per_pair;
-  plan.direct_pair_bandwidth = phot::Gbps{cfg.lambdas_per_pair * cfg.gbps_per_lambda};
+  plan.parallel_awgrs = cfg.fabric.lambdas_per_pair;
+  plan.awgr_radix = cfg.fabric.mcms;
+  plan.port_wavelength_cap = cfg.fabric.mcms;
+  plan.lambdas_per_port.assign(static_cast<std::size_t>(cfg.fabric.lambdas_per_pair),
+                               cfg.fabric.mcms);
+  plan.full_coverage_awgrs = cfg.fabric.lambdas_per_pair;
+  plan.min_direct_lambdas_per_pair = cfg.fabric.lambdas_per_pair;
+  plan.direct_pair_bandwidth =
+      cfg.fabric.gbps_per_wavelength * cfg.fabric.lambdas_per_pair;
   return plan;
 }
 
 CosimConfig validated(CosimConfig cfg, const rack::RackConfig& rack) {
-  if (cfg.mcms < 2) throw std::invalid_argument("RackCosim: need >= 2 MCMs");
-  if (cfg.lambdas_per_pair < 1)
+  if (cfg.fabric.mcms < 2) throw std::invalid_argument("RackCosim: need >= 2 MCMs");
+  if (cfg.fabric.lambdas_per_pair < 1)
     throw std::invalid_argument("RackCosim: need >= 1 wavelength per pair");
-  if (cfg.gbps_per_lambda <= 0.0)
+  if (cfg.fabric.gbps_per_wavelength.value <= 0.0)
     throw std::invalid_argument("RackCosim: wavelength rate must be positive");
   if (cfg.arrivals_per_ms <= 0.0)
     throw std::invalid_argument("RackCosim: arrival rate must be positive");
@@ -59,18 +61,18 @@ RackCosim::RackCosim(const rack::RackConfig& rack, disagg::AllocationPolicy poli
       usage_(usage),
       demand_(workloads::FlowDemandModel::cpu_memory()),
       allocator_(rack, policy),
-      fabric_(std::make_unique<net::WavelengthFabric>(cfg_.mcms, small_awgr_plan(cfg_))),
+      fabric_(std::make_unique<net::WavelengthFabric>(cfg_.fabric.mcms, small_awgr_plan(cfg_))),
       // Same child-stream layout as FlowSimulator: router seed is the
       // first draw of child(1), arrivals come from child(2).
-      engine_(*fabric_, cfg_.piggyback_interval, sim::Rng(cfg_.seed).child(1)()),
+      engine_(*fabric_, cfg_.fabric.piggyback_interval, sim::Rng(cfg_.seed).child(1)()),
       base_rng_(cfg_.seed),
       arrival_rng_(base_rng_.child(2)) {
   // §VI-C overhead at co-sim scale: every wavelength the fabric lights burns
   // transceiver energy whether or not a flow uses it (lasers always on).
   phot::PhotonicPowerConfig photonic;
-  photonic.mcms = cfg_.mcms;
-  photonic.wavelengths_per_mcm = cfg_.lambdas_per_pair * cfg_.mcms;
-  photonic.gbps_per_wavelength = phot::Gbps{cfg_.gbps_per_lambda};
+  photonic.mcms = cfg_.fabric.mcms;
+  photonic.wavelengths_per_mcm = cfg_.fabric.lambdas_per_pair * cfg_.fabric.mcms;
+  photonic.gbps_per_wavelength = cfg_.fabric.gbps_per_wavelength;
   photonic_w_ = phot::photonic_power_overhead(photonic, cfg_.baseline).total.value;
 
   energy_.step_to(0.0, phot::Watts{compute_power_w() + photonic_w_});
@@ -95,10 +97,10 @@ RackCosim::JobPlan RackCosim::make_plan(sim::Rng& rng) const {
   // MCMs — disaggregated placement scatters a job's resources rack-wide.
   auto draw_flow = [&](double scale) {
     net::FlowSpec spec;
-    spec.src = static_cast<int>(rng.below(static_cast<std::uint64_t>(cfg_.mcms)));
+    spec.src = static_cast<int>(rng.below(static_cast<std::uint64_t>(cfg_.fabric.mcms)));
     spec.dst = static_cast<int>(
-        (spec.src + 1 + rng.below(static_cast<std::uint64_t>(cfg_.mcms - 1))) %
-        cfg_.mcms);
+        (spec.src + 1 + rng.below(static_cast<std::uint64_t>(cfg_.fabric.mcms - 1))) %
+        cfg_.fabric.mcms);
     spec.gbps = demand_.sample_gbps(rng) * scale;
     return spec;
   };

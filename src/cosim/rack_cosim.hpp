@@ -49,15 +49,12 @@ struct CosimConfig {
   /// one fully blocked flow cannot pin a job forever.
   double min_speed_fraction = 0.05;
 
-  // --- co-sim fabric geometry ---
-  /// MCM endpoints of the co-sim fabric.  Deliberately smaller than the
-  /// paper's 350-MCM rack: job traffic concentrates on the handful of
-  /// memory-pool MCMs a rack slice actually spans, which is where the
-  /// contention the loop feeds back on lives.
-  int mcms = 24;
-  int lambdas_per_pair = 1;        // direct wavelengths per (src,dst) pair
-  double gbps_per_lambda = 25.0;   // per-wavelength rate (Table III)
-  sim::TimePs piggyback_interval = 10 * sim::kPsPerUs;
+  // --- co-sim fabric geometry (the "net" registry section) ---
+  /// The fabric's MCM count is deliberately smaller than the paper's
+  /// 350-MCM rack: job traffic concentrates on the handful of memory-pool
+  /// MCMs a rack slice actually spans, which is where the contention the
+  /// loop feeds back on lives.
+  net::FabricSliceConfig fabric;
 
   // --- traffic model ---
   /// Every placed job opens one CPU↔memory flow per node of breadth, with

@@ -7,6 +7,16 @@
 
 namespace photorack::cpusim {
 
+const config::EnumCodec<CoreKind>& core_kind_codec() {
+  static const config::EnumCodec<CoreKind> codec(
+      "core kind", {{"inorder", CoreKind::kInOrder},
+                    {"ooo", CoreKind::kOutOfOrder},
+                    {"accel", CoreKind::kDecoupledAccelerator}});
+  return codec;
+}
+
+const char* to_string(CoreKind kind) { return core_kind_codec().name(kind).c_str(); }
+
 Core::Core(CoreConfig cfg, CacheHierarchy& hierarchy, DramModel& dram)
     : cfg_(cfg), hierarchy_(&hierarchy), dram_(&dram), prefetcher_(cfg.prefetch) {
   recent_miss_idx_.assign(static_cast<std::size_t>(std::max(1, cfg_.mshrs)), 0);

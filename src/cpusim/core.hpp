@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "config/enum_codec.hpp"
 #include "cpusim/cache.hpp"
 #include "cpusim/dram.hpp"
 #include "cpusim/prefetch.hpp"
@@ -21,6 +22,11 @@ enum class CoreKind : std::uint8_t {
   /// the "burst scheduling" latency-tolerance technique of [136][137].
   kDecoupledAccelerator,
 };
+
+/// Canonical CLI/campaign-axis/registry spellings: "inorder" | "ooo" |
+/// "accel".  The one definition shared by campaigns and registry bindings.
+[[nodiscard]] const config::EnumCodec<CoreKind>& core_kind_codec();
+[[nodiscard]] const char* to_string(CoreKind kind);
 
 /// Core timing parameters.  The in-order core issues one instruction per
 /// cycle and exposes the full latency of every off-core access (§VI-B1:

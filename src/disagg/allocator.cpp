@@ -21,14 +21,19 @@ std::uint64_t next_global_allocation_id() {
 
 }  // namespace
 
+const config::EnumCodec<AllocationPolicy>& allocation_policy_codec() {
+  static const config::EnumCodec<AllocationPolicy> codec(
+      "policy", {{"static", AllocationPolicy::kStaticNodes},
+                 {"disagg", AllocationPolicy::kDisaggregated}});
+  return codec;
+}
+
 AllocationPolicy parse_allocation_policy(const std::string& v) {
-  if (v == "static") return AllocationPolicy::kStaticNodes;
-  if (v == "disagg") return AllocationPolicy::kDisaggregated;
-  throw std::invalid_argument("unknown policy '" + v + "' (want static|disagg)");
+  return allocation_policy_codec().parse(v);
 }
 
 const char* to_string(AllocationPolicy policy) {
-  return policy == AllocationPolicy::kStaticNodes ? "static" : "disagg";
+  return allocation_policy_codec().name(policy).c_str();
 }
 
 RackAllocator::RackAllocator(const rack::RackConfig& rack, AllocationPolicy policy,

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "config/enum_codec.hpp"
 #include "rack/chips.hpp"
 
 namespace photorack::disagg {
@@ -63,8 +64,12 @@ struct PoolState {
 /// rack-wide pool; jobs take exactly what they request.
 enum class AllocationPolicy { kStaticNodes, kDisaggregated };
 
-/// Canonical CLI/campaign-axis spellings: "static" | "disagg".  The one
-/// definition shared by photorack_cosim and the scenario campaigns.
+/// Canonical CLI/campaign-axis/registry spellings: "static" | "disagg".
+/// The one definition shared by photorack_cosim, the scenario campaigns
+/// and the config-registry bindings.
+[[nodiscard]] const config::EnumCodec<AllocationPolicy>& allocation_policy_codec();
+
+/// Thin wrappers over allocation_policy_codec() for existing call sites.
 [[nodiscard]] AllocationPolicy parse_allocation_policy(const std::string& v);
 [[nodiscard]] const char* to_string(AllocationPolicy policy);
 

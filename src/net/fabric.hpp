@@ -5,8 +5,23 @@
 
 #include "phot/units.hpp"
 #include "rack/rack_builder.hpp"
+#include "sim/time.hpp"
 
 namespace photorack::net {
+
+/// Geometry of a co-sim-scale all-pairs wavelength fabric: `mcms` endpoints
+/// where every (src, dst) pair gets `lambdas_per_pair` dedicated DWDM
+/// wavelengths of `gbps_per_wavelength` each, with allocation state
+/// disseminated by piggybacked telemetry every `piggyback_interval`.
+/// Registered as the "net" section of the config registry, so campaigns
+/// and `--set net.gbps_per_wavelength=32` style overrides address it
+/// directly; the rack co-simulation builds its fabric from this.
+struct FabricSliceConfig {
+  int mcms = 24;
+  int lambdas_per_pair = 1;              // direct wavelengths per (src,dst) pair
+  phot::Gbps gbps_per_wavelength{25.0};  // per-wavelength rate (Table III)
+  sim::TimePs piggyback_interval = 10 * sim::kPsPerUs;
+};
 
 /// Wavelength-level state of the parallel-AWGR fabric (case (A) of §V-B).
 ///

@@ -5,6 +5,16 @@
 
 namespace photorack::rack {
 
+const config::EnumCodec<FabricKind>& fabric_kind_codec() {
+  static const config::EnumCodec<FabricKind> codec(
+      "fabric", {{"awgr", FabricKind::kParallelAwgrs},
+                 {"wss", FabricKind::kSpatialOrWss},
+                 {"electronic", FabricKind::kElectronicSwitches}});
+  return codec;
+}
+
+const char* to_string(FabricKind kind) { return fabric_kind_codec().name(kind).c_str(); }
+
 std::vector<int> distribute_wavelengths(int total_lambdas, int port_cap) {
   if (total_lambdas <= 0 || port_cap <= 0)
     throw std::invalid_argument("distribute_wavelengths: non-positive input");

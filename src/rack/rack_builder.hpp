@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "config/enum_codec.hpp"
 #include "phot/links.hpp"
 #include "phot/switches.hpp"
 #include "rack/mcm.hpp"
@@ -11,6 +12,11 @@ namespace photorack::rack {
 
 /// How the disaggregated rack's MCMs are interconnected.
 enum class FabricKind { kParallelAwgrs, kSpatialOrWss, kElectronicSwitches };
+
+/// Canonical CLI/campaign-axis/registry spellings: "awgr" | "wss" |
+/// "electronic".  The one definition shared by campaigns and bindings.
+[[nodiscard]] const config::EnumCodec<FabricKind>& fabric_kind_codec();
+[[nodiscard]] const char* to_string(FabricKind kind);
 
 /// Plan for case (A) of §V-B / Fig 5: parallel AWGRs.  Each MCM splits its
 /// fibers across `parallel_awgrs` AWGR ports, respecting the per-port

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "config/bindings.hpp"
 #include "core/rack_system.hpp"
 #include "cosim/rack_cosim.hpp"
 #include "cpusim/miss_profile.hpp"
@@ -24,24 +25,19 @@
 
 namespace photorack::scenario {
 
+SweepGrid Campaign::default_grid() const {
+  SweepGrid grid;
+  for (const Axis& ax : axes) grid.axis(ax.name, ax.values);
+  return grid;
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
-// Axis parsing shared by the campaign evaluators.
+// Free-axis helpers shared by the campaign evaluators.  Enum-valued free
+// axes (policy, feedback) parse through the layers' canonical EnumCodecs;
+// everything config-struct-shaped arrives via ScenarioSpec::resolve<T>().
 // ---------------------------------------------------------------------------
-
-cpusim::CoreKind parse_core_kind(const std::string& v) {
-  if (v == "inorder") return cpusim::CoreKind::kInOrder;
-  if (v == "ooo") return cpusim::CoreKind::kOutOfOrder;
-  throw std::invalid_argument("unknown core kind '" + v + "' (want inorder|ooo)");
-}
-
-rack::FabricKind parse_fabric_kind(const std::string& v) {
-  if (v == "awgr") return rack::FabricKind::kParallelAwgrs;
-  if (v == "wss") return rack::FabricKind::kSpatialOrWss;
-  if (v == "electronic") return rack::FabricKind::kElectronicSwitches;
-  throw std::invalid_argument("unknown fabric '" + v + "' (want awgr|wss|electronic)");
-}
 
 const workloads::CpuBenchmark& find_cpu_benchmark(const std::string& full_name) {
   for (const auto& bench : workloads::cpu_benchmarks())
@@ -65,6 +61,13 @@ std::vector<std::string> all_gpu_app_names() {
   std::vector<std::string> names;
   for (const auto& app : workloads::gpu_apps()) names.push_back(app.name);
   return names;
+}
+
+std::vector<std::string> num_values(const std::vector<double>& values) {
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (const double v : values) out.push_back(num_to_string(v));
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -152,19 +155,22 @@ class SingleFlightCache {
   std::size_t capacity_;
 };
 
-/// Process-wide cache of recorded CPU miss profiles (supersedes the PR 2
-/// extra=0 SimResult memo): one instrumented simulation per (benchmark,
-/// core, instruction budget, seed) serves the baseline AND every extra_ns
-/// grid point as an O(misses) replay, bit-identical to simulating each
-/// point from scratch.  Bounded: grid order keeps one benchmark's latency
-/// points adjacent, so a handful of live profiles bounds memory.
+/// Process-wide cache of recorded CPU miss profiles: one instrumented
+/// simulation per (benchmark, full cpusim config, seed) serves the baseline
+/// AND every extra_ns grid point as an O(misses) replay, bit-identical to
+/// simulating each point from scratch.  The config enters the key as the
+/// registry's canonical snapshot string, so ANY --set cpusim.* override
+/// (hierarchy geometry, core width, prefetcher...) records its own profile
+/// instead of aliasing the default one.  Bounded: grid order keeps one
+/// benchmark's latency points adjacent, so a handful of live profiles
+/// bounds memory.
 std::shared_ptr<const cpusim::MissProfile> cpu_profile(
     const workloads::CpuBenchmark& bench, const cpusim::SimConfig& cfg,
     const workloads::TraceConfig& trace_cfg) {
-  using Key = std::tuple<std::string, int, std::uint64_t, std::uint64_t, std::uint64_t>;
+  using Key = std::tuple<std::string, std::string, std::uint64_t>;
   static SingleFlightCache<Key, std::shared_ptr<const cpusim::MissProfile>> cache(12);
-  const Key key{bench.full_name(), static_cast<int>(cfg.core.kind),
-                cfg.warmup_instructions, cfg.measured_instructions, trace_cfg.seed};
+  const Key key{bench.full_name(), config::registry().snapshot("cpusim", cfg),
+                trace_cfg.seed};
   return cache.get(key, [&] {
     workloads::SyntheticTrace trace(trace_cfg);
     return std::make_shared<const cpusim::MissProfile>(
@@ -175,21 +181,20 @@ std::shared_ptr<const cpusim::MissProfile> cpu_profile(
 std::vector<ResultRow> eval_cpu_point(const ScenarioSpec& spec) {
   const auto& bench = find_cpu_benchmark(spec.at("bench"));
 
-  cpusim::SimConfig cfg;
-  cfg.core.kind = parse_core_kind(spec.at("core"));
-  cfg.warmup_instructions = spec.uint("warmup");
-  cfg.measured_instructions = spec.uint("measured");
+  cpusim::SimConfig cfg = spec.resolve<cpusim::SimConfig>("cpusim");
+  const double extra = cfg.dram.extra_ns;
 
   workloads::TraceConfig trace_cfg = bench.trace;
   // base_seed == 0 keeps the registry seed (the paper's numbers, matching
   // core::run_cpu_sweep exactly); otherwise the scenario re-seeds itself.
   if (spec.base_seed != 0) trace_cfg.seed = spec.derived_seed();
 
+  // One profile per (bench, config-at-extra=0): the recording is
+  // latency-independent, so the baseline and the perturbed point are both
+  // replays of it.
   cfg.dram.extra_ns = 0.0;
   const auto profile = cpu_profile(bench, cfg, trace_cfg);
   const cpusim::SimResult baseline = cpusim::replay_profile(*profile, 0.0);
-
-  const double extra = spec.num("extra_ns");
   const cpusim::SimResult result =
       extra != 0.0 ? cpusim::replay_profile(*profile, extra) : baseline;
 
@@ -197,7 +202,7 @@ std::vector<ResultRow> eval_cpu_point(const ScenarioSpec& spec) {
   row.cells = {bench.suite,
                bench.input,
                bench.full_name(),
-               spec.at("core"),
+               spec.at("cpusim.core.kind"),
                num_to_string(extra),
                num_to_string(baseline.time_ns),
                num_to_string(result.time_ns),
@@ -207,15 +212,12 @@ std::vector<ResultRow> eval_cpu_point(const ScenarioSpec& spec) {
   return {std::move(row)};
 }
 
-SweepGrid cpu_grid(std::vector<std::string> cores, std::vector<double> extras) {
-  SweepGrid grid;
-  grid.axis("bench", all_cpu_benchmark_names())
-      .axis("core", std::move(cores))
-      .axis("extra_ns", std::move(extras))
-      // Kept as integer strings: these feed ScenarioSpec::uint().
-      .axis("warmup", std::vector<std::string>{"1000000"})
-      .axis("measured", std::vector<std::string>{"2000000"});
-  return grid;
+std::vector<Axis> cpu_axes(std::vector<std::string> cores, std::vector<double> extras) {
+  return {{"bench", all_cpu_benchmark_names()},
+          {"cpusim.core.kind", std::move(cores)},
+          {"cpusim.dram.extra_ns", num_values(extras)},
+          {"cpusim.warmup", {"1000000"}},
+          {"cpusim.measured", {"2000000"}}};
 }
 
 // ---------------------------------------------------------------------------
@@ -227,37 +229,42 @@ const std::vector<std::string> kGpuColumns = {
     "baseline_us", "time_us", "slowdown", "l2_miss_rate"};
 
 /// GPU counterpart of the CPU profile cache: the per-kernel L2 simulation
-/// is independent of extra_hbm_ns and the bandwidth derate (the only axes
-/// the GPU campaigns sweep), so one AppMissProfile per app serves every
-/// grid point.  Profiles are a few doubles each, so unbounded (capacity 0).
+/// is independent of extra_hbm_ns and the bandwidth derate (the axes the
+/// GPU campaigns sweep), so one AppMissProfile per (app, base config)
+/// serves every grid point.  The base config (latency axes zeroed) keys
+/// the cache via its registry snapshot, so --set gpusim.* geometry
+/// overrides record their own profiles.  Profiles are a few doubles each,
+/// so unbounded (capacity 0).
 std::shared_ptr<const gpusim::AppMissProfile> gpu_app_profile(
-    const gpusim::AppProfile& app) {
-  static SingleFlightCache<std::string, std::shared_ptr<const gpusim::AppMissProfile>>
-      cache;
-  return cache.get(app.name, [&] {
+    const gpusim::AppProfile& app, const gpusim::GpuConfig& base) {
+  using Key = std::pair<std::string, std::string>;
+  static SingleFlightCache<Key, std::shared_ptr<const gpusim::AppMissProfile>> cache;
+  const Key key{app.name, config::registry().snapshot("gpusim", base)};
+  return cache.get(key, [&] {
     return std::make_shared<const gpusim::AppMissProfile>(
-        gpusim::record_app_profile(app, gpusim::GpuConfig{}));
+        gpusim::record_app_profile(app, base));
   });
 }
 
 std::vector<ResultRow> eval_gpu_point(const ScenarioSpec& spec) {
   const auto& app = find_gpu_app(spec.at("app"));
-  const auto profile = gpu_app_profile(app);
 
-  // Baseline is always the photonic configuration: zero extra latency, full
-  // HBM bandwidth (matches core::run_gpu_sweep).
-  const double baseline_us = gpusim::replay_app(app, *profile, gpusim::GpuConfig{}).time_us;
+  gpusim::GpuConfig gpu = spec.resolve<gpusim::GpuConfig>("gpusim");
+  // Baseline is always the photonic configuration of the same device: zero
+  // extra latency, full HBM bandwidth (matches core::run_gpu_sweep).
+  gpusim::GpuConfig base = gpu;
+  base.extra_hbm_ns = 0.0;
+  base.hbm_bandwidth_derate = 1.0;
 
-  gpusim::GpuConfig gpu;
-  gpu.extra_hbm_ns = spec.num("extra_ns");
-  gpu.hbm_bandwidth_derate = spec.num("derate");
+  const auto profile = gpu_app_profile(app, base);
+  const double baseline_us = gpusim::replay_app(app, *profile, base).time_us;
   const gpusim::AppResult result = gpusim::replay_app(app, *profile, gpu);
 
   ResultRow row;
   row.cells = {app.name,
                app.suite,
-               spec.at("extra_ns"),
-               spec.at("derate"),
+               spec.at("gpusim.extra_hbm_ns"),
+               spec.at("gpusim.hbm_bandwidth_derate"),
                num_to_string(baseline_us),
                num_to_string(result.time_us),
                num_to_string(result.time_us / baseline_us - 1.0),
@@ -265,12 +272,10 @@ std::vector<ResultRow> eval_gpu_point(const ScenarioSpec& spec) {
   return {std::move(row)};
 }
 
-SweepGrid gpu_grid(std::vector<double> extras, std::vector<double> derates) {
-  SweepGrid grid;
-  grid.axis("app", all_gpu_app_names())
-      .axis("extra_ns", std::move(extras))
-      .axis("derate", std::move(derates));
-  return grid;
+std::vector<Axis> gpu_axes(std::vector<double> extras, std::vector<double> derates) {
+  return {{"app", all_gpu_app_names()},
+          {"gpusim.extra_hbm_ns", num_values(extras)},
+          {"gpusim.hbm_bandwidth_derate", num_values(derates)}};
 }
 
 // ---------------------------------------------------------------------------
@@ -294,12 +299,10 @@ std::vector<ResultRow> eval_table1_point(const ScenarioSpec& spec) {
   return {std::move(row)};
 }
 
-SweepGrid table1_grid() {
+std::vector<Axis> table1_axes() {
   std::vector<std::string> names;
   for (const auto& link : phot::table1_links()) names.push_back(link.name);
-  SweepGrid grid;
-  grid.axis("link", std::move(names)).axis("escape_gbs", std::vector<double>{2000});
-  return grid;
+  return {{"link", std::move(names)}, {"escape_gbs", {"2000"}}};
 }
 
 // ---------------------------------------------------------------------------
@@ -313,18 +316,16 @@ const std::vector<std::string> kTable3Columns = {
     "mcm_count",     "chip_escape_gbs", "chip_share_gbs", "total_mcms"};
 
 std::vector<ResultRow> eval_table3_point(const ScenarioSpec& spec) {
-  rack::McmConfig mcm;
-  mcm.fibers = spec.integer("fibers");
-  mcm.wavelengths_per_fiber = spec.integer("lambdas");
-  mcm.gbps_per_wavelength = phot::Gbps{spec.num("gbps")};
-  const rack::McmPlan plan = rack::pack_rack(rack::RackConfig{}, mcm);
+  const rack::McmConfig mcm = spec.resolve<rack::McmConfig>("mcm");
+  const rack::RackConfig rack = spec.resolve<rack::RackConfig>("rack");
+  const rack::McmPlan plan = rack::pack_rack(rack, mcm);
 
   std::vector<ResultRow> rows;
   for (const auto& p : plan.types) {
     ResultRow row;
-    row.cells = {spec.at("fibers"),
-                 spec.at("lambdas"),
-                 spec.at("gbps"),
+    row.cells = {spec.at("mcm.fibers"),
+                 spec.at("mcm.wavelengths_per_fiber"),
+                 spec.at("mcm.gbps_per_wavelength"),
                  rack::to_string(p.type),
                  num_to_string(p.chips_per_mcm),
                  num_to_string(p.mcm_count),
@@ -336,12 +337,10 @@ std::vector<ResultRow> eval_table3_point(const ScenarioSpec& spec) {
   return rows;
 }
 
-SweepGrid table3_grid() {
-  SweepGrid grid;
-  grid.axis("fibers", std::vector<double>{32})
-      .axis("lambdas", std::vector<double>{64})
-      .axis("gbps", std::vector<double>{25});
-  return grid;
+std::vector<Axis> table3_axes() {
+  return {{"mcm.fibers", {"32"}},
+          {"mcm.wavelengths_per_fiber", {"64"}},
+          {"mcm.gbps_per_wavelength", {"25"}}};
 }
 
 // ---------------------------------------------------------------------------
@@ -353,11 +352,14 @@ const std::vector<std::string> kSec6cColumns = {
     "baseline_w", "overhead",       "added_latency_ns"};
 
 std::vector<ResultRow> eval_sec6c_point(const ScenarioSpec& spec) {
-  const core::RackSystem system(parse_fabric_kind(spec.at("fabric")));
+  const config::SystemParams sys = spec.resolve<config::SystemParams>("system");
+  const core::RackSystem system(sys.fabric, spec.resolve<rack::RackConfig>("rack"),
+                                spec.resolve<rack::McmConfig>("mcm"),
+                                spec.resolve<phot::PhotonicPowerConfig>("phot"));
   const phot::PowerBreakdown power = system.power_overhead();
   const phot::BaselineRackPower baseline;
   ResultRow row;
-  row.cells = {spec.at("fabric"),
+  row.cells = {spec.at("system.fabric"),
                num_to_string(power.transceivers.value),
                num_to_string(power.switches.value),
                num_to_string(power.total.value),
@@ -367,11 +369,7 @@ std::vector<ResultRow> eval_sec6c_point(const ScenarioSpec& spec) {
   return {std::move(row)};
 }
 
-SweepGrid sec6c_grid() {
-  SweepGrid grid;
-  grid.axis("fabric", std::vector<std::string>{"awgr"});
-  return grid;
-}
+std::vector<Axis> sec6c_axes() { return {{"system.fabric", {"awgr"}}}; }
 
 // ---------------------------------------------------------------------------
 // Rack co-simulation campaigns: the closed loop of jobs × fabric × power
@@ -380,27 +378,20 @@ SweepGrid sec6c_grid() {
 // the spec, so sweeps stay bit-identical for any --jobs level.
 // ---------------------------------------------------------------------------
 
-bool parse_feedback(const std::string& v) {
-  if (v == "closed") return true;
-  if (v == "open") return false;
-  throw std::invalid_argument("unknown feedback '" + v + "' (want closed|open)");
-}
-
-/// Shared axis → CosimConfig translation.  base_seed == 0 keeps the engine's
+/// Shared axis → CosimConfig resolution.  base_seed == 0 keeps the engine's
 /// default seed (one canonical trajectory per grid point); any other value
 /// re-seeds from the spec id for independent replications.
 cosim::CosimConfig cosim_config_from(const ScenarioSpec& spec) {
-  cosim::CosimConfig cfg;
-  cfg.arrivals_per_ms = spec.num("arrivals_per_ms");
-  cfg.sim_time = static_cast<sim::TimePs>(spec.num("horizon_ms") * sim::kPsPerMs);
-  if (spec.has("feedback")) cfg.contention_feedback = parse_feedback(spec.at("feedback"));
+  cosim::CosimConfig cfg = spec.resolve<cosim::CosimConfig>("cosim");
+  cfg.fabric = spec.resolve<net::FabricSliceConfig>("net");
   if (spec.base_seed != 0) cfg.seed = spec.derived_seed();
   return cfg;
 }
 
 cosim::CosimReport eval_cosim(const ScenarioSpec& spec,
                               disagg::AllocationPolicy policy) {
-  return cosim::run_rack_cosim({}, policy, workloads::UsageModel::cori(),
+  return cosim::run_rack_cosim(spec.resolve<rack::RackConfig>("rack"), policy,
+                               workloads::UsageModel::cori(),
                                cosim_config_from(spec));
 }
 
@@ -411,11 +402,11 @@ const std::vector<std::string> kCosimAcceptanceColumns = {
 
 std::vector<ResultRow> eval_cosim_acceptance(const ScenarioSpec& spec) {
   const auto report =
-      eval_cosim(spec, disagg::parse_allocation_policy(spec.at("policy")));
+      eval_cosim(spec, disagg::allocation_policy_codec().parse(spec.at("policy")));
   ResultRow row;
   row.cells = {spec.at("policy"),
-               spec.at("arrivals_per_ms"),
-               spec.at("horizon_ms"),
+               spec.at("cosim.arrivals_per_ms"),
+               spec.at("cosim.horizon_ms"),
                num_to_string(static_cast<double>(report.jobs.offered)),
                num_to_string(static_cast<double>(report.jobs.accepted)),
                num_to_string(report.jobs.acceptance()),
@@ -426,12 +417,10 @@ std::vector<ResultRow> eval_cosim_acceptance(const ScenarioSpec& spec) {
   return {std::move(row)};
 }
 
-SweepGrid cosim_acceptance_grid() {
-  SweepGrid grid;
-  grid.axis("policy", std::vector<std::string>{"static", "disagg"})
-      .axis("arrivals_per_ms", std::vector<double>{2, 4, 8})
-      .axis("horizon_ms", std::vector<double>{200});
-  return grid;
+std::vector<Axis> cosim_acceptance_axes() {
+  return {{"policy", {"static", "disagg"}},
+          {"cosim.arrivals_per_ms", {"2", "4", "8"}},
+          {"cosim.horizon_ms", {"200"}}};
 }
 
 const std::vector<std::string> kCosimContentionColumns = {
@@ -442,9 +431,9 @@ const std::vector<std::string> kCosimContentionColumns = {
 std::vector<ResultRow> eval_cosim_contention(const ScenarioSpec& spec) {
   const auto report = eval_cosim(spec, disagg::AllocationPolicy::kDisaggregated);
   ResultRow row;
-  row.cells = {spec.at("feedback"),
-               spec.at("arrivals_per_ms"),
-               spec.at("horizon_ms"),
+  row.cells = {spec.at("cosim.contention_feedback"),
+               spec.at("cosim.arrivals_per_ms"),
+               spec.at("cosim.horizon_ms"),
                num_to_string(report.jobs.acceptance()),
                num_to_string(report.flows.satisfied_fraction),
                num_to_string(report.flows.indirect_fraction),
@@ -455,12 +444,10 @@ std::vector<ResultRow> eval_cosim_contention(const ScenarioSpec& spec) {
   return {std::move(row)};
 }
 
-SweepGrid cosim_contention_grid() {
-  SweepGrid grid;
-  grid.axis("feedback", std::vector<std::string>{"open", "closed"})
-      .axis("arrivals_per_ms", std::vector<double>{2, 4, 8, 16})
-      .axis("horizon_ms", std::vector<double>{200});
-  return grid;
+std::vector<Axis> cosim_contention_axes() {
+  return {{"cosim.contention_feedback", {"open", "closed"}},
+          {"cosim.arrivals_per_ms", {"2", "4", "8", "16"}},
+          {"cosim.horizon_ms", {"200"}}};
 }
 
 const std::vector<std::string> kCosimEnergyColumns = {
@@ -470,12 +457,12 @@ const std::vector<std::string> kCosimEnergyColumns = {
 
 std::vector<ResultRow> eval_cosim_energy(const ScenarioSpec& spec) {
   const auto report =
-      eval_cosim(spec, disagg::parse_allocation_policy(spec.at("policy")));
+      eval_cosim(spec, disagg::allocation_policy_codec().parse(spec.at("policy")));
   const double kj = report.energy_joules / 1e3;
   ResultRow row;
   row.cells = {spec.at("policy"),
-               spec.at("arrivals_per_ms"),
-               spec.at("horizon_ms"),
+               spec.at("cosim.arrivals_per_ms"),
+               spec.at("cosim.horizon_ms"),
                num_to_string(static_cast<double>(report.jobs.accepted)),
                num_to_string(kj),
                num_to_string(report.mean_power_w / 1e3),
@@ -487,12 +474,10 @@ std::vector<ResultRow> eval_cosim_energy(const ScenarioSpec& spec) {
   return {std::move(row)};
 }
 
-SweepGrid cosim_energy_grid() {
-  SweepGrid grid;
-  grid.axis("policy", std::vector<std::string>{"static", "disagg"})
-      .axis("arrivals_per_ms", std::vector<double>{2, 8})
-      .axis("horizon_ms", std::vector<double>{200});
-  return grid;
+std::vector<Axis> cosim_energy_axes() {
+  return {{"policy", {"static", "disagg"}},
+          {"cosim.arrivals_per_ms", {"2", "8"}},
+          {"cosim.horizon_ms", {"200"}}};
 }
 
 std::vector<Campaign> make_campaigns() {
@@ -503,7 +488,7 @@ std::vector<Campaign> make_campaigns() {
       "CPU slowdown per benchmark at +35 ns LLC<->memory latency",
       "Fig 6 (Section VI-B1)",
       kCpuColumns,
-      [] { return cpu_grid({"inorder", "ooo"}, {35.0}); },
+      cpu_axes({"inorder", "ooo"}, {35.0}),
       eval_cpu_point});
 
   all.push_back(Campaign{
@@ -511,7 +496,7 @@ std::vector<Campaign> make_campaigns() {
       "CPU slowdown sensitivity to +25/30/35 ns added latency",
       "Fig 8 (Section VI-B2)",
       kCpuColumns,
-      [] { return cpu_grid({"inorder"}, {25.0, 30.0, 35.0}); },
+      cpu_axes({"inorder"}, {25.0, 30.0, 35.0}),
       eval_cpu_point});
 
   all.push_back(Campaign{
@@ -519,7 +504,7 @@ std::vector<Campaign> make_campaigns() {
       "GPU slowdown per application at +25/30/35 ns LLC<->HBM latency",
       "Fig 9 (Section VI-B3)",
       kGpuColumns,
-      [] { return gpu_grid({25.0, 30.0, 35.0}, {1.0}); },
+      gpu_axes({25.0, 30.0, 35.0}, {1.0}),
       eval_gpu_point});
 
   all.push_back(Campaign{
@@ -527,7 +512,7 @@ std::vector<Campaign> make_campaigns() {
       "Links and transceiver power per technology for the MCM escape budget",
       "Table I (Section III)",
       kTable1Columns,
-      table1_grid,
+      table1_axes(),
       eval_table1_point});
 
   all.push_back(Campaign{
@@ -535,7 +520,7 @@ std::vector<Campaign> make_campaigns() {
       "MCM packing of the Perlmutter-like rack per chip type",
       "Table III (Section V-A)",
       kTable3Columns,
-      table3_grid,
+      table3_axes(),
       eval_table3_point});
 
   all.push_back(Campaign{
@@ -543,7 +528,7 @@ std::vector<Campaign> make_campaigns() {
       "Photonic fabric power overhead vs the baseline rack",
       "Section VI-C",
       kSec6cColumns,
-      sec6c_grid,
+      sec6c_axes(),
       eval_sec6c_point});
 
   all.push_back(Campaign{
@@ -551,7 +536,7 @@ std::vector<Campaign> make_campaigns() {
       "Closed-loop job acceptance per policy under rising load",
       "Sections II-A and VI (co-simulation)",
       kCosimAcceptanceColumns,
-      cosim_acceptance_grid,
+      cosim_acceptance_axes(),
       eval_cosim_acceptance});
 
   all.push_back(Campaign{
@@ -559,7 +544,7 @@ std::vector<Campaign> make_campaigns() {
       "Contention feedback: open vs closed loop on the shared fabric",
       "Section IV-A (co-simulation)",
       kCosimContentionColumns,
-      cosim_contention_grid,
+      cosim_contention_axes(),
       eval_cosim_contention});
 
   all.push_back(Campaign{
@@ -567,7 +552,7 @@ std::vector<Campaign> make_campaigns() {
       "Time-integrated rack energy under the live job stream",
       "Section VI-C (co-simulation)",
       kCosimEnergyColumns,
-      cosim_energy_grid,
+      cosim_energy_axes(),
       eval_cosim_energy});
 
   return all;

@@ -88,6 +88,10 @@ void write_json_string(std::ostream& os, const std::string& s) {
 
 }  // namespace
 
+void CsvSink::manifest(const std::string& manifest_json) {
+  os_ << "# manifest " << manifest_json << '\n';
+}
+
 void CsvSink::open(const std::vector<std::string>& columns) {
   write_csv_line(os_, columns);
 }
@@ -95,6 +99,10 @@ void CsvSink::open(const std::vector<std::string>& columns) {
 void CsvSink::write(const ResultRow& row) { write_csv_line(os_, row.cells); }
 
 void CsvSink::close() { os_.flush(); }
+
+void JsonlSink::manifest(const std::string& manifest_json) {
+  os_ << "{\"manifest\":" << manifest_json << "}\n";
+}
 
 void JsonlSink::open(const std::vector<std::string>& columns) { columns_ = columns; }
 

@@ -20,6 +20,10 @@ struct ResultRow {
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
+  /// Run manifest (deterministic JSON; see config::Manifest), delivered
+  /// once before open() so machine-readable sinks can embed it in their
+  /// header.  Default: dropped (TableSink keeps the human view clean).
+  virtual void manifest(const std::string& manifest_json) { (void)manifest_json; }
   virtual void open(const std::vector<std::string>& columns) = 0;
   virtual void write(const ResultRow& row) = 0;
   virtual void close() = 0;
@@ -30,6 +34,9 @@ class ResultSink {
 class CsvSink final : public ResultSink {
  public:
   explicit CsvSink(std::ostream& os) : os_(os) {}
+  /// Written as a `# manifest <json>` comment line above the header (strip
+  /// with `grep -v '^#'` or pandas' comment='#').
+  void manifest(const std::string& manifest_json) override;
   void open(const std::vector<std::string>& columns) override;
   void write(const ResultRow& row) override;
   void close() override;
@@ -43,6 +50,8 @@ class CsvSink final : public ResultSink {
 class JsonlSink final : public ResultSink {
  public:
   explicit JsonlSink(std::ostream& os) : os_(os) {}
+  /// Written as a first `{"manifest":{...}}` line; row objects follow.
+  void manifest(const std::string& manifest_json) override;
   void open(const std::vector<std::string>& columns) override;
   void write(const ResultRow& row) override;
   void close() override;

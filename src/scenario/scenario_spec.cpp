@@ -1,9 +1,9 @@
 #include "scenario/scenario_spec.hpp"
 
-#include <cctype>
-#include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
+#include "config/value_codec.hpp"
 #include "sim/rng.hpp"
 
 namespace photorack::scenario {
@@ -46,31 +46,30 @@ const std::string& ScenarioSpec::at(const std::string& axis) const {
 
 double ScenarioSpec::num(const std::string& axis) const {
   const std::string& v = at(axis);
-  char* end = nullptr;
-  const double x = std::strtod(v.c_str(), &end);
-  if (end == v.c_str() || *end != '\0')
+  try {
+    return config::parse_double(v);
+  } catch (const std::invalid_argument&) {
     throw std::invalid_argument("ScenarioSpec: axis '" + axis + "' value '" + v +
                                 "' is not numeric");
-  return x;
+  }
 }
 
 std::uint64_t ScenarioSpec::uint(const std::string& axis) const {
   const std::string& v = at(axis);
-  // strtoull silently wraps negatives and skips leading whitespace; require
-  // the value to start with a digit so "-32" is rejected, not wrapped.
-  char* end = nullptr;
-  const unsigned long long x =
-      v.empty() || !std::isdigit(static_cast<unsigned char>(v[0]))
-          ? 0
-          : std::strtoull(v.c_str(), &end, 10);
-  if (end == nullptr || end == v.c_str() || *end != '\0')
+  try {
+    return config::parse_uint64(v);
+  } catch (const std::invalid_argument&) {
     throw std::invalid_argument("ScenarioSpec: axis '" + axis + "' value '" + v +
                                 "' is not an unsigned integer");
-  return static_cast<std::uint64_t>(x);
+  }
 }
 
 int ScenarioSpec::integer(const std::string& axis) const {
-  return static_cast<int>(uint(axis));
+  const std::uint64_t v = uint(axis);
+  if (v > static_cast<std::uint64_t>(std::numeric_limits<int>::max()))
+    throw std::invalid_argument("ScenarioSpec: axis '" + axis + "' value '" +
+                                at(axis) + "' overflows int");
+  return static_cast<int>(v);
 }
 
 }  // namespace photorack::scenario

@@ -5,14 +5,17 @@
 #include <utility>
 #include <vector>
 
+#include "config/bindings.hpp"
+
 namespace photorack::scenario {
 
 /// One point of a design-space sweep, fully described by its axis values.
-/// A spec is declarative: campaigns interpret the axes (benchmark name,
-/// fabric kind, extra latency, MCM geometry, ...) when they evaluate it.
-/// The spec's identity — campaign name plus every axis=value pair — also
-/// seeds the scenario, so a spec reproduces bit-identically no matter where
-/// in a parallel sweep it runs.
+/// A spec is declarative: an axis is either a config-registry path
+/// ("cpusim.dram.extra_ns") that resolve<T>() turns into a populated
+/// config struct, or a free axis (benchmark name, app name, policy) the
+/// campaign interprets itself.  The spec's identity — campaign name plus
+/// every axis=value pair — also seeds the scenario, so a spec reproduces
+/// bit-identically no matter where in a parallel sweep it runs.
 struct ScenarioSpec {
   std::string campaign;
   std::size_t index = 0;  // stable position in the expanded grid
@@ -30,10 +33,29 @@ struct ScenarioSpec {
   [[nodiscard]] bool has(const std::string& axis) const;
   /// Value of an axis; throws std::out_of_range for unknown axes.
   [[nodiscard]] const std::string& at(const std::string& axis) const;
-  /// Numeric accessors; throw std::invalid_argument on non-numeric values.
+  /// Numeric accessors: strict whole-string parses (config/value_codec);
+  /// trailing garbage ("35ns"), hex and wrapped negatives throw
+  /// std::invalid_argument naming the axis.
   [[nodiscard]] double num(const std::string& axis) const;
   [[nodiscard]] std::uint64_t uint(const std::string& axis) const;
   [[nodiscard]] int integer(const std::string& axis) const;
+
+  /// Build the registry section's config struct for this spec: struct
+  /// defaults, then every axis whose name is a registered path inside
+  /// `section`, applied in axis order.  This is how evaluators receive
+  /// typed configs instead of doing per-axis string surgery — and why a
+  /// `--set any.path=value` override reaches every campaign that resolves
+  /// the path's section.
+  template <typename T>
+  [[nodiscard]] T resolve(const std::string& section) const {
+    const config::ParamRegistry& reg = config::registry();
+    std::vector<std::pair<std::string, std::string>> overrides;
+    const std::string prefix = section + ".";
+    for (const auto& [name, value] : axes)
+      if (name.compare(0, prefix.size(), prefix) == 0 && reg.has(name))
+        overrides.emplace_back(name, value);
+    return reg.build<T>(section, overrides);
+  }
 };
 
 }  // namespace photorack::scenario

@@ -1,22 +1,42 @@
 #include "scenario/sweep_grid.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <stdexcept>
+
+#include "config/bindings.hpp"
+#include "config/value_codec.hpp"
 
 namespace photorack::scenario {
 
-std::string num_to_string(double v) {
-  char buf[32];
-  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-  if (ec != std::errc{}) throw std::invalid_argument("num_to_string: unrepresentable value");
-  return std::string(buf, ptr);
+namespace {
+
+/// Registry-validate a (possibly) parameter axis.  A registered path gets
+/// every value parsed and range-checked up front, so a sweep cannot start
+/// with a value that would throw mid-run.  A dotted name whose first
+/// segment IS a registered section but whose path is not a knob is a typo —
+/// reject it with the registry's near-miss suggestions.  Anything else is a
+/// free axis the campaign interprets.
+void validate_axis_values(const std::string& name,
+                          const std::vector<std::string>& values) {
+  const config::ParamRegistry& reg = config::registry();
+  if (const config::ParamInfo* p = reg.find(name)) {
+    for (const std::string& v : values) p->check(v);
+    return;
+  }
+  const std::size_t dot = name.find('.');
+  if (dot != std::string::npos && reg.find_section(name.substr(0, dot)) != nullptr)
+    (void)reg.at(name);  // throws std::out_of_range with suggestions
 }
+
+}  // namespace
+
+std::string num_to_string(double v) { return config::format_double(v); }
 
 SweepGrid& SweepGrid::axis(std::string name, std::vector<std::string> values) {
   if (values.empty())
     throw std::invalid_argument("SweepGrid: axis '" + name + "' has no values");
   if (has(name)) throw std::invalid_argument("SweepGrid: duplicate axis '" + name + "'");
+  validate_axis_values(name, values);
   axes_.push_back({std::move(name), std::move(values)});
   return *this;
 }
@@ -31,6 +51,7 @@ SweepGrid& SweepGrid::axis(std::string name, std::vector<double> values) {
 SweepGrid& SweepGrid::set(const std::string& name, std::vector<std::string> values) {
   if (values.empty())
     throw std::invalid_argument("SweepGrid: axis '" + name + "' has no values");
+  validate_axis_values(name, values);
   for (auto& ax : axes_) {
     if (ax.name == name) {
       ax.values = std::move(values);
@@ -44,6 +65,37 @@ SweepGrid& SweepGrid::set(const std::string& name, std::vector<std::string> valu
   }
   throw std::out_of_range("SweepGrid: unknown axis '" + name + "' (grid axes: " + known +
                           ")");
+}
+
+SweepGrid& SweepGrid::override_axis(const std::string& name,
+                                    std::vector<std::string> values) {
+  if (values.empty())
+    throw std::invalid_argument("SweepGrid: override '" + name + "' has no values");
+  if (has(name)) {
+    overrides_.push_back({name, values});
+    return set(name, std::move(values));  // set() validates param values
+  }
+  const config::ParamRegistry& reg = config::registry();
+  if (reg.find(name) == nullptr) {
+    // Neither a grid axis nor a registered knob: combine both vocabularies
+    // in one error so the user sees what IS addressable.
+    std::string known;
+    for (const auto& ax : axes_) {
+      if (!known.empty()) known += ", ";
+      known += ax.name;
+    }
+    std::string msg =
+        "unknown axis or parameter '" + name + "' (grid axes: " + known + ")";
+    const std::string hint = config::format_suggestions(reg.suggest(name));
+    if (!hint.empty()) msg += "; " + hint;
+    throw std::out_of_range(msg);
+  }
+  // A registered knob the campaign does not sweep: append it as a new
+  // (usually single-valued) axis so resolve<T>() picks it up in every spec.
+  validate_axis_values(name, values);
+  overrides_.push_back({name, values});
+  axes_.push_back({name, std::move(values)});
+  return *this;
 }
 
 bool SweepGrid::has(const std::string& name) const {

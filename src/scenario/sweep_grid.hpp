@@ -2,15 +2,18 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "scenario/scenario_spec.hpp"
 
 namespace photorack::scenario {
 
-/// One sweep dimension: an axis name and the values it takes.  Values are
-/// strings so a single grid can mix benchmark names, fabric kinds and
-/// numeric parameters; campaigns parse them when evaluating a spec.
+/// One sweep dimension: an axis name and the values it takes.  An axis
+/// name is either a config-registry path (validated and range-checked as
+/// values are added) or a free name the campaign interprets (benchmark,
+/// app, policy).  Values are strings so a single grid can mix names and
+/// numeric parameters; specs resolve them when evaluated.
 struct Axis {
   std::string name;
   std::vector<std::string> values;
@@ -25,12 +28,22 @@ class SweepGrid {
   SweepGrid& axis(std::string name, std::vector<std::string> values);
   SweepGrid& axis(std::string name, std::vector<double> values);
 
-  /// Replace the values of an existing axis (the CLI's --set axis=v1,v2).
-  /// Throws std::out_of_range for axes the grid does not have.
+  /// Replace the values of an existing axis.  Throws std::out_of_range for
+  /// axes the grid does not have.
   SweepGrid& set(const std::string& name, std::vector<std::string> values);
+
+  /// The CLI's `--set name=v1,v2`: replace an existing axis, or — when
+  /// `name` is a registered parameter path the grid does not sweep — append
+  /// it as a new axis so the override reaches every spec (and the manifest).
+  /// Unknown names throw std::out_of_range listing near-miss suggestions
+  /// from both the grid and the registry; out-of-range or mistyped values
+  /// throw before anything runs.
+  SweepGrid& override_axis(const std::string& name, std::vector<std::string> values);
 
   [[nodiscard]] const std::vector<Axis>& axes() const { return axes_; }
   [[nodiscard]] bool has(const std::string& name) const;
+  /// The override_axis() calls applied so far, in order (for manifests).
+  [[nodiscard]] const std::vector<Axis>& overrides() const { return overrides_; }
 
   /// Number of specs expand() will produce (product of axis sizes).
   [[nodiscard]] std::size_t size() const;
@@ -40,11 +53,12 @@ class SweepGrid {
 
  private:
   std::vector<Axis> axes_;
+  std::vector<Axis> overrides_;
 };
 
 /// Canonical string form of a numeric axis value: shortest representation
-/// that round-trips the double exactly (via std::to_chars).  Used both by
-/// SweepGrid::axis(double) and by campaigns formatting result cells, so
+/// that round-trips the double exactly (config::format_double).  Used both
+/// by SweepGrid::axis(double) and by campaigns formatting result cells, so
 /// values compare bit-exactly across serialize/parse cycles.
 [[nodiscard]] std::string num_to_string(double v);
 

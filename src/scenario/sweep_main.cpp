@@ -1,14 +1,21 @@
 // photorack_sweep — declarative design-space sweeps over the paper's models.
 //
 //   photorack_sweep --list
+//   photorack_sweep --params
 //   photorack_sweep --campaign fig6 [--jobs N] [--seed S] [--out dir/]
-//                   [--set axis=v1,v2,...] [--quiet]
+//                   [--set path=v1,v2,...] [--quiet]
 //
-// Campaigns are named presets reproducing the paper's figures/tables; --set
-// overrides any grid axis to explore beyond them (e.g. --set extra_ns=50,100).
-// With --out, the sweep writes <dir>/<campaign>.sweep.csv and
-// <dir>/<campaign>.jsonl; rows are emitted in grid order, so output is
-// byte-identical for every --jobs level and the same seed.
+// Campaigns are named presets reproducing the paper's figures/tables.
+// --set addresses ANY knob: a campaign grid axis (e.g. bench=...), or any
+// parameter path from the config registry (--params lists them all) — e.g.
+// `--set net.gbps_per_wavelength=32` or `--set cpusim.llc.size_bytes=...` —
+// whether or not the campaign sweeps it.  Unknown paths are rejected with
+// near-miss suggestions; out-of-range values are rejected before anything
+// runs.  With --out, the sweep writes <dir>/<campaign>.sweep.csv,
+// <dir>/<campaign>.jsonl and the <dir>/<campaign>.manifest.json sidecar
+// (campaign id + seeds + full resolved parameter tree); rows are emitted in
+// grid order, so output is byte-identical for every --jobs level and the
+// same seed.
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
@@ -19,9 +26,11 @@
 #include <string>
 #include <vector>
 
+#include "config/bindings.hpp"
 #include "scenario/campaigns.hpp"
 #include "scenario/result_sink.hpp"
 #include "scenario/sweep_runner.hpp"
+#include "sim/table.hpp"
 
 namespace {
 
@@ -29,17 +38,21 @@ using namespace photorack;
 
 void print_usage(std::ostream& os) {
   os << "usage: photorack_sweep --campaign <name> [options]\n"
-        "       photorack_sweep --list\n"
+        "       photorack_sweep --list | --params\n"
         "\n"
         "options:\n"
         "  --campaign <name>      campaign to run (see --list)\n"
         "  --list                 list campaigns and their default grids\n"
+        "  --params               list every registered parameter path\n"
+        "                         (path, type, default, range, doc)\n"
         "  --jobs <N>             worker threads (default: hardware concurrency;\n"
         "                         results are identical for every value)\n"
         "  --seed <S>             base seed; 0 (default) keeps the workloads'\n"
         "                         registry seeds and reproduces the paper\n"
-        "  --out <dir>            write <dir>/<campaign>.sweep.csv and .jsonl\n"
-        "  --set <axis>=<v1,v2>   override a grid axis (repeatable)\n"
+        "  --out <dir>            write <dir>/<campaign>.sweep.csv, .jsonl and\n"
+        "                         the .manifest.json sidecar\n"
+        "  --set <path>=<v1,v2>   override a grid axis or ANY registered\n"
+        "                         parameter (repeatable; see --params)\n"
         "  --quiet                suppress the stdout table\n"
         "  --help                 this message\n";
 }
@@ -64,6 +77,16 @@ void print_campaign_list(std::ostream& os) {
   }
 }
 
+void print_params(std::ostream& os) {
+  sim::Table table({"path", "type", "default", "range", "doc"});
+  for (const auto& section : config::registry().sections())
+    for (const auto& p : section->params())
+      table.add_row({p.path, p.type, p.default_value, p.range, p.doc});
+  table.print(os);
+  os << "\nEvery path is `--set`-able on any campaign, swept when given\n"
+        "several comma-separated values, and recorded in the run manifest.\n";
+}
+
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
   std::size_t start = 0;
@@ -79,6 +102,7 @@ std::vector<std::string> split_csv(const std::string& s) {
 struct CliOptions {
   std::string campaign;
   bool list = false;
+  bool params = false;
   bool quiet = false;
   std::size_t jobs = 0;
   std::uint64_t seed = 0;
@@ -99,21 +123,23 @@ CliOptions parse_cli(int argc, char** argv) {
       std::exit(0);
     } else if (arg == "--list") {
       opt.list = true;
+    } else if (arg == "--params") {
+      opt.params = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--campaign") {
       opt.campaign = value("--campaign");
     } else if (arg == "--jobs") {
-      opt.jobs = static_cast<std::size_t>(std::stoul(value("--jobs")));
+      opt.jobs = static_cast<std::size_t>(config::parse_uint64(value("--jobs")));
     } else if (arg == "--seed") {
-      opt.seed = static_cast<std::uint64_t>(std::stoull(value("--seed")));
+      opt.seed = config::parse_uint64(value("--seed"));
     } else if (arg == "--out") {
       opt.out_dir = value("--out");
     } else if (arg == "--set") {
       const std::string kv = value("--set");
       const std::size_t eq = kv.find('=');
       if (eq == std::string::npos || eq == 0 || eq + 1 == kv.size())
-        throw std::invalid_argument("--set wants axis=v1,v2,... got '" + kv + "'");
+        throw std::invalid_argument("--set wants path=v1,v2,... got '" + kv + "'");
       opt.overrides.emplace_back(kv.substr(0, eq), split_csv(kv.substr(eq + 1)));
     } else {
       throw std::invalid_argument("unknown option '" + arg + "'");
@@ -138,8 +164,12 @@ int main(int argc, char** argv) {
     print_campaign_list(std::cout);
     return 0;
   }
+  if (opt.params) {
+    print_params(std::cout);
+    return 0;
+  }
   if (opt.campaign.empty()) {
-    std::cerr << "photorack_sweep: --campaign (or --list) is required\n\n";
+    std::cerr << "photorack_sweep: --campaign (or --list / --params) is required\n\n";
     print_usage(std::cerr);
     return 2;
   }
@@ -147,17 +177,19 @@ int main(int argc, char** argv) {
   try {
     const auto& campaign = scenario::campaign_by_name(opt.campaign);
     scenario::SweepGrid grid = campaign.default_grid();
-    for (auto& [axis, values] : opt.overrides) grid.set(axis, std::move(values));
+    for (auto& [path, values] : opt.overrides)
+      grid.override_axis(path, std::move(values));
 
     std::ofstream csv_file, jsonl_file;
     std::vector<std::unique_ptr<scenario::ResultSink>> sinks;
     if (!opt.quiet) sinks.push_back(std::make_unique<scenario::TableSink>(std::cout));
-    std::filesystem::path csv_path, jsonl_path;
+    std::filesystem::path csv_path, jsonl_path, manifest_path;
     if (!opt.out_dir.empty()) {
       const std::filesystem::path dir(opt.out_dir);
       std::filesystem::create_directories(dir);
       csv_path = dir / (campaign.name + ".sweep.csv");
       jsonl_path = dir / (campaign.name + ".jsonl");
+      manifest_path = dir / (campaign.name + ".manifest.json");
       csv_file.open(csv_path);
       jsonl_file.open(jsonl_path);
       if (!csv_file || !jsonl_file)
@@ -171,11 +203,19 @@ int main(int argc, char** argv) {
     const scenario::SweepRunner runner({.jobs = opt.jobs, .base_seed = opt.seed});
     const auto result = runner.run(campaign, grid, sink_ptrs);
 
+    if (!manifest_path.empty()) {
+      std::ofstream manifest_file(manifest_path);
+      if (!manifest_file)
+        throw std::runtime_error("cannot open " + manifest_path.string());
+      manifest_file << result.manifest_json << "\n";
+    }
+
     std::cerr << "photorack_sweep: campaign " << campaign.name << " [" << campaign.paper_ref
               << "]: " << grid.size() << " scenarios, " << result.rows.size()
               << " rows, seed " << opt.seed;
     if (!opt.out_dir.empty())
-      std::cerr << ", wrote " << csv_path.string() << " and " << jsonl_path.string();
+      std::cerr << ", wrote " << csv_path.string() << ", " << jsonl_path.string()
+                << " and " << manifest_path.string();
     std::cerr << "\n";
     return 0;
   } catch (const std::exception& e) {

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "config/bindings.hpp"
+#include "config/manifest.hpp"
 #include "sim/stats.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -94,6 +96,18 @@ SweepResult SweepRunner::run(const Campaign& campaign, const SweepGrid& grid,
                              const std::vector<ResultSink*>& sinks) const {
   const auto specs = grid.expand(campaign.name, opt_.base_seed);
 
+  // Every run gets a manifest: campaign identity, seeds, the grid as run
+  // (overrides already folded in), and the full resolved parameter tree —
+  // enough to reproduce any row from the artifact alone.
+  config::Manifest manifest;
+  manifest.tool = "photorack_sweep";
+  manifest.campaign = campaign.name;
+  manifest.base_seed = opt_.base_seed;
+  for (const Axis& ax : grid.axes()) manifest.axes.emplace_back(ax.name, ax.values);
+  for (const Axis& ov : grid.overrides())
+    manifest.overrides.emplace_back(ov.name, ov.values);
+  const std::string manifest_json = manifest.to_json(config::registry());
+
   // Evaluate into per-spec slots so rows serialize in grid order no matter
   // how the pool schedules the work.
   std::vector<std::vector<ResultRow>> per_spec(specs.size());
@@ -111,6 +125,8 @@ SweepResult SweepRunner::run(const Campaign& campaign, const SweepGrid& grid,
 
   SweepResult result;
   result.columns = campaign.columns;
+  result.manifest_json = manifest_json;
+  for (ResultSink* sink : sinks) sink->manifest(manifest_json);
   for (ResultSink* sink : sinks) sink->open(result.columns);
   for (auto& rows : per_spec) {
     for (auto& row : rows) {

@@ -26,6 +26,10 @@ struct SweepOptions {
 struct SweepResult {
   std::vector<std::string> columns;
   std::vector<ResultRow> rows;  // grid order, stable across --jobs levels
+  /// The run's manifest (deterministic JSON: campaign id, seeds, axes,
+  /// overrides, full resolved parameter tree) — what the runner handed to
+  /// every sink and what the CLI writes as the sidecar file.
+  std::string manifest_json;
 
   using Filter = std::vector<std::pair<std::string, std::string>>;
 

@@ -235,7 +235,7 @@ TEST(CosimCampaigns, CsvAndJsonlBitIdenticalForJobs1VsJobs4) {
   for (const char* name : {"cosim_acceptance", "cosim_contention", "cosim_energy"}) {
     const auto& campaign = scenario::campaign_by_name(name);
     scenario::SweepGrid grid = campaign.default_grid();
-    grid.set("horizon_ms", {"40"});
+    grid.set("cosim.horizon_ms", {"40"});
     const auto [csv1, jsonl1] = serialize(campaign, grid, 1);
     const auto [csv4, jsonl4] = serialize(campaign, grid, 4);
     EXPECT_FALSE(csv1.empty()) << name;
@@ -244,12 +244,111 @@ TEST(CosimCampaigns, CsvAndJsonlBitIdenticalForJobs1VsJobs4) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Redesign byte identity: the cosim campaigns pinned against their
+// pre-registry evaluators (hand-assembled CosimConfig from string axes).
+// The redesigned evaluators resolve CosimConfig/FabricSliceConfig/RackConfig
+// through the typed registry; the bytes must not move.
+// ---------------------------------------------------------------------------
+
+cosim::CosimConfig cosim_config_pre_redesign(const scenario::ScenarioSpec& spec) {
+  cosim::CosimConfig cfg;
+  cfg.arrivals_per_ms = spec.num("cosim.arrivals_per_ms");
+  cfg.sim_time =
+      static_cast<sim::TimePs>(spec.num("cosim.horizon_ms") * sim::kPsPerMs);
+  if (spec.has("cosim.contention_feedback"))
+    cfg.contention_feedback = spec.at("cosim.contention_feedback") == "closed";
+  if (spec.base_seed != 0) cfg.seed = spec.derived_seed();
+  return cfg;
+}
+
+std::vector<scenario::ResultRow> eval_cosim_acceptance_pre_redesign(
+    const scenario::ScenarioSpec& spec) {
+  const auto report = run_rack_cosim(
+      {}, disagg::parse_allocation_policy(spec.at("policy")),
+      workloads::UsageModel::cori(), cosim_config_pre_redesign(spec));
+  scenario::ResultRow row;
+  row.cells = {spec.at("policy"),
+               spec.at("cosim.arrivals_per_ms"),
+               spec.at("cosim.horizon_ms"),
+               scenario::num_to_string(static_cast<double>(report.jobs.offered)),
+               scenario::num_to_string(static_cast<double>(report.jobs.accepted)),
+               scenario::num_to_string(report.jobs.acceptance()),
+               scenario::num_to_string(report.jobs.mean_cpu_utilization),
+               scenario::num_to_string(report.jobs.mean_memory_utilization),
+               scenario::num_to_string(report.jobs.mean_marooned_memory),
+               scenario::num_to_string(report.mean_speed_fraction)};
+  return {std::move(row)};
+}
+
+std::vector<scenario::ResultRow> eval_cosim_contention_pre_redesign(
+    const scenario::ScenarioSpec& spec) {
+  const auto report =
+      run_rack_cosim({}, disagg::AllocationPolicy::kDisaggregated,
+                     workloads::UsageModel::cori(), cosim_config_pre_redesign(spec));
+  scenario::ResultRow row;
+  row.cells = {spec.at("cosim.contention_feedback"),
+               spec.at("cosim.arrivals_per_ms"),
+               spec.at("cosim.horizon_ms"),
+               scenario::num_to_string(report.jobs.acceptance()),
+               scenario::num_to_string(report.flows.satisfied_fraction),
+               scenario::num_to_string(report.flows.indirect_fraction),
+               scenario::num_to_string(report.flows.blocking_probability()),
+               scenario::num_to_string(report.mean_speed_fraction),
+               scenario::num_to_string(report.mean_stretch),
+               scenario::num_to_string(report.flows.peak_utilization)};
+  return {std::move(row)};
+}
+
+std::vector<scenario::ResultRow> eval_cosim_energy_pre_redesign(
+    const scenario::ScenarioSpec& spec) {
+  const auto report = run_rack_cosim(
+      {}, disagg::parse_allocation_policy(spec.at("policy")),
+      workloads::UsageModel::cori(), cosim_config_pre_redesign(spec));
+  const double kj = report.energy_joules / 1e3;
+  scenario::ResultRow row;
+  row.cells = {spec.at("policy"),
+               spec.at("cosim.arrivals_per_ms"),
+               spec.at("cosim.horizon_ms"),
+               scenario::num_to_string(static_cast<double>(report.jobs.accepted)),
+               scenario::num_to_string(kj),
+               scenario::num_to_string(report.mean_power_w / 1e3),
+               scenario::num_to_string(report.peak_power_w / 1e3),
+               scenario::num_to_string(report.photonic_power_w / 1e3),
+               scenario::num_to_string(
+                   report.jobs.accepted
+                       ? kj / static_cast<double>(report.jobs.accepted)
+                       : 0.0)};
+  return {std::move(row)};
+}
+
+TEST(CosimCampaigns, RedesignByteIdenticalToPreRegistryEvaluators) {
+  const struct {
+    const char* name;
+    std::vector<scenario::ResultRow> (*reference)(const scenario::ScenarioSpec&);
+  } cases[] = {{"cosim_acceptance", eval_cosim_acceptance_pre_redesign},
+               {"cosim_contention", eval_cosim_contention_pre_redesign},
+               {"cosim_energy", eval_cosim_energy_pre_redesign}};
+  for (const auto& c : cases) {
+    const auto& campaign = scenario::campaign_by_name(c.name);
+    scenario::SweepGrid grid = campaign.default_grid();
+    grid.set("cosim.horizon_ms", {"30"});
+    scenario::Campaign reference = campaign;
+    reference.evaluate = c.reference;
+    const auto [redesign_csv, redesign_jsonl] = serialize(campaign, grid, 2);
+    const auto [reference_csv, reference_jsonl] = serialize(reference, grid, 1);
+    EXPECT_FALSE(redesign_csv.empty()) << c.name;
+    EXPECT_EQ(redesign_csv, reference_csv) << c.name;
+    EXPECT_EQ(redesign_jsonl, reference_jsonl) << c.name;
+  }
+}
+
 TEST(CosimCampaigns, NonZeroBaseSeedReseedsScenarios) {
   const auto& campaign = scenario::campaign_by_name("cosim_acceptance");
   scenario::SweepGrid grid = campaign.default_grid();
-  grid.set("horizon_ms", {"40"});
+  grid.set("cosim.horizon_ms", {"40"});
   grid.set("policy", {"disagg"});
-  grid.set("arrivals_per_ms", {"4"});
+  grid.set("cosim.arrivals_per_ms", {"4"});
   std::ostringstream a_os, b_os;
   scenario::CsvSink a_sink(a_os), b_sink(b_os);
   scenario::SweepRunner(scenario::SweepOptions{.jobs = 1, .base_seed = 1})
@@ -264,8 +363,8 @@ TEST(CosimCampaigns, ContentionCampaignPinsClosedVsOpen) {
   // closed-loop row's acceptance is at most the open-loop row's.
   const auto& campaign = scenario::campaign_by_name("cosim_contention");
   scenario::SweepGrid grid = campaign.default_grid();
-  grid.set("horizon_ms", {"60"});
-  grid.set("arrivals_per_ms", {"4", "16"});
+  grid.set("cosim.horizon_ms", {"60"});
+  grid.set("cosim.arrivals_per_ms", {"4", "16"});
   const auto result = scenario::SweepRunner(scenario::SweepOptions{.jobs = 2})
                           .run(campaign, grid);
   for (const char* rate : {"4", "16"}) {

@@ -10,11 +10,17 @@
 #include <string>
 #include <vector>
 
+#include "config/bindings.hpp"
 #include "core/experiments.hpp"
+#include "core/rack_system.hpp"
 #include "cpusim/runner.hpp"
+#include "gpusim/gpu_runner.hpp"
+#include "phot/links.hpp"
+#include "rack/mcm.hpp"
 #include "scenario/campaigns.hpp"
 #include "workloads/cpu_profiles.hpp"
 #include "workloads/generators.hpp"
+#include "workloads/gpu_profiles.hpp"
 #include "scenario/result_sink.hpp"
 #include "scenario/scenario_spec.hpp"
 #include "scenario/sweep_grid.hpp"
@@ -250,11 +256,7 @@ Campaign tiny_campaign(std::function<std::vector<ResultRow>(const ScenarioSpec&)
   c.description = "test";
   c.paper_ref = "n/a";
   c.columns = {"i", "seed"};
-  c.default_grid = [] {
-    SweepGrid grid;
-    grid.axis("i", std::vector<double>{0, 1, 2, 3, 4, 5, 6, 7});
-    return grid;
-  };
+  c.axes = {{"i", {"0", "1", "2", "3", "4", "5", "6", "7"}}};
   c.evaluate = std::move(eval);
   return c;
 }
@@ -312,8 +314,8 @@ TEST(SweepDeterminism, CpuCampaignIsByteIdenticalAcrossJobs) {
   const Campaign& campaign = scenario::campaign_by_name("fig6");
   SweepGrid grid = campaign.default_grid();
   grid.set("bench", {"PARSEC/streamcluster/medium", "Rodinia/srad/default"});
-  grid.set("warmup", {"20000"});
-  grid.set("measured", {"50000"});
+  grid.set("cpusim.warmup", {"20000"});
+  grid.set("cpusim.measured", {"50000"});
   const auto [csv1, jsonl1] = serialize(campaign, grid, 1, 0);
   const auto [csv4, jsonl4] = serialize(campaign, grid, 4, 0);
   EXPECT_FALSE(csv1.empty());
@@ -325,7 +327,7 @@ TEST(SweepDeterminism, GpuCampaignIsByteIdenticalAcrossJobs) {
   const Campaign& campaign = scenario::campaign_by_name("fig9");
   SweepGrid grid = campaign.default_grid();
   grid.set("app", {"backprop", "nw"});
-  grid.set("extra_ns", {"35"});
+  grid.set("gpusim.extra_hbm_ns", {"35"});
   const auto [csv1, jsonl1] = serialize(campaign, grid, 1, 0);
   const auto [csv4, jsonl4] = serialize(campaign, grid, 4, 0);
   EXPECT_FALSE(csv1.empty());
@@ -349,9 +351,9 @@ TEST(SweepDeterminism, BaseSeedReseedsTheWorkload) {
   const Campaign& campaign = scenario::campaign_by_name("fig6");
   SweepGrid grid = campaign.default_grid();
   grid.set("bench", {"Rodinia/srad/default"});
-  grid.set("core", {"inorder"});
-  grid.set("warmup", {"20000"});
-  grid.set("measured", {"50000"});
+  grid.set("cpusim.core.kind", {"inorder"});
+  grid.set("cpusim.warmup", {"20000"});
+  grid.set("cpusim.measured", {"50000"});
   const auto [csv_a, jsonl_a] = serialize(campaign, grid, 2, 0);
   const auto [csv_b, jsonl_b] = serialize(campaign, grid, 2, 0);
   EXPECT_EQ(csv_a, csv_b);  // same seed replays exactly
@@ -384,10 +386,11 @@ std::vector<ResultRow> eval_cpu_point_from_scratch(const ScenarioSpec& spec) {
   if (bench == nullptr) throw std::out_of_range("no benchmark " + spec.at("bench"));
 
   cpusim::SimConfig cfg;
-  cfg.core.kind = spec.at("core") == "inorder" ? cpusim::CoreKind::kInOrder
-                                               : cpusim::CoreKind::kOutOfOrder;
-  cfg.warmup_instructions = spec.uint("warmup");
-  cfg.measured_instructions = spec.uint("measured");
+  cfg.core.kind = spec.at("cpusim.core.kind") == "inorder"
+                      ? cpusim::CoreKind::kInOrder
+                      : cpusim::CoreKind::kOutOfOrder;
+  cfg.warmup_instructions = spec.uint("cpusim.warmup");
+  cfg.measured_instructions = spec.uint("cpusim.measured");
   workloads::TraceConfig trace_cfg = bench->trace;
   if (spec.base_seed != 0) trace_cfg.seed = spec.derived_seed();
 
@@ -395,7 +398,7 @@ std::vector<ResultRow> eval_cpu_point_from_scratch(const ScenarioSpec& spec) {
   workloads::SyntheticTrace baseline_trace(trace_cfg);
   const cpusim::SimResult baseline = cpusim::run_simulation(baseline_trace, cfg);
 
-  const double extra = spec.num("extra_ns");
+  const double extra = spec.num("cpusim.dram.extra_ns");
   cpusim::SimResult result = baseline;
   if (extra != 0.0) {
     cfg.dram.extra_ns = extra;
@@ -407,7 +410,7 @@ std::vector<ResultRow> eval_cpu_point_from_scratch(const ScenarioSpec& spec) {
   row.cells = {bench->suite,
                bench->input,
                bench->full_name(),
-               spec.at("core"),
+               spec.at("cpusim.core.kind"),
                scenario::num_to_string(extra),
                scenario::num_to_string(baseline.time_ns),
                scenario::num_to_string(result.time_ns),
@@ -417,27 +420,33 @@ std::vector<ResultRow> eval_cpu_point_from_scratch(const ScenarioSpec& spec) {
   return {std::move(row)};
 }
 
-void expect_campaign_bytes_match_from_scratch(const char* name, SweepGrid grid) {
+void expect_campaign_bytes_match_reference(
+    const char* name, const SweepGrid& grid,
+    std::function<std::vector<ResultRow>(const ScenarioSpec&)> reference_eval) {
   const Campaign& campaign = scenario::campaign_by_name(name);
   Campaign reference = campaign;  // same columns, same grid; old evaluator
-  reference.evaluate = eval_cpu_point_from_scratch;
+  reference.evaluate = std::move(reference_eval);
 
-  const auto [replay_csv, replay_jsonl] = serialize(campaign, grid, 2, 0);
+  const auto [redesign_csv, redesign_jsonl] = serialize(campaign, grid, 2, 0);
   std::ostringstream csv_os, jsonl_os;
   scenario::CsvSink csv(csv_os);
   scenario::JsonlSink jsonl(jsonl_os);
   SweepRunner(SweepOptions{.jobs = 1}).run(reference, grid, {&csv, &jsonl});
 
-  EXPECT_FALSE(replay_csv.empty()) << name;
-  EXPECT_EQ(replay_csv, csv_os.str()) << name;
-  EXPECT_EQ(replay_jsonl, jsonl_os.str()) << name;
+  EXPECT_FALSE(redesign_csv.empty()) << name;
+  EXPECT_EQ(redesign_csv, csv_os.str()) << name;
+  EXPECT_EQ(redesign_jsonl, jsonl_os.str()) << name;
+}
+
+void expect_campaign_bytes_match_from_scratch(const char* name, SweepGrid grid) {
+  expect_campaign_bytes_match_reference(name, grid, eval_cpu_point_from_scratch);
 }
 
 TEST(ReplayByteIdentity, Fig6CampaignCsvIsByteIdenticalToFromScratchSimulation) {
   SweepGrid grid = scenario::campaign_by_name("fig6").default_grid();
   grid.set("bench", {"PARSEC/streamcluster/large", "Rodinia/nw/default", "NAS/cg/B"});
-  grid.set("warmup", {"20000"});
-  grid.set("measured", {"50000"});
+  grid.set("cpusim.warmup", {"20000"});
+  grid.set("cpusim.measured", {"50000"});
   expect_campaign_bytes_match_from_scratch("fig6", std::move(grid));
 }
 
@@ -446,9 +455,232 @@ TEST(ReplayByteIdentity, Fig8CampaignCsvIsByteIdenticalToFromScratchSimulation) 
   // the exact bytes a per-point simulation produces.
   SweepGrid grid = scenario::campaign_by_name("fig8").default_grid();
   grid.set("bench", {"PARSEC/streamcluster/large", "PARSEC/canneal/medium"});
-  grid.set("warmup", {"20000"});
-  grid.set("measured", {"50000"});
+  grid.set("cpusim.warmup", {"20000"});
+  grid.set("cpusim.measured", {"50000"});
   expect_campaign_bytes_match_from_scratch("fig8", std::move(grid));
+}
+
+// ---------------------------------------------------------------------------
+// Redesign byte identity: every remaining built-in campaign (fig9, table1,
+// table3, sec6c; the cosim_* campaigns live in tests/test_cosim.cpp) pinned
+// against its pre-redesign evaluator — the exact string-surgery code the
+// campaigns used before the typed-registry API, reproduced here verbatim
+// modulo axis names.  The redesigned evaluators resolve config structs from
+// the registry; these tests prove that cannot move a single output byte.
+// ---------------------------------------------------------------------------
+
+/// Pre-redesign eval_gpu_point: default GpuConfig base, axes parsed by hand.
+std::vector<ResultRow> eval_gpu_point_pre_redesign(const ScenarioSpec& spec) {
+  const gpusim::AppProfile* app = nullptr;
+  for (const auto& a : workloads::gpu_apps())
+    if (a.name == spec.at("app")) app = &a;
+  if (app == nullptr) throw std::out_of_range("no app " + spec.at("app"));
+
+  const gpusim::AppMissProfile profile =
+      gpusim::record_app_profile(*app, gpusim::GpuConfig{});
+  const double baseline_us =
+      gpusim::replay_app(*app, profile, gpusim::GpuConfig{}).time_us;
+
+  gpusim::GpuConfig gpu;
+  gpu.extra_hbm_ns = spec.num("gpusim.extra_hbm_ns");
+  gpu.hbm_bandwidth_derate = spec.num("gpusim.hbm_bandwidth_derate");
+  const gpusim::AppResult result = gpusim::replay_app(*app, profile, gpu);
+
+  ResultRow row;
+  row.cells = {app->name,
+               app->suite,
+               spec.at("gpusim.extra_hbm_ns"),
+               spec.at("gpusim.hbm_bandwidth_derate"),
+               scenario::num_to_string(baseline_us),
+               scenario::num_to_string(result.time_us),
+               scenario::num_to_string(result.time_us / baseline_us - 1.0),
+               scenario::num_to_string(result.l2_miss_rate)};
+  return {std::move(row)};
+}
+
+/// Pre-redesign eval_table1_point.
+std::vector<ResultRow> eval_table1_point_pre_redesign(const ScenarioSpec& spec) {
+  const auto& link = phot::link_by_name(spec.at("link"));
+  const phot::GBps escape{spec.num("escape_gbs")};
+  ResultRow row;
+  row.cells = {link.name,
+               spec.at("escape_gbs"),
+               scenario::num_to_string(link.links_for_escape(escape)),
+               scenario::num_to_string(link.power_for_escape(escape).value),
+               scenario::num_to_string(link.bandwidth.value),
+               link.co_packaged ? "yes" : "no"};
+  return {std::move(row)};
+}
+
+/// Pre-redesign eval_table3_point: hand-assembled McmConfig, default rack.
+std::vector<ResultRow> eval_table3_point_pre_redesign(const ScenarioSpec& spec) {
+  rack::McmConfig mcm;
+  mcm.fibers = spec.integer("mcm.fibers");
+  mcm.wavelengths_per_fiber = spec.integer("mcm.wavelengths_per_fiber");
+  mcm.gbps_per_wavelength = phot::Gbps{spec.num("mcm.gbps_per_wavelength")};
+  const rack::McmPlan plan = rack::pack_rack(rack::RackConfig{}, mcm);
+
+  std::vector<ResultRow> rows;
+  for (const auto& p : plan.types) {
+    ResultRow row;
+    row.cells = {spec.at("mcm.fibers"),
+                 spec.at("mcm.wavelengths_per_fiber"),
+                 spec.at("mcm.gbps_per_wavelength"),
+                 rack::to_string(p.type),
+                 scenario::num_to_string(p.chips_per_mcm),
+                 scenario::num_to_string(p.mcm_count),
+                 scenario::num_to_string(p.per_chip_escape.value),
+                 scenario::num_to_string(p.per_chip_share.value),
+                 scenario::num_to_string(plan.total_mcms)};
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Pre-redesign eval_sec6c_point: hand-parsed fabric, default everything.
+std::vector<ResultRow> eval_sec6c_point_pre_redesign(const ScenarioSpec& spec) {
+  const core::RackSystem system(rack::fabric_kind_codec().parse(spec.at("system.fabric")));
+  const phot::PowerBreakdown power = system.power_overhead();
+  const phot::BaselineRackPower baseline;
+  ResultRow row;
+  row.cells = {spec.at("system.fabric"),
+               scenario::num_to_string(power.transceivers.value),
+               scenario::num_to_string(power.switches.value),
+               scenario::num_to_string(power.total.value),
+               scenario::num_to_string(baseline.total().value),
+               scenario::num_to_string(power.overhead_vs_baseline),
+               scenario::num_to_string(system.added_memory_latency_ns())};
+  return {std::move(row)};
+}
+
+TEST(RedesignByteIdentity, Fig9CampaignMatchesPreRedesignEvaluator) {
+  SweepGrid grid = scenario::campaign_by_name("fig9").default_grid();
+  grid.set("app", {"backprop", "nw", "hotspot"});
+  expect_campaign_bytes_match_reference("fig9", grid, eval_gpu_point_pre_redesign);
+}
+
+TEST(RedesignByteIdentity, Table1CampaignMatchesPreRedesignEvaluator) {
+  expect_campaign_bytes_match_reference(
+      "table1", scenario::campaign_by_name("table1").default_grid(),
+      eval_table1_point_pre_redesign);
+}
+
+TEST(RedesignByteIdentity, Table3CampaignMatchesPreRedesignEvaluator) {
+  expect_campaign_bytes_match_reference(
+      "table3", scenario::campaign_by_name("table3").default_grid(),
+      eval_table3_point_pre_redesign);
+}
+
+TEST(RedesignByteIdentity, Sec6cCampaignMatchesPreRedesignEvaluator) {
+  expect_campaign_bytes_match_reference(
+      "sec6c", scenario::campaign_by_name("sec6c").default_grid(),
+      eval_sec6c_point_pre_redesign);
+}
+
+// ---------------------------------------------------------------------------
+// The redesigned --set surface: any registered knob is addressable on any
+// campaign; unknown paths and out-of-range values are rejected up front.
+// ---------------------------------------------------------------------------
+
+TEST(ParamAxes, OverrideAxisReplacesExistingGridAxis) {
+  SweepGrid grid = scenario::campaign_by_name("fig8").default_grid();
+  grid.override_axis("cpusim.dram.extra_ns", {"50", "100"});
+  ASSERT_TRUE(grid.has("cpusim.dram.extra_ns"));
+  EXPECT_EQ(grid.expand("t")[0].at("cpusim.dram.extra_ns"), "50");
+  ASSERT_EQ(grid.overrides().size(), 1u);
+  EXPECT_EQ(grid.overrides()[0].name, "cpusim.dram.extra_ns");
+}
+
+TEST(ParamAxes, OverrideAxisAppendsNovelRegisteredKnob) {
+  // table3 does not sweep the rack geometry, but any registered knob can be
+  // pinned onto it; resolve<rack::RackConfig> then sees the override.
+  SweepGrid grid = scenario::campaign_by_name("table3").default_grid();
+  const std::size_t before = grid.size();
+  grid.override_axis("rack.nodes", {"64"});
+  EXPECT_EQ(grid.size(), before);  // single value: no new sweep points
+  const auto spec = grid.expand("table3")[0];
+  EXPECT_EQ(spec.resolve<rack::RackConfig>("rack").nodes, 64);
+  // And the evaluator actually consumes it: half the nodes, fewer MCMs.
+  const auto res =
+      SweepRunner().run(scenario::campaign_by_name("table3"), grid);
+  EXPECT_LT(res.num(res.find({{"chip", "CPU"}}), "total_mcms"), 350);
+}
+
+TEST(ParamAxes, UnknownPathRejectedWithSuggestions) {
+  SweepGrid grid = scenario::campaign_by_name("fig6").default_grid();
+  try {
+    grid.override_axis("cpusim.dram.extra_nss", {"35"});
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("cpusim.dram.extra_ns"), std::string::npos)
+        << e.what();
+  }
+  // A dotted path inside a known section is a typo, not a free axis — even
+  // through the plain axis()/set() surface.
+  SweepGrid fresh;
+  EXPECT_THROW(fresh.axis("cpusim.warmupp", std::vector<std::string>{"1"}),
+               std::out_of_range);
+}
+
+TEST(ParamAxes, OutOfRangeAndMistypedValuesRejectedUpFront) {
+  SweepGrid grid = scenario::campaign_by_name("fig6").default_grid();
+  EXPECT_THROW(grid.override_axis("cpusim.dram.extra_ns", {"-5"}), std::out_of_range);
+  EXPECT_THROW(grid.override_axis("cpusim.dram.extra_ns", {"35ns"}),
+               std::invalid_argument);
+  EXPECT_THROW(grid.override_axis("cpusim.core.kind", {"superscalar"}),
+               std::invalid_argument);
+  EXPECT_THROW(grid.override_axis("rack.nodes", {"0"}), std::out_of_range);
+}
+
+TEST(ParamAxes, ResolveBuildsTypedConfigFromAxes) {
+  ScenarioSpec spec;
+  spec.campaign = "t";
+  spec.axes = {{"bench", "x"},
+               {"cpusim.core.kind", "ooo"},
+               {"cpusim.dram.extra_ns", "35"},
+               {"cpusim.warmup", "1000"},
+               {"cpusim.llc.size_bytes", "1048576"}};
+  const auto cfg = spec.resolve<cpusim::SimConfig>("cpusim");
+  EXPECT_EQ(cfg.core.kind, cpusim::CoreKind::kOutOfOrder);
+  EXPECT_DOUBLE_EQ(cfg.dram.extra_ns, 35.0);
+  EXPECT_EQ(cfg.warmup_instructions, 1000u);
+  EXPECT_EQ(cfg.hierarchy.llc.size_bytes, 1048576u);
+  // Untouched knobs keep their struct defaults.
+  EXPECT_EQ(cfg.measured_instructions, cpusim::SimConfig{}.measured_instructions);
+}
+
+// ---------------------------------------------------------------------------
+// Manifests: every run emits one, into the SweepResult, the machine sinks'
+// headers, and (via the CLI) a sidecar file.
+// ---------------------------------------------------------------------------
+
+TEST(Manifests, RunnerEmitsManifestIntoResultAndSinkHeaders) {
+  const auto& campaign = scenario::campaign_by_name("table1");
+  SweepGrid grid = campaign.default_grid();
+  grid.override_axis("mcm.gbps_per_wavelength", {"32"});
+
+  std::ostringstream csv_os, jsonl_os;
+  scenario::CsvSink csv(csv_os);
+  scenario::JsonlSink jsonl(jsonl_os);
+  const auto res = SweepRunner().run(campaign, grid, {&csv, &jsonl});
+
+  ASSERT_FALSE(res.manifest_json.empty());
+  // Campaign id, the override, and the full resolved tree are all present.
+  EXPECT_NE(res.manifest_json.find("\"campaign\":\"table1\""), std::string::npos);
+  EXPECT_NE(res.manifest_json.find("\"mcm.gbps_per_wavelength\":\"32\""),
+            std::string::npos)
+      << res.manifest_json;
+  EXPECT_NE(res.manifest_json.find("\"cosim.arrivals_per_ms\""), std::string::npos);
+  // CSV: `# manifest ...` comment line above the header; JSONL: first line.
+  EXPECT_EQ(csv_os.str().rfind("# manifest {", 0), 0u) << csv_os.str().substr(0, 80);
+  EXPECT_EQ(jsonl_os.str().rfind("{\"manifest\":{", 0), 0u);
+}
+
+TEST(Manifests, ManifestIsDeterministicAcrossJobsLevels) {
+  const auto& campaign = scenario::campaign_by_name("table3");
+  const auto a = SweepRunner(SweepOptions{.jobs = 1}).run(campaign);
+  const auto b = SweepRunner(SweepOptions{.jobs = 4}).run(campaign);
+  EXPECT_EQ(a.manifest_json, b.manifest_json);
 }
 
 TEST(SweepEquivalence, Fig6CampaignMatchesRunCpuSweep) {
@@ -461,9 +693,9 @@ TEST(SweepEquivalence, Fig6CampaignMatchesRunCpuSweep) {
 
   const Campaign& campaign = scenario::campaign_by_name("fig6");
   SweepGrid grid = campaign.default_grid();
-  grid.set("core", {"inorder"});
-  grid.set("warmup", {"20000"});
-  grid.set("measured", {"50000"});
+  grid.set("cpusim.core.kind", {"inorder"});
+  grid.set("cpusim.warmup", {"20000"});
+  grid.set("cpusim.measured", {"50000"});
   const auto res = SweepRunner().run(campaign, grid);
 
   ASSERT_EQ(res.rows.size(), sweep.runs.size() / 2);  // campaign rows skip extra=0
