@@ -232,7 +232,43 @@ void register_cosim(ParamRegistry& reg) {
   reg.section<CosimConfig>("cosim", "cosim::CosimConfig",
                            "closed-loop rack co-simulation")
       .bind("arrivals_per_ms", &CosimConfig::arrivals_per_ms,
-            "Poisson job arrival rate", {0.001, 1e4})
+            "mean job arrival rate (all processes match it long-run)",
+            {0.001, 1e4})
+      .bind_enum(
+          "arrival.process",
+          [](CosimConfig& c) -> traffic::ArrivalKind& { return c.arrival.kind; },
+          traffic::arrival_kind_codec(), "open-loop arrival-process shape")
+      .bind(
+          "arrival.burst_mult",
+          [](CosimConfig& c) -> double& { return c.arrival.burst_rate_mult; },
+          "MMPP ON-state rate multiplier", {1, 1000})
+      .bind(
+          "arrival.burst_fraction",
+          [](CosimConfig& c) -> double& { return c.arrival.burst_fraction; },
+          "MMPP long-run fraction of time in the ON state", {1e-4, 0.999})
+      .bind_scaled(
+          "arrival.burst_ms",
+          [](CosimConfig& c) -> sim::TimePs& { return c.arrival.burst_mean; },
+          static_cast<double>(sim::kPsPerMs), "ms", "mean dwell of one MMPP burst",
+          {0.001, 1e6})
+      .bind(
+          "arrival.diurnal_amplitude",
+          [](CosimConfig& c) -> double& { return c.arrival.diurnal_amplitude; },
+          "diurnal modulation amplitude: rate(t) = base*(1 + A sin)", {0, 0.999})
+      .bind_scaled(
+          "arrival.diurnal_period_ms",
+          [](CosimConfig& c) -> sim::TimePs& { return c.arrival.diurnal_period; },
+          static_cast<double>(sim::kPsPerMs), "ms", "diurnal modulation period",
+          {0.001, 1e6})
+      .bind(
+          "arrival.trace_file",
+          [](CosimConfig& c) -> std::string& { return c.arrival.trace_file; },
+          "trace-replay file: one arrival timestamp in ms per line")
+      .bind_enum("admission", &CosimConfig::admission,
+                 cosim::admission_policy_codec(),
+                 "unplaceable jobs: drop, or wait in a bounded FIFO")
+      .bind("queue_cap", &CosimConfig::queue_cap,
+            "FIFO backlog bound under queue admission", {1, 1000000})
       .bind_scaled("duration_ms", &CosimConfig::mean_duration,
                    static_cast<double>(sim::kPsPerMs), "ms", "mean job duration",
                    {0.001, 1e6})

@@ -84,6 +84,16 @@ struct ValueCodec<bool> {
   static std::string format(bool v) { return v ? "true" : "false"; }
 };
 
+/// Free-form strings (file paths, trace names).  Identity parse/format:
+/// any value round-trips, including the empty string.
+template <>
+struct ValueCodec<std::string> {
+  static constexpr const char* kTypeName = "string";
+  static constexpr bool kNumeric = false;
+  static std::string parse(const std::string& s) { return s; }
+  static std::string format(const std::string& v) { return v; }
+};
+
 /// Unit-wrapped doubles (phot::Unit<Tag>) parse and format as their raw
 /// value; the type name carries the unit so --params stays unambiguous.
 namespace detail {

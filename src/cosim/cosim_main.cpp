@@ -44,6 +44,10 @@ void print_usage(std::ostream& os) {
         "  --mcms <N>              co-sim fabric endpoints (default: 24)\n"
         "  --traffic-scale <X>     scale on per-flow demand (default: 1)\n"
         "  --open-loop             disable contention feedback (no stretch)\n"
+        "  --arrival <process>     arrival process: poisson|mmpp|diurnal|trace\n"
+        "                          (shape knobs: --set cosim.arrival.*)\n"
+        "  --queue [cap]           FIFO-queue unplaceable jobs instead of\n"
+        "                          dropping (optional backlog cap, default 64)\n"
         "  --set <path>=<value>    set any registered cosim/net/rack knob\n"
         "                          (repeatable; photorack_sweep --params lists)\n"
         "  --manifest <file>       write the resolved config tree as JSON\n"
@@ -85,6 +89,13 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.tree.set("cosim.traffic_scale", value("--traffic-scale"));
     } else if (arg == "--open-loop") {
       opt.tree.set("cosim.contention_feedback", "open");
+    } else if (arg == "--arrival") {
+      opt.tree.set("cosim.arrival.process", value("--arrival"));
+    } else if (arg == "--queue") {
+      opt.tree.set("cosim.admission", "queue");
+      // Optional cap: consume the next token only when it looks like one.
+      if (i + 1 < argc && argv[i + 1][0] != '-')
+        opt.tree.set("cosim.queue_cap", argv[++i]);
     } else if (arg == "--set") {
       const std::string kv = value("--set");
       const std::size_t eq = kv.find('=');
@@ -159,6 +170,22 @@ int main(int argc, char** argv) {
       table.add_row({"mean job speed", sim::fmt_pct(report.mean_speed_fraction)});
       table.add_row({"mean stretch", sim::fmt_fixed(report.mean_stretch, 3)});
       table.add_row({"max stretch", sim::fmt_fixed(report.max_stretch, 3)});
+      table.add_row({"wait p50/p99/p999 (ms)",
+                     sim::fmt_fixed(report.jobs.wait_ms.p50, 3) + " / " +
+                         sim::fmt_fixed(report.jobs.wait_ms.p99, 3) + " / " +
+                         sim::fmt_fixed(report.jobs.wait_ms.p999, 3)});
+      table.add_row({"slowdown p50/p99/p999",
+                     sim::fmt_fixed(report.jobs.slowdown.p50, 3) + " / " +
+                         sim::fmt_fixed(report.jobs.slowdown.p99, 3) + " / " +
+                         sim::fmt_fixed(report.jobs.slowdown.p999, 3)});
+      table.add_row({"fct p50/p99/p999 (ms)",
+                     sim::fmt_fixed(report.jobs.fct_ms.p50, 3) + " / " +
+                         sim::fmt_fixed(report.jobs.fct_ms.p99, 3) + " / " +
+                         sim::fmt_fixed(report.jobs.fct_ms.p999, 3)});
+      table.add_row({"censored (waiting/running)",
+                     sim::fmt_int(static_cast<long long>(report.jobs.censored_waiting)) +
+                         " / " +
+                         sim::fmt_int(static_cast<long long>(report.jobs.censored_running))});
       table.add_row({"energy (kJ)", sim::fmt_fixed(report.energy_joules / 1e3, 2)});
       table.add_row({"mean power (kW)", sim::fmt_fixed(report.mean_power_w / 1e3, 2)});
       table.add_row({"peak power (kW)", sim::fmt_fixed(report.peak_power_w / 1e3, 2)});

@@ -8,7 +8,18 @@
 
 namespace photorack::cosim {
 
+const config::EnumCodec<AdmissionPolicy>& admission_policy_codec() {
+  static const config::EnumCodec<AdmissionPolicy> codec(
+      "admission policy", {{"drop", AdmissionPolicy::kDrop},
+                           {"queue", AdmissionPolicy::kQueue}});
+  return codec;
+}
+
 namespace {
+
+double to_ms(sim::TimePs t) {
+  return static_cast<double>(t) / static_cast<double>(sim::kPsPerMs);
+}
 
 /// All-pairs AWGR plan at co-sim scale: `lambdas_per_pair` parallel AWGRs of
 /// radix `mcms`, every port fully populated, so each (src,dst) pair owns
@@ -46,6 +57,8 @@ CosimConfig validated(CosimConfig cfg, const rack::RackConfig& rack) {
     throw std::invalid_argument("RackCosim: traffic scales must be non-negative");
   if (cfg.idle_power_fraction < 0.0 || cfg.idle_power_fraction > 1.0)
     throw std::invalid_argument("RackCosim: idle_power_fraction must be in [0,1]");
+  if (cfg.admission == AdmissionPolicy::kQueue && cfg.queue_cap < 1)
+    throw std::invalid_argument("RackCosim: queue_cap must be >= 1 under queueing");
   // The power trace describes the rack the allocator manages.
   cfg.baseline.nodes = rack.nodes;
   cfg.baseline.gpus_per_node = rack.node.gpus;
@@ -66,7 +79,11 @@ RackCosim::RackCosim(const rack::RackConfig& rack, disagg::AllocationPolicy poli
       // first draw of child(1), arrivals come from child(2).
       engine_(*fabric_, cfg_.fabric.piggyback_interval, sim::Rng(cfg_.seed).child(1)()),
       base_rng_(cfg_.seed),
-      arrival_rng_(base_rng_.child(2)) {
+      arrival_rng_(base_rng_.child(2)),
+      // Built after validation: throws std::invalid_argument on bad shape
+      // knobs (and std::runtime_error on an unreadable trace file).
+      arrival_process_(
+          traffic::make_arrival_process(cfg_.arrival, cfg_.arrivals_per_ms)) {
   // §VI-C overhead at co-sim scale: every wavelength the fabric lights burns
   // transceiver energy whether or not a flow uses it (lasers always on).
   phot::PhotonicPowerConfig photonic;
@@ -132,15 +149,69 @@ void RackCosim::step_energy() {
 }
 
 void RackCosim::schedule_next_arrival() {
-  // Scaled-gap arrivals: a unit-exponential stream divided by the rate, so
-  // raising arrivals_per_ms compresses the *same* arrival pattern instead of
-  // drawing an unrelated one — load sweeps then compare like against like
-  // (and monotone-degradation tests are not at the mercy of resampling).
-  const double unit = arrival_rng_.exponential(1.0);
-  const auto gap = static_cast<sim::TimePs>(
-      unit * static_cast<double>(sim::kPsPerMs) / cfg_.arrivals_per_ms);
-  if (queue_.now() + gap >= cfg_.sim_time) return;
+  // The arrival process owns the gap law (the default Poisson process keeps
+  // the historical scaled-gap stream byte for byte); the cosim owns the
+  // stream discipline — every draw comes from arrival_rng_ (child(2)).
+  // The horizon check is written as a subtraction so an exhausted trace's
+  // kNoMoreArrivals sentinel cannot overflow `now + gap`.
+  const sim::TimePs gap = arrival_process_->next_gap(queue_.now(), arrival_rng_);
+  if (gap >= cfg_.sim_time - queue_.now()) return;
   queue_.schedule_after(gap, [this]() { on_arrival(); });
+}
+
+bool RackCosim::try_start(const JobPlan& plan, sim::TimePs arrived) {
+  auto alloc = std::make_shared<disagg::Allocation>(allocator_.allocate(plan.request));
+  if (!alloc->placed) return false;
+  stats_.accept();
+  ++live_jobs_;
+  auto flow_ids = std::make_shared<std::vector<std::uint64_t>>();
+  double requested = 0.0, satisfied = 0.0;
+  flow_ids->reserve(plan.flows.size());
+  for (const auto& spec : plan.flows) {
+    const std::uint64_t id = engine_.open(spec);
+    flow_ids->push_back(id);
+    const net::RouteResult& route = engine_.result(id);
+    requested += route.requested;
+    satisfied += route.satisfied();
+  }
+  const double speed =
+      requested > 0.0
+          ? std::clamp(satisfied / requested, cfg_.min_speed_fraction, 1.0)
+          : 1.0;
+  const double stretch = cfg_.contention_feedback ? 1.0 / speed : 1.0;
+  speed_.add(speed);
+  stretch_.add(stretch);
+  const auto hold = std::max<sim::TimePs>(
+      1, static_cast<sim::TimePs>(static_cast<double>(plan.base_hold) * stretch));
+  // Tails are recorded at placement, when wait and hold are both known —
+  // NOT at completion, so mid-run reports carry no survivorship bias from
+  // long jobs still running.  Slowdown folds queueing and contention into
+  // one number: time-in-system over uncontended service time.
+  const sim::TimePs wait = queue_.now() - arrived;
+  stats_.record_wait(to_ms(wait));
+  stats_.record_slowdown(static_cast<double>(wait + hold) /
+                         static_cast<double>(plan.base_hold));
+  for (std::size_t i = 0; i < plan.flows.size(); ++i)
+    stats_.record_fct(to_ms(hold));
+  queue_.schedule_after(hold, [this, alloc, flow_ids]() {
+    for (const std::uint64_t id : *flow_ids) engine_.close(id);
+    allocator_.release(*alloc);
+    --live_jobs_;
+    drain_backlog();
+    step_energy();
+  });
+  return true;
+}
+
+void RackCosim::drain_backlog() {
+  if (backlog_.empty()) return;
+  engine_.refresh_view(queue_.now());
+  // Strict FIFO: stop at the first job that does not fit, even if a
+  // narrower one behind it would — backfilling would reorder the queue and
+  // make wait tails incomparable across policies.
+  while (!backlog_.empty() &&
+         try_start(backlog_.front().plan, backlog_.front().arrived))
+    backlog_.pop_front();
 }
 
 void RackCosim::on_arrival() {
@@ -150,37 +221,17 @@ void RackCosim::on_arrival() {
   // and flow layout are a pure function of (seed, index), independent of
   // every placement decision before it.
   sim::Rng job_rng = base_rng_.child(16 + next_job_index_++);
-  const JobPlan plan = make_plan(job_rng);
+  JobPlan plan = make_plan(job_rng);
 
-  auto alloc = std::make_shared<disagg::Allocation>(allocator_.allocate(plan.request));
-  if (alloc->placed) {
-    stats_.accept();
-    ++live_jobs_;
-    auto flow_ids = std::make_shared<std::vector<std::uint64_t>>();
-    double requested = 0.0, satisfied = 0.0;
-    flow_ids->reserve(plan.flows.size());
-    for (const auto& spec : plan.flows) {
-      const std::uint64_t id = engine_.open(spec);
-      flow_ids->push_back(id);
-      const net::RouteResult& route = engine_.result(id);
-      requested += route.requested;
-      satisfied += route.satisfied();
+  if (cfg_.admission == AdmissionPolicy::kQueue) {
+    // Bounded FIFO: over-cap arrivals are dropped (they stay counted in
+    // `offered`, so acceptance reflects the loss).
+    if (backlog_.size() < static_cast<std::size_t>(cfg_.queue_cap)) {
+      backlog_.push_back(PendingJob{std::move(plan), queue_.now()});
+      drain_backlog();
     }
-    const double speed =
-        requested > 0.0
-            ? std::clamp(satisfied / requested, cfg_.min_speed_fraction, 1.0)
-            : 1.0;
-    const double stretch = cfg_.contention_feedback ? 1.0 / speed : 1.0;
-    speed_.add(speed);
-    stretch_.add(stretch);
-    const auto hold = std::max<sim::TimePs>(
-        1, static_cast<sim::TimePs>(static_cast<double>(plan.base_hold) * stretch));
-    queue_.schedule_after(hold, [this, alloc, flow_ids]() {
-      for (const std::uint64_t id : *flow_ids) engine_.close(id);
-      allocator_.release(*alloc);
-      --live_jobs_;
-      step_energy();
-    });
+  } else {
+    try_start(plan, queue_.now());
   }
   // Step the trace on EVERY arrival, rejected ones included: the level only
   // changes on placements, but the integration point must advance to the
@@ -198,7 +249,19 @@ void RackCosim::finish() { queue_.run(); }
 
 CosimReport RackCosim::report() const {
   CosimReport report;
-  report.jobs = stats_.report();
+  // Censored-jobs accounting: jobs still in the backlog have a wait that is
+  // only a LOWER bound, but leaving them out entirely is worse — a backed-up
+  // queue would report the rosy tails of the jobs that escaped it.  Fold
+  // each queued job's wait-so-far into a report-time copy of the sketch and
+  // surface the censored counts alongside.
+  disagg::JobStreamStats stats_with_censored = stats_;
+  for (const PendingJob& pending : backlog_)
+    stats_with_censored.record_wait(
+        static_cast<double>(queue_.now() - pending.arrived) /
+        static_cast<double>(sim::kPsPerMs));
+  report.jobs = stats_with_censored.report();
+  report.jobs.censored_waiting = backlog_.size();
+  report.jobs.censored_running = live_jobs_;
   report.flows = engine_.report();
   report.mean_speed_fraction = speed_.count() ? speed_.mean() : 1.0;
   report.mean_stretch = stretch_.count() ? stretch_.mean() : 1.0;

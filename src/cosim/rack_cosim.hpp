@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
+#include "config/enum_codec.hpp"
 #include "disagg/allocator.hpp"
 #include "disagg/job_scheduler.hpp"
 #include "net/flow_sim.hpp"
@@ -11,9 +13,19 @@
 #include "rack/chips.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
+#include "traffic/arrival.hpp"
 #include "workloads/usage.hpp"
 
 namespace photorack::cosim {
+
+/// What happens to a job the rack cannot place at arrival.
+enum class AdmissionPolicy {
+  kDrop,   ///< reject immediately (the classic loss system; wait is always 0)
+  kQueue,  ///< hold in a bounded FIFO backlog; place in order as jobs finish
+};
+
+/// Canonical CLI/axis/registry spelling of AdmissionPolicy.
+const config::EnumCodec<AdmissionPolicy>& admission_policy_codec();
 
 /// Closed-loop rack co-simulation (§II-A telemetry × §IV fabric × §VI-C
 /// power, evaluated *together* under one live job stream).
@@ -38,6 +50,19 @@ struct CosimConfig {
   sim::TimePs sim_time = 400 * sim::kPsPerMs;
   std::uint64_t seed = 7;
   int max_job_nodes = 8;  // job breadth drawn in [1, max]
+
+  // --- open-loop traffic engine ---
+  /// Arrival-process shape (poisson|mmpp|diurnal|trace).  The base rate
+  /// stays on arrivals_per_ms; every stochastic process matches it in
+  /// long-run mean, so load sweeps compare like against like.  The default
+  /// Poisson process reproduces the pre-engine gap stream byte for byte.
+  traffic::ArrivalConfig arrival;
+  /// Unplaceable jobs: drop (default, the historical behavior) or hold in a
+  /// bounded FIFO backlog — under queueing, job WAIT becomes a real
+  /// production metric instead of identically zero.
+  AdmissionPolicy admission = AdmissionPolicy::kDrop;
+  /// Backlog bound for kQueue; arrivals beyond it are dropped.
+  int queue_cap = 64;
 
   // --- contention feedback ---
   /// true: closed loop — residual duration is stretched by 1/satisfied.
@@ -105,6 +130,7 @@ class RackCosim {
   [[nodiscard]] const disagg::RackAllocator& allocator() const { return allocator_; }
   [[nodiscard]] double fabric_utilization() const { return engine_.fabric_utilization(); }
   [[nodiscard]] std::uint64_t live_jobs() const { return live_jobs_; }
+  [[nodiscard]] std::size_t queued_jobs() const { return backlog_.size(); }
 
  private:
   // Everything one job will do, drawn up front from the job's own RNG child
@@ -119,6 +145,12 @@ class RackCosim {
     std::vector<net::FlowSpec> flows;
   };
 
+  /// A planned job waiting in the kQueue backlog for resources.
+  struct PendingJob {
+    JobPlan plan;
+    sim::TimePs arrived = 0;
+  };
+
   rack::RackConfig rack_;
   CosimConfig cfg_;
   workloads::UsageModel usage_;
@@ -129,9 +161,11 @@ class RackCosim {
   sim::EventQueue queue_;
   sim::Rng base_rng_;
   sim::Rng arrival_rng_;
+  std::unique_ptr<traffic::ArrivalProcess> arrival_process_;
   std::uint64_t next_job_index_ = 0;
 
   std::uint64_t live_jobs_ = 0;
+  std::deque<PendingJob> backlog_;
   disagg::JobStreamStats stats_;  // shared with JobStreamSim: same telemetry
   sim::RunningStats speed_, stretch_;
   phot::EnergyTrace energy_;
@@ -142,6 +176,8 @@ class RackCosim {
   void step_energy();
   void schedule_next_arrival();
   void on_arrival();
+  bool try_start(const JobPlan& plan, sim::TimePs arrived);
+  void drain_backlog();
 };
 
 /// Run-to-completion convenience over RackCosim.

@@ -40,6 +40,14 @@ IsoPerfResult iso_performance(const rack::RackConfig& rack, const IsoPerfInputs&
 
 double derive_memory_reduction(const workloads::UsageModel& usage, int nodes,
                                double percentile, int trials, std::uint64_t seed) {
+  // Validate up front rather than letting trials == 0 reach
+  // sim::percentile's empty-input throw with a confusing message (the old
+  // percentile returned 0.0 here, which made this function answer 1.0 —
+  // "no reduction" — for a question it never actually asked).
+  if (nodes < 1)
+    throw std::invalid_argument("derive_memory_reduction: nodes must be >= 1");
+  if (trials < 1)
+    throw std::invalid_argument("derive_memory_reduction: trials must be >= 1");
   sim::Rng rng(seed);
   std::vector<double> rack_demand;
   rack_demand.reserve(static_cast<std::size_t>(trials));

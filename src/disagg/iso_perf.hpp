@@ -51,7 +51,9 @@ struct IsoPerfResult {
 /// sample `nodes` per-node demands, provision the rack pool at the
 /// `percentile` of the rack-wide total, and compare module counts against
 /// one-DIMM-per-channel provisioning.  Statistical multiplexing across the
-/// rack is what makes the 4x of [15] conservative.
+/// rack is what makes the 4x of [15] conservative.  Throws
+/// std::invalid_argument when `nodes` or `trials` is < 1 — sizing the pool
+/// from an empty sample would otherwise report against zero demand.
 [[nodiscard]] double derive_memory_reduction(const workloads::UsageModel& usage,
                                              int nodes = 128, double percentile = 99.0,
                                              int trials = 2000,

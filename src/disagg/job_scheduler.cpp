@@ -14,6 +14,17 @@ void JobStreamStats::sample(const RackAllocator& allocator) {
   marooned_mem_.add(allocator.marooned_memory_fraction());
 }
 
+namespace {
+TailStats tails_of(const sim::QuantileSketch& sketch) {
+  TailStats t;
+  t.count = sketch.count();
+  t.p50 = sketch.quantile_or(50.0, 0.0);
+  t.p99 = sketch.quantile_or(99.0, 0.0);
+  t.p999 = sketch.quantile_or(99.9, 0.0);
+  return t;
+}
+}  // namespace
+
 JobSimReport JobStreamStats::report() const {
   JobSimReport report;
   report.offered = offered_;
@@ -23,6 +34,9 @@ JobSimReport JobStreamStats::report() const {
   report.mean_memory_utilization = mem_util_.mean();
   report.mean_marooned_cpu = marooned_cpu_.mean();
   report.mean_marooned_memory = marooned_mem_.mean();
+  report.wait_ms = tails_of(wait_ms_);
+  report.slowdown = tails_of(slowdown_);
+  report.fct_ms = tails_of(fct_ms_);
   return report;
 }
 
@@ -77,7 +91,15 @@ void JobStreamSim::schedule_next_arrival() {
       stats_.accept();
       const auto hold = static_cast<sim::TimePs>(
           job_rng_.exponential(static_cast<double>(cfg_.mean_duration)));
-      queue_.schedule_after(std::max<sim::TimePs>(hold, 1),
+      const auto clamped = std::max<sim::TimePs>(hold, 1);
+      // Admit-or-drop with no fabric: placed jobs never wait and run at
+      // full speed, so the tails record the degenerate truth (wait 0,
+      // slowdown 1, fct = hold) rather than staying silently empty.
+      stats_.record_wait(0.0);
+      stats_.record_slowdown(1.0);
+      stats_.record_fct(static_cast<double>(clamped) /
+                        static_cast<double>(sim::kPsPerMs));
+      queue_.schedule_after(clamped,
                             [this, alloc]() { allocator_.release(*alloc); });
     }
     stats_.sample(allocator_);

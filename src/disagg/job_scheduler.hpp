@@ -29,6 +29,17 @@ struct JobSimConfig {
 /// "accepted everything" from "offered nothing" check `offered` directly.
 inline constexpr double kEmptyStreamAcceptance = 1.0;
 
+/// Streaming tail summary of one job-stream metric, read off a
+/// sim::QuantileSketch.  When count == 0 the quantiles report 0.0 — a
+/// deliberate sentinel (an empty stream has no tail) kept NaN-free for the
+/// same sweep-aggregation reason as kEmptyStreamAcceptance.
+struct TailStats {
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
 struct JobSimReport {
   std::uint64_t offered = 0;
   std::uint64_t accepted = 0;
@@ -37,6 +48,20 @@ struct JobSimReport {
   double mean_memory_utilization = 0.0;
   double mean_marooned_cpu = 0.0;     // fraction of rack CPUs idle-but-held
   double mean_marooned_memory = 0.0;  // fraction of rack memory idle-but-held
+
+  // --- tail telemetry (sketch-backed, O(1) memory at any job count) ---
+  TailStats wait_ms;   // queue wait: placement time - arrival time, in ms
+  TailStats slowdown;  // (wait + actual hold) / base hold; >= 1
+  TailStats fct_ms;    // per-flow completion time, in ms
+
+  // --- censoring (set by simulators with a horizon; see RackCosim) ---
+  /// Jobs admitted to the backlog but not yet placed when the report was
+  /// taken.  Their wait-so-far IS included in wait_ms (right-censored
+  /// lower bounds), so a backed-up queue cannot hide behind survivorship.
+  std::uint64_t censored_waiting = 0;
+  /// Jobs placed and still holding resources when the report was taken
+  /// (their recorded wait/slowdown/fct are final, not censored).
+  std::uint64_t censored_running = 0;
 
   [[nodiscard]] double acceptance() const {
     return offered ? static_cast<double>(accepted) / static_cast<double>(offered)
@@ -56,12 +81,20 @@ class JobStreamStats {
   void accept() { ++accepted_; }
   /// Sample the allocator state (call at every arrival — PASTA probe).
   void sample(const RackAllocator& allocator);
+  /// Tail telemetry, recorded when the value becomes known (wait and
+  /// slowdown at placement, one fct per flow at admission).  Sketch-backed:
+  /// O(1) memory regardless of job count, and exact to merge, so the
+  /// reported quantiles do not depend on how a campaign was sharded.
+  void record_wait(double ms) { wait_ms_.add(ms); }
+  void record_slowdown(double x) { slowdown_.add(x); }
+  void record_fct(double ms) { fct_ms_.add(ms); }
   [[nodiscard]] JobSimReport report() const;
 
  private:
   std::uint64_t offered_ = 0;
   std::uint64_t accepted_ = 0;
   sim::RunningStats cpu_util_, gpu_util_, mem_util_, marooned_cpu_, marooned_mem_;
+  sim::QuantileSketch wait_ms_, slowdown_, fct_ms_;
 };
 
 /// Stepwise job-stream simulation against one rack policy.  advance_to(t)

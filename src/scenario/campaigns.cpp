@@ -480,6 +480,45 @@ std::vector<Axis> cosim_energy_axes() {
           {"cosim.horizon_ms", {"200"}}};
 }
 
+const std::vector<std::string> kCosimTailsColumns = {
+    "process",          "admission",      "arrivals_per_ms", "horizon_ms",
+    "offered",          "accepted",       "acceptance",      "wait_p50_ms",
+    "wait_p99_ms",      "wait_p999_ms",   "slowdown_p50",    "slowdown_p99",
+    "slowdown_p999",    "fct_p50_ms",     "fct_p99_ms",      "fct_p999_ms",
+    "censored_waiting", "censored_running"};
+
+std::vector<ResultRow> eval_cosim_tails(const ScenarioSpec& spec) {
+  const auto report = eval_cosim(spec, disagg::AllocationPolicy::kDisaggregated);
+  const auto& jobs = report.jobs;
+  ResultRow row;
+  row.cells = {spec.at("cosim.arrival.process"),
+               spec.at("cosim.admission"),
+               spec.at("cosim.arrivals_per_ms"),
+               spec.at("cosim.horizon_ms"),
+               num_to_string(static_cast<double>(jobs.offered)),
+               num_to_string(static_cast<double>(jobs.accepted)),
+               num_to_string(jobs.acceptance()),
+               num_to_string(jobs.wait_ms.p50),
+               num_to_string(jobs.wait_ms.p99),
+               num_to_string(jobs.wait_ms.p999),
+               num_to_string(jobs.slowdown.p50),
+               num_to_string(jobs.slowdown.p99),
+               num_to_string(jobs.slowdown.p999),
+               num_to_string(jobs.fct_ms.p50),
+               num_to_string(jobs.fct_ms.p99),
+               num_to_string(jobs.fct_ms.p999),
+               num_to_string(static_cast<double>(jobs.censored_waiting)),
+               num_to_string(static_cast<double>(jobs.censored_running))};
+  return {std::move(row)};
+}
+
+std::vector<Axis> cosim_tails_axes() {
+  return {{"cosim.arrival.process", {"poisson", "mmpp", "diurnal"}},
+          {"cosim.admission", {"queue"}},
+          {"cosim.arrivals_per_ms", {"4", "12"}},
+          {"cosim.horizon_ms", {"200"}}};
+}
+
 std::vector<Campaign> make_campaigns() {
   std::vector<Campaign> all;
 
@@ -554,6 +593,14 @@ std::vector<Campaign> make_campaigns() {
       kCosimEnergyColumns,
       cosim_energy_axes(),
       eval_cosim_energy});
+
+  all.push_back(Campaign{
+      "cosim_tails",
+      "Tail latency (wait/slowdown/FCT p50/p99/p999) per arrival process",
+      "production traffic engine (open-loop arrivals, queued admission)",
+      kCosimTailsColumns,
+      cosim_tails_axes(),
+      eval_cosim_tails});
 
   return all;
 }

@@ -67,7 +67,8 @@ double pearson(std::span<const double> x, std::span<const double> y) {
 }
 
 double percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
+  if (values.empty())
+    throw std::invalid_argument("percentile: empty input has no percentiles");
   q = std::clamp(q, 0.0, 100.0);
   std::sort(values.begin(), values.end());
   const double idx = q / 100.0 * static_cast<double>(values.size() - 1);
@@ -85,15 +86,97 @@ double mean_of(std::span<const double> v) {
 }
 
 double geomean_of(std::span<const double> v) {
-  if (v.empty()) return 0.0;
+  if (v.empty())
+    throw std::invalid_argument("geomean_of: empty input has no geometric mean");
   double s = 0;
-  for (double x : v) s += std::log(std::max(x, 1e-300));
+  for (double x : v) {
+    if (!(x > 0.0))
+      throw std::invalid_argument("geomean_of: inputs must be > 0");
+    s += std::log(x);
+  }
   return std::exp(s / static_cast<double>(v.size()));
 }
 
 double max_of(std::span<const double> v) {
   if (v.empty()) return 0.0;
   return *std::max_element(v.begin(), v.end());
+}
+
+namespace {
+/// Values below this land in the sketch's zero bucket: picosecond-scale
+/// metrics expressed in ms never legitimately go this small, and a floor
+/// keeps the log-bucket index bounded.
+constexpr double kSketchZeroThreshold = 1e-12;
+}  // namespace
+
+QuantileSketch::QuantileSketch(double relative_error) : alpha_(relative_error) {
+  if (!(relative_error > 0.0) || !(relative_error < 1.0))
+    throw std::invalid_argument("QuantileSketch: relative error must be in (0,1)");
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  log_gamma_ = std::log(gamma_);
+}
+
+void QuantileSketch::add(double x) {
+  if (!(x >= 0.0) || std::isinf(x))
+    throw std::invalid_argument("QuantileSketch: values must be finite and >= 0");
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  if (x < kSketchZeroThreshold) {
+    ++zero_count_;
+    return;
+  }
+  const auto idx = static_cast<std::int32_t>(std::ceil(std::log(x) / log_gamma_));
+  ++buckets_[idx];
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (alpha_ != other.alpha_)
+    throw std::invalid_argument("QuantileSketch: cannot merge different error bounds");
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  n_ += other.n_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [idx, cnt] : other.buckets_) buckets_[idx] += cnt;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (n_ == 0) throw std::logic_error("QuantileSketch: quantile of empty sketch");
+  q = std::clamp(q, 0.0, 100.0);
+  // Same rank convention as sim::percentile: rank q/100 * (n-1); the bucket
+  // holding that rank answers with its geometric midpoint, clamped into the
+  // observed [min, max] so p0/p100 are exact and no answer leaves the data.
+  const auto rank = static_cast<std::uint64_t>(
+      q / 100.0 * static_cast<double>(n_ - 1));
+  double value = 0.0;
+  if (rank < zero_count_) {
+    value = 0.0;
+  } else {
+    std::uint64_t cum = zero_count_;
+    value = max_;  // falls through only on floating slack in the last bucket
+    for (const auto& [idx, cnt] : buckets_) {
+      cum += cnt;
+      if (rank < cum) {
+        value = 2.0 * std::pow(gamma_, static_cast<double>(idx)) / (gamma_ + 1.0);
+        break;
+      }
+    }
+  }
+  return std::clamp(value, min_, max_);
+}
+
+double QuantileSketch::quantile_or(double q, double fallback) const {
+  return n_ ? quantile(q) : fallback;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

@@ -245,6 +245,9 @@ std::string random_valid_value(const config::ParamInfo& p, sim::Rng& rng) {
   if (p.numeric) {
     const double lo = std::isinf(p.bounds.lo) ? 0.0 : p.bounds.lo;
     const double hi = std::isinf(p.bounds.hi) ? lo + 1000.0 : p.bounds.hi;
+    // A range with no integer in it (a strict fraction like (0,1)) can only
+    // be a double-typed param: draw a fixed-precision decimal inside it.
+    if (std::ceil(lo) > hi) return std::to_string(lo + 0.5 * (hi - lo));
     // Integral values satisfy every numeric codec (int, uint64, double,
     // unit-wrapped); ceil(lo) keeps fractional lower bounds in range, and
     // plain decimal formatting avoids scientific notation the integer
@@ -253,6 +256,8 @@ std::string random_valid_value(const config::ParamInfo& p, sim::Rng& rng) {
         static_cast<long long>(std::floor(rng.uniform(std::ceil(lo), hi))));
   }
   if (p.type == "bool") return rng.bernoulli(0.5) ? "true" : "false";
+  if (p.type == "string")
+    return "trace_" + std::to_string(rng.below(1000)) + ".txt";
   if (p.type.rfind("enum(", 0) == 0) {
     // "enum(a|b|c)" -> pick one spelling.
     std::vector<std::string> choices;

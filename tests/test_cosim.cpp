@@ -216,6 +216,114 @@ TEST(Cosim, StaticPolicyMaroonsAndCloseLoopStillApplies) {
 }
 
 // ---------------------------------------------------------------------------
+// Traffic engine: arrival processes and queued admission through the cosim.
+// ---------------------------------------------------------------------------
+
+TEST(CosimTraffic, DefaultDropModeTailsAreDegenerate) {
+  // Admit-or-drop: no job ever waits, so wait is identically 0 and slowdown
+  // collapses to the contention stretch (>= 1).  One fct per flow.
+  const auto report = run_quick(disagg::AllocationPolicy::kDisaggregated, quick(8.0));
+  EXPECT_EQ(report.jobs.wait_ms.count, report.jobs.accepted);
+  EXPECT_DOUBLE_EQ(report.jobs.wait_ms.p999, 0.0);
+  EXPECT_GE(report.jobs.slowdown.p50, 1.0);
+  EXPECT_EQ(report.jobs.fct_ms.count, report.flows.flows);
+  EXPECT_GT(report.jobs.fct_ms.p50, 0.0);
+  EXPECT_EQ(report.jobs.censored_waiting, 0u);
+  EXPECT_EQ(report.jobs.censored_running, 0u);
+}
+
+TEST(CosimTraffic, TailQuantilesAreMonotone) {
+  auto cfg = quick(16.0);
+  cfg.admission = AdmissionPolicy::kQueue;
+  const auto report = run_quick(disagg::AllocationPolicy::kDisaggregated, cfg);
+  EXPECT_LE(report.jobs.wait_ms.p50, report.jobs.wait_ms.p99);
+  EXPECT_LE(report.jobs.wait_ms.p99, report.jobs.wait_ms.p999);
+  EXPECT_LE(report.jobs.slowdown.p50, report.jobs.slowdown.p99);
+  EXPECT_LE(report.jobs.slowdown.p99, report.jobs.slowdown.p999);
+  EXPECT_LE(report.jobs.fct_ms.p50, report.jobs.fct_ms.p99);
+  EXPECT_LE(report.jobs.fct_ms.p99, report.jobs.fct_ms.p999);
+}
+
+TEST(CosimTraffic, QueueModeProducesRealWaitsUnderSaturation) {
+  auto cfg = quick(16.0);  // saturating load (acceptance < 1 in drop mode)
+  cfg.admission = AdmissionPolicy::kQueue;
+  const auto drop = run_quick(disagg::AllocationPolicy::kDisaggregated, quick(16.0));
+  const auto queued = run_quick(disagg::AllocationPolicy::kDisaggregated, cfg);
+  // Same seed, same per-job child streams: the OFFERED stream is identical;
+  // only what happens to unplaceable jobs differs.
+  EXPECT_EQ(queued.jobs.offered, drop.jobs.offered);
+  EXPECT_GT(queued.jobs.wait_ms.p999, 0.0);
+  EXPECT_GE(queued.jobs.slowdown.p999, 1.0);
+  // After finish() the backlog must fully drain (every planned job fits the
+  // empty rack eventually), so nothing stays censored.
+  EXPECT_EQ(queued.jobs.censored_waiting, 0u);
+  EXPECT_EQ(queued.jobs.censored_running, 0u);
+}
+
+TEST(CosimTraffic, MidRunReportCountsCensoredJobs) {
+  auto cfg = quick(32.0);  // deep saturation: a backlog forms quickly
+  cfg.admission = AdmissionPolicy::kQueue;
+  RackCosim sim({}, disagg::AllocationPolicy::kDisaggregated,
+                workloads::UsageModel::cori(), cfg);
+  sim.advance_to(60 * sim::kPsPerMs);
+  const auto mid = sim.report();
+  EXPECT_EQ(mid.jobs.censored_waiting, sim.queued_jobs());
+  EXPECT_EQ(mid.jobs.censored_running, sim.live_jobs());
+  EXPECT_GT(mid.jobs.censored_waiting, 0u);
+  // Wait telemetry covers EVERY admitted job: the placed ones plus a
+  // wait-so-far lower bound for each job still in the backlog.
+  EXPECT_EQ(mid.jobs.wait_ms.count,
+            mid.jobs.accepted + mid.jobs.censored_waiting);
+  // Accounting closes: offered = placed + still-waiting + dropped-over-cap.
+  EXPECT_GE(mid.jobs.offered, mid.jobs.accepted + mid.jobs.censored_waiting);
+  // report() must not mutate the live stats: a second report is identical.
+  const auto again = sim.report();
+  EXPECT_EQ(again.jobs.wait_ms.count, mid.jobs.wait_ms.count);
+  EXPECT_EQ(again.jobs.wait_ms.p999, mid.jobs.wait_ms.p999);
+  sim.finish();
+  EXPECT_EQ(sim.report().jobs.censored_waiting, 0u);
+}
+
+TEST(CosimTraffic, QueueCapBoundsBacklog) {
+  auto cfg = quick(32.0);
+  cfg.admission = AdmissionPolicy::kQueue;
+  cfg.queue_cap = 3;
+  RackCosim sim({}, disagg::AllocationPolicy::kDisaggregated,
+                workloads::UsageModel::cori(), cfg);
+  for (sim::TimePs t = 10 * sim::kPsPerMs; t <= cfg.sim_time; t += 10 * sim::kPsPerMs) {
+    sim.advance_to(t);
+    ASSERT_LE(sim.queued_jobs(), 3u);
+  }
+  cfg.queue_cap = 0;
+  EXPECT_THROW(run_quick(disagg::AllocationPolicy::kDisaggregated, cfg),
+               std::invalid_argument);
+}
+
+TEST(CosimTraffic, NonPoissonProcessesRunDeterministically) {
+  for (const auto kind : {traffic::ArrivalKind::kMmpp, traffic::ArrivalKind::kDiurnal}) {
+    auto cfg = quick(8.0);
+    cfg.arrival.kind = kind;
+    const auto a = run_quick(disagg::AllocationPolicy::kDisaggregated, cfg);
+    const auto b = run_quick(disagg::AllocationPolicy::kDisaggregated, cfg);
+    EXPECT_GT(a.jobs.offered, 50u);
+    expect_reports_identical(a, b);
+  }
+}
+
+TEST(CosimTraffic, InvalidArrivalShapeRejectedAtConstruction) {
+  auto cfg = quick();
+  cfg.arrival.kind = traffic::ArrivalKind::kMmpp;
+  cfg.arrival.burst_rate_mult = 8.0;
+  cfg.arrival.burst_fraction = 0.5;  // 8 * 0.5 > 1: OFF rate negative
+  EXPECT_THROW(run_quick(disagg::AllocationPolicy::kDisaggregated, cfg),
+               std::invalid_argument);
+  cfg = quick();
+  cfg.arrival.kind = traffic::ArrivalKind::kTrace;  // no trace_file
+  EXPECT_THROW(run_quick(disagg::AllocationPolicy::kDisaggregated, cfg),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
 // Campaign determinism: the third ISSUE 4 pin — cosim campaign CSV bytes are
 // identical for --jobs 1 and --jobs 4 (short horizon to keep this fast).
 // ---------------------------------------------------------------------------
@@ -232,7 +340,8 @@ std::pair<std::string, std::string> serialize(const scenario::Campaign& campaign
 }
 
 TEST(CosimCampaigns, CsvAndJsonlBitIdenticalForJobs1VsJobs4) {
-  for (const char* name : {"cosim_acceptance", "cosim_contention", "cosim_energy"}) {
+  for (const char* name :
+       {"cosim_acceptance", "cosim_contention", "cosim_energy", "cosim_tails"}) {
     const auto& campaign = scenario::campaign_by_name(name);
     scenario::SweepGrid grid = campaign.default_grid();
     grid.set("cosim.horizon_ms", {"40"});
