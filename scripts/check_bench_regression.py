@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_results.json against the committed baseline.
+
+Both files carry the shared perf-ledger schema:
+
+    {"benchmarks": [{"name": ..., "items_per_sec": ..., "ns_per_op": ...}]}
+
+emitted by perf_microbench's JSON reporter and by the obs::Profiler
+self-profile (photorack_cosim --profile-json).  Entries are matched by
+name; the gate fails (exit 1) when any current ns/op exceeds
+--max-ratio x its baseline.  Names present on only one side are reported
+as warnings, never failures, so adding or retiring a scope does not need
+a baseline dance in the same commit.
+
+Usage:
+    check_bench_regression.py --baseline BENCH_results.json \
+        --current fresh.json [--max-ratio 1.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    entries = doc.get("benchmarks")
+    if not isinstance(entries, list):
+        raise SystemExit(f"{path}: no 'benchmarks' array (wrong schema?)")
+    out = {}
+    for entry in entries:
+        name = entry.get("name")
+        ns = entry.get("ns_per_op")
+        if not isinstance(name, str) or not isinstance(ns, (int, float)):
+            raise SystemExit(f"{path}: malformed entry {entry!r}")
+        out[name] = float(ns)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True, help="committed BENCH_results.json")
+    ap.add_argument("--current", required=True, help="freshly measured results")
+    ap.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.25,
+        help="fail when current ns/op > ratio x baseline (default 1.25)",
+    )
+    args = ap.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        raise SystemExit("no benchmark names in common — nothing to gate on")
+
+    width = max(len(n) for n in shared)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'baseline ns/op':>14}  {'current ns/op':>13}  ratio")
+    for name in shared:
+        base, cur = baseline[name], current[name]
+        ratio = cur / base if base > 0 else float("inf") if cur > 0 else 1.0
+        flag = ""
+        if ratio > args.max_ratio:
+            regressions.append((name, ratio))
+            flag = "  <-- REGRESSION"
+        print(f"{name:<{width}}  {base:>14.1f}  {cur:>13.1f}  {ratio:>5.2f}{flag}")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"warning: '{name}' has no baseline entry (new scope?) — not gated")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"warning: '{name}' missing from current results — not gated")
+
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
+            f"{args.max_ratio:.2f}x (worst: {worst[0]} at {worst[1]:.2f}x)"
+        )
+        return 1
+    print(f"\nOK: {len(shared)} benchmark(s) within {args.max_ratio:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

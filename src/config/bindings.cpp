@@ -9,6 +9,7 @@
 #include "disagg/allocator.hpp"
 #include "gpusim/gpu_config.hpp"
 #include "net/fabric.hpp"
+#include "obs/obs.hpp"
 #include "phot/power.hpp"
 #include "rack/chips.hpp"
 #include "rack/mcm.hpp"
@@ -22,6 +23,7 @@ using cosim::CosimConfig;
 using cpusim::SimConfig;
 using gpusim::GpuConfig;
 using net::FabricSliceConfig;
+using obs::ObsConfig;
 using phot::PhotonicPowerConfig;
 using rack::McmConfig;
 using rack::RackConfig;
@@ -306,6 +308,25 @@ void register_phot(ParamRegistry& reg) {
             "paper's pessimistic always-on assumption");
 }
 
+void register_obs(ParamRegistry& reg) {
+  // Passive instrumentation only: enabling any obs.* knob must leave every
+  // campaign CSV/JSONL byte-identical (pinned by test_obs).
+  reg.section<ObsConfig>("obs", "obs::ObsConfig",
+                         "passive observability: trace/metrics/profile")
+      .bind("trace.enabled", &ObsConfig::trace_enabled,
+            "record a Chrome-trace-event timeline keyed on sim time")
+      .bind("trace.ring", &ObsConfig::trace_ring,
+            "flight-recorder mode: keep only the last N events (0 = unbounded)",
+            {0, 1e9})
+      .bind("metrics.enabled", &ObsConfig::metrics_enabled,
+            "sample time-series metrics rows during the run")
+      .bind_scaled("metrics.interval_ms", &ObsConfig::metrics_interval,
+                   static_cast<double>(sim::kPsPerMs), "ms",
+                   "metrics sampling period", {0.001, 1e6})
+      .bind("profile.enabled", &ObsConfig::profile_enabled,
+            "wall-clock self-profile of the simulator hot paths");
+}
+
 }  // namespace
 
 const EnumCodec<bool>& feedback_codec() {
@@ -323,6 +344,7 @@ const ParamRegistry& registry() {
     register_gpusim(*r);
     register_net(*r);
     register_cosim(*r);
+    register_obs(*r);
     register_phot(*r);
     return r;
   }();

@@ -21,11 +21,14 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "config/bindings.hpp"
 #include "config/manifest.hpp"
 #include "cosim/rack_cosim.hpp"
+#include "obs/obs.hpp"
+#include "scenario/result_sink.hpp"
 #include "sim/table.hpp"
 
 namespace {
@@ -48,9 +51,18 @@ void print_usage(std::ostream& os) {
         "                          (shape knobs: --set cosim.arrival.*)\n"
         "  --queue [cap]           FIFO-queue unplaceable jobs instead of\n"
         "                          dropping (optional backlog cap, default 64)\n"
-        "  --set <path>=<value>    set any registered cosim/net/rack knob\n"
+        "  --set <path>=<value>    set any registered cosim/net/rack/obs knob\n"
         "                          (repeatable; photorack_sweep --params lists)\n"
         "  --manifest <file>       write the resolved config tree as JSON\n"
+        "  --trace <file>          record a Chrome-trace-event timeline (sim-time\n"
+        "                          keyed; open in Perfetto / chrome://tracing;\n"
+        "                          ring mode via --set obs.trace.ring=N)\n"
+        "  --metrics <file>        write sampled time-series metrics rows\n"
+        "                          (.jsonl for JSON lines, anything else CSV;\n"
+        "                          period via --set obs.metrics.interval_ms=T)\n"
+        "  --profile               print the wall-clock self-profile table\n"
+        "  --profile-json <file>   write the self-profile in the\n"
+        "                          BENCH_results.json schema\n"
         "  --quiet                 print only the one-line summary\n"
         "  --help                  this message\n";
 }
@@ -59,6 +71,10 @@ struct CliOptions {
   disagg::AllocationPolicy policy = disagg::AllocationPolicy::kDisaggregated;
   config::ConfigTree tree{config::registry()};
   std::string manifest_path;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string profile_json_path;
+  bool profile_table = false;
   bool quiet = false;
 };
 
@@ -104,6 +120,14 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.tree.set(kv.substr(0, eq), kv.substr(eq + 1));
     } else if (arg == "--manifest") {
       opt.manifest_path = value("--manifest");
+    } else if (arg == "--trace") {
+      opt.trace_path = value("--trace");
+    } else if (arg == "--metrics") {
+      opt.metrics_path = value("--metrics");
+    } else if (arg == "--profile") {
+      opt.profile_table = true;
+    } else if (arg == "--profile-json") {
+      opt.profile_json_path = value("--profile-json");
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else {
@@ -149,8 +173,49 @@ int main(int argc, char** argv) {
       out << manifest.to_json(config::registry()) << "\n";
     }
 
-    const auto report =
-        cosim::run_rack_cosim(rack, opt.policy, workloads::UsageModel::cori(), cfg);
+    // Observability: --trace/--metrics/--profile* are sugar that force the
+    // matching obs.* enable; the shape knobs (ring size, sample period)
+    // stay addressable through --set obs.*.
+    obs::ObsConfig obs_cfg = opt.tree.build<obs::ObsConfig>("obs");
+    if (!opt.trace_path.empty()) obs_cfg.trace_enabled = true;
+    if (!opt.metrics_path.empty()) obs_cfg.metrics_enabled = true;
+    if (opt.profile_table || !opt.profile_json_path.empty())
+      obs_cfg.profile_enabled = true;
+    obs::ObsBundle obs_bundle(obs_cfg);
+
+    const auto report = cosim::run_rack_cosim(
+        rack, opt.policy, workloads::UsageModel::cori(), cfg, obs_bundle.handles());
+
+    if (!opt.trace_path.empty())
+      obs_bundle.trace()->write_json_file(opt.trace_path);
+
+    if (!opt.metrics_path.empty()) {
+      std::ofstream out(opt.metrics_path, std::ios::binary);
+      if (!out)
+        throw std::runtime_error("cannot open metrics file '" + opt.metrics_path +
+                                 "' for writing");
+      // Same cell dialect as every campaign artifact: .jsonl gets JSON
+      // lines, anything else RFC-4180 CSV.
+      const bool jsonl = opt.metrics_path.size() >= 6 &&
+                         opt.metrics_path.compare(opt.metrics_path.size() - 6, 6,
+                                                  ".jsonl") == 0;
+      std::unique_ptr<scenario::ResultSink> sink;
+      if (jsonl)
+        sink = std::make_unique<scenario::JsonlSink>(out);
+      else
+        sink = std::make_unique<scenario::CsvSink>(out);
+      sink->open(obs_bundle.metrics()->columns());
+      for (auto& cells : obs_bundle.metrics()->string_rows())
+        sink->write(scenario::ResultRow{std::move(cells)});
+      sink->close();
+      out.flush();
+      if (!out)
+        throw std::runtime_error("error writing metrics file '" + opt.metrics_path +
+                                 "'");
+    }
+
+    if (!opt.profile_json_path.empty())
+      obs_bundle.profiler()->write_bench_json_file(opt.profile_json_path);
 
     if (!opt.quiet) {
       sim::Table table({"metric", "value"});
@@ -190,7 +255,37 @@ int main(int argc, char** argv) {
       table.add_row({"mean power (kW)", sim::fmt_fixed(report.mean_power_w / 1e3, 2)});
       table.add_row({"peak power (kW)", sim::fmt_fixed(report.peak_power_w / 1e3, 2)});
       table.add_row({"photonic power (kW)", sim::fmt_fixed(report.photonic_power_w / 1e3, 2)});
+      const auto& ev = report.jobs.events;
+      table.add_row({"events sched/disp/cancel",
+                     sim::fmt_int(static_cast<long long>(ev.scheduled)) + " / " +
+                         sim::fmt_int(static_cast<long long>(ev.dispatched)) + " / " +
+                         sim::fmt_int(static_cast<long long>(ev.cancelled))});
+      table.add_row({"pending events (peak)",
+                     sim::fmt_int(static_cast<long long>(ev.pending_peak))});
+      if (obs_bundle.trace())
+        table.add_row(
+            {"trace events (dropped)",
+             sim::fmt_int(static_cast<long long>(obs_bundle.trace()->recorded())) +
+                 " (" +
+                 sim::fmt_int(static_cast<long long>(obs_bundle.trace()->dropped())) +
+                 ")"});
+      if (obs_bundle.metrics())
+        table.add_row({"metrics rows sampled",
+                       sim::fmt_int(static_cast<long long>(
+                           obs_bundle.metrics()->rows().size()))});
       table.print(std::cout);
+    }
+
+    if (opt.profile_table && obs_bundle.profiler()) {
+      sim::Table prof({"scope", "count", "ns/op", "ops/s"});
+      for (const auto& e : obs_bundle.profiler()->entries()) {
+        if (e.count == 0) continue;
+        prof.add_row({e.name, sim::fmt_int(static_cast<long long>(e.count)),
+                      sim::fmt_fixed(e.ns_per_op(), 1),
+                      sim::fmt_fixed(e.items_per_sec(), 0)});
+      }
+      std::cout << "\nself-profile (wall clock; observation only, never fed back):\n";
+      prof.print(std::cout);
     }
 
     std::cerr << "photorack_cosim: " << report.jobs.offered << " jobs offered, "

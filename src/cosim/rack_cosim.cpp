@@ -68,7 +68,8 @@ CosimConfig validated(CosimConfig cfg, const rack::RackConfig& rack) {
 }  // namespace
 
 RackCosim::RackCosim(const rack::RackConfig& rack, disagg::AllocationPolicy policy,
-                     const workloads::UsageModel& usage, CosimConfig cfg)
+                     const workloads::UsageModel& usage, CosimConfig cfg,
+                     obs::Obs obs)
     : rack_(rack),
       cfg_(validated(cfg, rack)),
       usage_(usage),
@@ -83,7 +84,12 @@ RackCosim::RackCosim(const rack::RackConfig& rack, disagg::AllocationPolicy poli
       // Built after validation: throws std::invalid_argument on bad shape
       // knobs (and std::runtime_error on an unreadable trace file).
       arrival_process_(
-          traffic::make_arrival_process(cfg_.arrival, cfg_.arrivals_per_ms)) {
+          traffic::make_arrival_process(cfg_.arrival, cfg_.arrivals_per_ms)),
+      obs_(obs) {
+  // Register scopes/metrics and hook the energy trace before the first
+  // step_to below, so the t=0 power level lands on the counter track too.
+  setup_obs();
+
   // §VI-C overhead at co-sim scale: every wavelength the fabric lights burns
   // transceiver energy whether or not a flow uses it (lasers always on).
   phot::PhotonicPowerConfig photonic;
@@ -93,7 +99,85 @@ RackCosim::RackCosim(const rack::RackConfig& rack, disagg::AllocationPolicy poli
   photonic_w_ = phot::photonic_power_overhead(photonic, cfg_.baseline).total.value;
 
   energy_.step_to(0.0, phot::Watts{compute_power_w() + photonic_w_});
+  if (obs_.metrics) {
+    take_sample();  // the t=0 row: idle pools, lasers-on floor power
+    schedule_next_sample();
+  }
   schedule_next_arrival();
+}
+
+void RackCosim::setup_obs() {
+  if (!obs_.any()) return;
+  engine_.attach_obs(obs_);
+  if (obs_.profiler) {
+    sc_arrival_ = obs_.profiler->scope("cosim.arrival");
+    sc_allocate_ = obs_.profiler->scope("disagg.allocate");
+    sc_release_ = obs_.profiler->scope("disagg.release");
+    sc_sketch_ = obs_.profiler->scope("stats.sketch_insert");
+  }
+  if (obs_.metrics) {
+    auto& m = *obs_.metrics;
+    m_.backlog_depth = m.gauge("backlog_depth");
+    m_.live_jobs = m.gauge("live_jobs");
+    m_.fabric_util = m.gauge("fabric_util");
+    m_.pair_util_max = m.gauge("pair_util_max");
+    m_.pair_util_mean = m.gauge("pair_util_mean");
+    m_.satisfied_frac = m.gauge("satisfied_frac");
+    m_.power_w = m.gauge("power_w");
+    m_.energy_j = m.gauge("energy_j");
+    m_.offered = m.gauge("offered");
+    m_.accepted = m.gauge("accepted");
+    m_.wait_ms = m.histogram("wait_ms");
+  }
+  // The energy observer feeds the power counter track at every integration
+  // step (ids registered above, so the metrics gauge is safe to set here).
+  if (obs_.trace || obs_.metrics) {
+    energy_.set_observer([this](double /*seconds*/, double watts) {
+      if (obs_.trace)
+        obs_.trace->counter(obs::Track::kPower, "rack_power_w", queue_.now(), watts);
+      if (obs_.metrics) obs_.metrics->set(m_.power_w, watts);
+    });
+  }
+}
+
+void RackCosim::take_sample() {
+  auto& m = *obs_.metrics;
+  m.set(m_.backlog_depth, static_cast<double>(backlog_.size()));
+  m.set(m_.live_jobs, static_cast<double>(live_jobs_));
+  m.set(m_.fabric_util, engine_.fabric_utilization());
+  // Per-MCM-pair direct-wavelength utilization: the congestion picture the
+  // aggregate number hides (one hot pair can block while the mean is low).
+  double max_u = 0.0, sum_u = 0.0;
+  int pairs = 0;
+  for (int s = 0; s < cfg_.fabric.mcms; ++s)
+    for (int d = 0; d < cfg_.fabric.mcms; ++d) {
+      if (s == d) continue;
+      const double cap = fabric_->direct_capacity(s, d);
+      if (cap <= 0.0) continue;
+      max_u = std::max(max_u, fabric_->allocated(s, d) / cap);
+      sum_u += fabric_->allocated(s, d) / cap;
+      ++pairs;
+    }
+  m.set(m_.pair_util_max, max_u);
+  m.set(m_.pair_util_mean, pairs ? sum_u / pairs : 0.0);
+  m.set(m_.satisfied_frac, engine_.report().satisfied_fraction);
+  m.set(m_.power_w, compute_power_w() + photonic_w_);
+  m.set(m_.energy_j, energy_.joules());
+  m.set(m_.offered, static_cast<double>(stats_.offered()));
+  m.set(m_.accepted, static_cast<double>(stats_.accepted()));
+  m.sample(to_ms(queue_.now()));
+}
+
+void RackCosim::schedule_next_sample() {
+  // Sampler events ride the sim queue but never touch sim state: they read,
+  // emit a row, and reschedule.  Ticks stop at the arrival horizon so
+  // finish() still drains.
+  if (obs_.metrics_interval <= 0) return;
+  if (obs_.metrics_interval >= cfg_.sim_time - queue_.now()) return;
+  queue_.schedule_after(obs_.metrics_interval, [this]() {
+    take_sample();
+    schedule_next_sample();
+  });
 }
 
 RackCosim::JobPlan RackCosim::make_plan(sim::Rng& rng) const {
@@ -160,7 +244,11 @@ void RackCosim::schedule_next_arrival() {
 }
 
 bool RackCosim::try_start(const JobPlan& plan, sim::TimePs arrived) {
-  auto alloc = std::make_shared<disagg::Allocation>(allocator_.allocate(plan.request));
+  std::shared_ptr<disagg::Allocation> alloc;
+  {
+    obs::ScopedTimer timer(obs_.profiler, sc_allocate_);
+    alloc = std::make_shared<disagg::Allocation>(allocator_.allocate(plan.request));
+  }
   if (!alloc->placed) return false;
   stats_.accept();
   ++live_jobs_;
@@ -168,7 +256,7 @@ bool RackCosim::try_start(const JobPlan& plan, sim::TimePs arrived) {
   double requested = 0.0, satisfied = 0.0;
   flow_ids->reserve(plan.flows.size());
   for (const auto& spec : plan.flows) {
-    const std::uint64_t id = engine_.open(spec);
+    const std::uint64_t id = engine_.open(spec, queue_.now());
     flow_ids->push_back(id);
     const net::RouteResult& route = engine_.result(id);
     requested += route.requested;
@@ -188,18 +276,34 @@ bool RackCosim::try_start(const JobPlan& plan, sim::TimePs arrived) {
   // long jobs still running.  Slowdown folds queueing and contention into
   // one number: time-in-system over uncontended service time.
   const sim::TimePs wait = queue_.now() - arrived;
-  stats_.record_wait(to_ms(wait));
-  stats_.record_slowdown(static_cast<double>(wait + hold) /
-                         static_cast<double>(plan.base_hold));
-  for (std::size_t i = 0; i < plan.flows.size(); ++i)
-    stats_.record_fct(to_ms(hold));
-  queue_.schedule_after(hold, [this, alloc, flow_ids]() {
-    for (const std::uint64_t id : *flow_ids) engine_.close(id);
-    allocator_.release(*alloc);
-    --live_jobs_;
-    drain_backlog();
-    step_energy();
-  });
+  {
+    obs::ScopedTimer timer(obs_.profiler, sc_sketch_);
+    stats_.record_wait(to_ms(wait));
+    stats_.record_slowdown(static_cast<double>(wait + hold) /
+                           static_cast<double>(plan.base_hold));
+    for (std::size_t i = 0; i < plan.flows.size(); ++i)
+      stats_.record_fct(to_ms(hold));
+  }
+  if (obs_.metrics) obs_.metrics->observe(m_.wait_ms, to_ms(wait));
+  const sim::TimePs placed_at = queue_.now();
+  if (obs_.trace)
+    obs_.trace->instant(obs::Track::kJobs, "placed", placed_at,
+                        {{"wait_ms", to_ms(wait)}, {"speed", speed}});
+  queue_.schedule_after(
+      hold, [this, alloc, flow_ids, placed_at, breadth = plan.breadth, speed]() {
+        for (const std::uint64_t id : *flow_ids) engine_.close(id, queue_.now());
+        {
+          obs::ScopedTimer timer(obs_.profiler, sc_release_);
+          allocator_.release(*alloc);
+        }
+        --live_jobs_;
+        if (obs_.trace)
+          obs_.trace->complete(obs::Track::kJobs, "job", placed_at, queue_.now(),
+                               {{"breadth", static_cast<double>(breadth)},
+                                {"speed", speed}});
+        drain_backlog();
+        step_energy();
+      });
   return true;
 }
 
@@ -215,8 +319,10 @@ void RackCosim::drain_backlog() {
 }
 
 void RackCosim::on_arrival() {
+  obs::ScopedTimer timer(obs_.profiler, sc_arrival_);
   engine_.refresh_view(queue_.now());
   stats_.offer();
+  if (obs_.trace) obs_.trace->instant(obs::Track::kJobs, "arrival", queue_.now());
   // Per-job child stream keyed by arrival index: a job's demands, duration
   // and flow layout are a pure function of (seed, index), independent of
   // every placement decision before it.
@@ -227,11 +333,15 @@ void RackCosim::on_arrival() {
     // Bounded FIFO: over-cap arrivals are dropped (they stay counted in
     // `offered`, so acceptance reflects the loss).
     if (backlog_.size() < static_cast<std::size_t>(cfg_.queue_cap)) {
+      if (obs_.trace) obs_.trace->instant(obs::Track::kJobs, "enqueue", queue_.now());
       backlog_.push_back(PendingJob{std::move(plan), queue_.now()});
       drain_backlog();
+    } else if (obs_.trace) {
+      obs_.trace->instant(obs::Track::kJobs, "queue_drop", queue_.now());
     }
   } else {
-    try_start(plan, queue_.now());
+    if (!try_start(plan, queue_.now()) && obs_.trace)
+      obs_.trace->instant(obs::Track::kJobs, "reject", queue_.now());
   }
   // Step the trace on EVERY arrival, rejected ones included: the level only
   // changes on placements, but the integration point must advance to the
@@ -262,6 +372,7 @@ CosimReport RackCosim::report() const {
   report.jobs = stats_with_censored.report();
   report.jobs.censored_waiting = backlog_.size();
   report.jobs.censored_running = live_jobs_;
+  report.jobs.events = queue_.stats();
   report.flows = engine_.report();
   report.mean_speed_fraction = speed_.count() ? speed_.mean() : 1.0;
   report.mean_stretch = stretch_.count() ? stretch_.mean() : 1.0;
@@ -275,8 +386,9 @@ CosimReport RackCosim::report() const {
 }
 
 CosimReport run_rack_cosim(const rack::RackConfig& rack, disagg::AllocationPolicy policy,
-                           const workloads::UsageModel& usage, const CosimConfig& cfg) {
-  RackCosim sim(rack, policy, usage, cfg);
+                           const workloads::UsageModel& usage, const CosimConfig& cfg,
+                           obs::Obs obs) {
+  RackCosim sim(rack, policy, usage, cfg, obs);
   sim.finish();
   return sim.report();
 }

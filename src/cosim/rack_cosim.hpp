@@ -9,6 +9,7 @@
 #include "disagg/allocator.hpp"
 #include "disagg/job_scheduler.hpp"
 #include "net/flow_sim.hpp"
+#include "obs/obs.hpp"
 #include "phot/power.hpp"
 #include "rack/chips.hpp"
 #include "sim/event_queue.hpp"
@@ -111,8 +112,15 @@ struct CosimReport {
 
 class RackCosim {
  public:
+  /// `obs` attaches passive observability (trace spans per job/flow, a
+  /// periodic metrics sampler, profiler scopes on the hot paths).  The
+  /// default null bundle costs one pointer test per site; attaching never
+  /// changes placement, routing, RNG draws, or any reported statistic —
+  /// campaign outputs are byte-identical with and without it (pinned by
+  /// test_obs).
   RackCosim(const rack::RackConfig& rack, disagg::AllocationPolicy policy,
-            const workloads::UsageModel& usage, CosimConfig cfg = {});
+            const workloads::UsageModel& usage, CosimConfig cfg = {},
+            obs::Obs obs = {});
 
   // Queued event handlers capture `this`; a copied or moved instance would
   // leave them pointing at the original object.
@@ -171,6 +179,21 @@ class RackCosim {
   phot::EnergyTrace energy_;
   double photonic_w_ = 0.0;
 
+  // --- observability (null by default; see attach contract on the ctor) ---
+  obs::Obs obs_{};
+  obs::Profiler::ScopeId sc_arrival_ = 0, sc_allocate_ = 0, sc_release_ = 0,
+                         sc_sketch_ = 0;
+  /// Registered metric ids, valid only while obs_.metrics is attached.
+  /// backlog_depth doubles as the censored-waiting count and live_jobs as
+  /// the censored-running count (same quantities the report censors on).
+  struct MetricIds {
+    obs::MetricsRegistry::Id backlog_depth = 0, live_jobs = 0, fabric_util = 0,
+                             pair_util_max = 0, pair_util_mean = 0,
+                             satisfied_frac = 0, power_w = 0, energy_j = 0,
+                             offered = 0, accepted = 0, wait_ms = 0;
+  };
+  MetricIds m_{};
+
   [[nodiscard]] JobPlan make_plan(sim::Rng& rng) const;
   [[nodiscard]] double compute_power_w() const;
   void step_energy();
@@ -178,12 +201,16 @@ class RackCosim {
   void on_arrival();
   bool try_start(const JobPlan& plan, sim::TimePs arrived);
   void drain_backlog();
+  void setup_obs();
+  void take_sample();
+  void schedule_next_sample();
 };
 
 /// Run-to-completion convenience over RackCosim.
 [[nodiscard]] CosimReport run_rack_cosim(const rack::RackConfig& rack,
                                          disagg::AllocationPolicy policy,
                                          const workloads::UsageModel& usage,
-                                         const CosimConfig& cfg = {});
+                                         const CosimConfig& cfg = {},
+                                         obs::Obs obs = {});
 
 }  // namespace photorack::cosim

@@ -55,6 +55,7 @@ Allocation RackAllocator::allocate(const JobRequest& req) {
   Allocation a;
   if (req.cpus < 0 || req.gpus < 0 || req.memory_gb < 0 || req.nic_gbps < 0)
     throw std::invalid_argument("allocate: negative request");
+  ++counters_.attempts;
 
   if (policy_ == AllocationPolicy::kStaticNodes) {
     // A job gets the smallest node count covering its largest per-resource
@@ -100,6 +101,7 @@ Allocation RackAllocator::allocate(const JobRequest& req) {
     pools_.memory_gb_used += a.memory_gb;
     pools_.nic_gbps_used += a.nic_gbps;
   }
+  ++counters_.placements;
   a.id = next_global_allocation_id();
   live_.emplace(a.id, a);
   return a;
@@ -116,6 +118,7 @@ void RackAllocator::release(const Allocation& alloc) {
   // pools can only ever return to exactly what allocate() charged.
   const Allocation granted = it->second;
   live_.erase(it);
+  ++counters_.releases;
   pools_.cpus_used -= granted.cpus;
   pools_.gpus_used -= granted.gpus;
   pools_.memory_gb_used -= granted.memory_gb;

@@ -54,6 +54,16 @@ struct PoolState {
   }
 };
 
+/// Always-on allocate()/release() call counters.  Plain integer increments
+/// on paths that already branch and hash — cheap enough to never gate.
+struct AllocatorCounters {
+  std::uint64_t attempts = 0;    // allocate() calls past validation
+  std::uint64_t placements = 0;  // allocations that were granted
+  std::uint64_t releases = 0;    // placed allocations returned
+
+  [[nodiscard]] std::uint64_t rejections() const { return attempts - placements; }
+};
+
 /// Allocation policy of the rack under study.
 ///
 /// kStaticNodes: today's model — jobs receive whole, identical nodes; every
@@ -90,6 +100,7 @@ class RackAllocator {
   void release(const Allocation& alloc);
 
   [[nodiscard]] const PoolState& pools() const { return pools_; }
+  [[nodiscard]] const AllocatorCounters& counters() const { return counters_; }
   [[nodiscard]] AllocationPolicy policy() const { return policy_; }
   [[nodiscard]] int free_nodes() const { return free_nodes_; }
   [[nodiscard]] std::size_t live_allocations() const { return live_.size(); }
@@ -114,6 +125,7 @@ class RackAllocator {
 
   double marooned_cpus_ = 0.0;
   double marooned_memory_gb_ = 0.0;
+  AllocatorCounters counters_;
 };
 
 }  // namespace photorack::disagg

@@ -111,7 +111,11 @@ void JobStreamSim::advance_to(sim::TimePs t) { queue_.run(t); }
 
 void JobStreamSim::finish() { queue_.run(); }
 
-JobSimReport JobStreamSim::report() const { return stats_.report(); }
+JobSimReport JobStreamSim::report() const {
+  JobSimReport report = stats_.report();
+  report.events = queue_.stats();
+  return report;
+}
 
 JobSimReport run_job_stream(const rack::RackConfig& rack, AllocationPolicy policy,
                             const workloads::UsageModel& usage, const JobSimConfig& cfg) {

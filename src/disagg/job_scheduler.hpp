@@ -63,6 +63,11 @@ struct JobSimReport {
   /// (their recorded wait/slowdown/fct are final, not censored).
   std::uint64_t censored_running = 0;
 
+  /// Event-loop activity of the simulator that produced this report
+  /// (always-on sim::EventQueue counters; zero for reports assembled
+  /// outside an event loop).
+  sim::EventQueueStats events;
+
   [[nodiscard]] double acceptance() const {
     return offered ? static_cast<double>(accepted) / static_cast<double>(offered)
                    : kEmptyStreamAcceptance;
@@ -88,6 +93,8 @@ class JobStreamStats {
   void record_wait(double ms) { wait_ms_.add(ms); }
   void record_slowdown(double x) { slowdown_.add(x); }
   void record_fct(double ms) { fct_ms_.add(ms); }
+  [[nodiscard]] std::uint64_t offered() const { return offered_; }
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
   [[nodiscard]] JobSimReport report() const;
 
  private:

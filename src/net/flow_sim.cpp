@@ -11,9 +11,22 @@ FlowEngine::FlowEngine(WavelengthFabric& fabric, sim::TimePs piggyback_interval,
       view_(fabric, piggyback_interval),
       router_(fabric, view_, router_seed) {}
 
-void FlowEngine::refresh_view(sim::TimePs now) { view_.maybe_refresh(now); }
+void FlowEngine::attach_obs(const obs::Obs& obs) {
+  obs_ = obs;
+  if (obs_.profiler) {
+    sc_open_ = obs_.profiler->scope("net.flow_open");
+    sc_refresh_ = obs_.profiler->scope("net.view_refresh");
+  }
+}
 
-std::uint64_t FlowEngine::open(const FlowSpec& spec) {
+void FlowEngine::refresh_view(sim::TimePs now) {
+  obs::ScopedTimer timer(obs_.profiler, sc_refresh_);
+  if (view_.maybe_refresh(now) && obs_.trace)
+    obs_.trace->instant(obs::Track::kSim, "view_refresh", now);
+}
+
+std::uint64_t FlowEngine::open(const FlowSpec& spec, sim::TimePs now) {
+  obs::ScopedTimer timer(obs_.profiler, sc_open_);
   RouteResult result = router_.route(spec.src, spec.dst, spec.gbps);
   ++flows_;
   if (result.fully_satisfied()) ++fully_satisfied_;
@@ -25,6 +38,12 @@ std::uint64_t FlowEngine::open(const FlowSpec& spec) {
   indirect_total_ += result.indirect_gbps;
   peak_util_ = std::max(peak_util_, fabric_->utilization());
   const std::uint64_t id = next_id_++;
+  if (obs_.trace) {
+    // Span endpoints are only known at close; remember the opening here.
+    opened_.emplace(id, OpenedAt{now, spec.gbps,
+                                 spec.gbps > 0.0 ? result.satisfied() / spec.gbps : 1.0,
+                                 spec.src, spec.dst});
+  }
   live_.emplace(id, std::move(result));
   return id;
 }
@@ -36,13 +55,25 @@ const RouteResult& FlowEngine::result(std::uint64_t flow_id) const {
   return it->second;
 }
 
-void FlowEngine::close(std::uint64_t flow_id) {
+void FlowEngine::close(std::uint64_t flow_id, sim::TimePs now) {
   const auto it = live_.find(flow_id);
   if (it == live_.end())
     throw std::out_of_range("FlowEngine: closing unknown flow id " +
                             std::to_string(flow_id));
   router_.release(it->second);
   live_.erase(it);
+  if (obs_.trace) {
+    const auto opened = opened_.find(flow_id);
+    if (opened != opened_.end()) {
+      const OpenedAt& o = opened->second;
+      obs_.trace->complete(obs::Track::kFlows, "flow", o.at, now,
+                           {{"src", static_cast<double>(o.src)},
+                            {"dst", static_cast<double>(o.dst)},
+                            {"gbps", o.gbps},
+                            {"satisfied", o.satisfied}});
+      opened_.erase(opened);
+    }
+  }
 }
 
 FlowSimReport FlowEngine::report() const {
@@ -83,8 +114,9 @@ void FlowSimulator::schedule_next_arrival() {
   queue_.schedule_after(gap, [this]() {
     engine_.refresh_view(queue_.now());
     const FlowSpec spec = generator_(flow_rng_);
-    const std::uint64_t id = engine_.open(spec);
-    queue_.schedule_after(spec.duration, [this, id]() { engine_.close(id); });
+    const std::uint64_t id = engine_.open(spec, queue_.now());
+    queue_.schedule_after(spec.duration,
+                          [this, id]() { engine_.close(id, queue_.now()); });
     schedule_next_arrival();
   });
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/routing.hpp"
+#include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 
@@ -63,16 +64,22 @@ class FlowEngine {
   FlowEngine(const FlowEngine&) = delete;
   FlowEngine& operator=(const FlowEngine&) = delete;
 
+  /// Attach observability handles (trace spans per flow, refresh instants,
+  /// profiler scopes on the routing hot paths).  Purely passive: routing
+  /// decisions, statistics and RNG draws are identical with or without it.
+  void attach_obs(const obs::Obs& obs);
+
   /// Refresh the stale piggyback view if `now` passed the next update point.
   void refresh_view(sim::TimePs now);
 
   /// Route a flow's demand; statistics accrue immediately.  Returns a handle
-  /// for result() / close().
-  std::uint64_t open(const FlowSpec& spec);
+  /// for result() / close().  `now` is the caller's sim time, used only for
+  /// trace span endpoints (callers without a clock may leave it 0).
+  std::uint64_t open(const FlowSpec& spec, sim::TimePs now = 0);
   /// Routing outcome of a live flow (throws std::out_of_range for dead ids).
   [[nodiscard]] const RouteResult& result(std::uint64_t flow_id) const;
   /// Release every segment the flow reserved; the id becomes invalid.
-  void close(std::uint64_t flow_id);
+  void close(std::uint64_t flow_id, sim::TimePs now = 0);
 
   [[nodiscard]] std::uint64_t live_flows() const { return live_.size(); }
   [[nodiscard]] double fabric_utilization() const { return fabric_->utilization(); }
@@ -80,11 +87,26 @@ class FlowEngine {
   [[nodiscard]] FlowSimReport report() const;
 
  private:
+  /// Trace-only record of a live flow's opening, kept solely while a
+  /// TraceRecorder is attached (the uninstrumented engine carries no extra
+  /// per-flow state).
+  struct OpenedAt {
+    sim::TimePs at = 0;
+    double gbps = 0.0;
+    double satisfied = 0.0;
+    int src = 0;
+    int dst = 0;
+  };
+
   WavelengthFabric* fabric_;
   PiggybackView view_;
   IndirectRouter router_;
   std::unordered_map<std::uint64_t, RouteResult> live_;
   std::uint64_t next_id_ = 1;
+
+  obs::Obs obs_{};
+  obs::Profiler::ScopeId sc_open_ = 0, sc_refresh_ = 0;
+  std::unordered_map<std::uint64_t, OpenedAt> opened_;  // trace mode only
 
   sim::RunningStats offered_, intermediates_;
   double requested_total_ = 0.0, satisfied_total_ = 0.0;

@@ -1,0 +1,117 @@
+#include "obs/trace.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace photorack::obs {
+
+namespace {
+
+/// Shortest round-trip decimal of a double (std::to_chars), locale-free and
+/// deterministic — trace bytes must not depend on the host's locale.
+std::string fmt_double(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "0";
+  return std::string(buf, ptr);
+}
+
+/// Sim picoseconds -> Trace-Event-Format microseconds.
+std::string fmt_ts(sim::TimePs ps) {
+  return fmt_double(static_cast<double>(ps) / static_cast<double>(sim::kPsPerUs));
+}
+
+/// JSON string literal; trace names are ASCII identifiers but escape anyway.
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+constexpr const char* kTrackNames[] = {"sim", "jobs", "flows", "power"};
+
+}  // namespace
+
+void TraceRecorder::push(Event e) {
+  ++recorded_;
+  if (ring_capacity_ != 0 && events_.size() == ring_capacity_) {
+    events_.pop_front();  // flight recorder: oldest event falls out first
+    ++dropped_;
+  }
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::complete(Track track, std::string name, sim::TimePs begin,
+                             sim::TimePs end, Args args) {
+  if (end < begin)
+    throw std::invalid_argument("TraceRecorder: span '" + name + "' ends before it begins");
+  push(Event{'X', track, std::move(name), begin, end - begin, std::move(args)});
+}
+
+void TraceRecorder::instant(Track track, std::string name, sim::TimePs ts, Args args) {
+  push(Event{'i', track, std::move(name), ts, 0, std::move(args)});
+}
+
+void TraceRecorder::counter(Track track, std::string name, sim::TimePs ts, double value) {
+  push(Event{'C', track, std::move(name), ts, 0, Args{{"value", value}}});
+}
+
+void TraceRecorder::write_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata first, so viewers label the tracks.
+  for (int tid = 0; tid < 4; ++tid) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":" << quoted(kTrackNames[tid]) << "}}";
+  }
+  for (const Event& e : events_) {
+    os << ",\n{\"name\":" << quoted(e.name) << ",\"cat\":"
+       << quoted(kTrackNames[static_cast<int>(e.track)]) << ",\"ph\":\"" << e.ph
+       << "\",\"ts\":" << fmt_ts(e.ts);
+    if (e.ph == 'X') os << ",\"dur\":" << fmt_ts(e.dur);
+    if (e.ph == 'i') os << ",\"s\":\"t\"";
+    os << ",\"pid\":0,\"tid\":" << static_cast<int>(e.track);
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i) os << ",";
+        os << quoted(e.args[i].first) << ":" << fmt_double(e.args[i].second);
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceRecorder::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os)
+    throw std::runtime_error("obs: cannot open trace file '" + path + "' for writing");
+  write_json(os);
+  os.flush();
+  if (!os)
+    throw std::runtime_error("obs: error writing trace file '" + path + "'");
+}
+
+}  // namespace photorack::obs

@@ -15,6 +15,7 @@
 #include "cpusim/miss_profile.hpp"
 #include "cpusim/runner.hpp"
 #include "gpusim/gpu_runner.hpp"
+#include "obs/obs.hpp"
 #include "phot/links.hpp"
 #include "phot/power.hpp"
 #include "rack/mcm.hpp"
@@ -390,9 +391,14 @@ cosim::CosimConfig cosim_config_from(const ScenarioSpec& spec) {
 
 cosim::CosimReport eval_cosim(const ScenarioSpec& spec,
                               disagg::AllocationPolicy policy) {
+  // Per-scenario observability bundle (null sinks unless --set obs.* turned
+  // something on).  The recorders are discarded with the bundle: campaign
+  // rows never carry obs data, and attaching them must leave every row
+  // byte-identical — the contract test_obs pins at this exact seam.
+  obs::ObsBundle obs_bundle(spec.resolve<obs::ObsConfig>("obs"));
   return cosim::run_rack_cosim(spec.resolve<rack::RackConfig>("rack"), policy,
                                workloads::UsageModel::cori(),
-                               cosim_config_from(spec));
+                               cosim_config_from(spec), obs_bundle.handles());
 }
 
 const std::vector<std::string> kCosimAcceptanceColumns = {

@@ -203,11 +203,29 @@ int main(int argc, char** argv) {
     const scenario::SweepRunner runner({.jobs = opt.jobs, .base_seed = opt.seed});
     const auto result = runner.run(campaign, grid, sink_ptrs);
 
+    // A write that failed mid-sweep (disk full, file deleted, quota) leaves
+    // the stream in a failed state but does not throw — check explicitly so
+    // a truncated artifact is a loud error, never a silently short file.
+    if (!opt.out_dir.empty()) {
+      csv_file.flush();
+      if (!csv_file)
+        throw std::runtime_error("error writing " + csv_path.string() +
+                                 " (output truncated)");
+      jsonl_file.flush();
+      if (!jsonl_file)
+        throw std::runtime_error("error writing " + jsonl_path.string() +
+                                 " (output truncated)");
+    }
+
     if (!manifest_path.empty()) {
       std::ofstream manifest_file(manifest_path);
       if (!manifest_file)
         throw std::runtime_error("cannot open " + manifest_path.string());
       manifest_file << result.manifest_json << "\n";
+      manifest_file.flush();
+      if (!manifest_file)
+        throw std::runtime_error("error writing " + manifest_path.string() +
+                                 " (output truncated)");
     }
 
     std::cerr << "photorack_sweep: campaign " << campaign.name << " [" << campaign.paper_ref

@@ -9,12 +9,15 @@ std::uint64_t EventQueue::schedule_at(TimePs at, Handler fn) {
   const std::uint64_t id = next_seq_++;
   heap_.push(Entry{at, id, std::move(fn)});
   pending_ids_.insert(id);
+  if (pending_ids_.size() > pending_peak_) pending_peak_ = pending_ids_.size();
   return id;
 }
 
 bool EventQueue::cancel(std::uint64_t event_id) {
   if (event_id >= next_seq_) return false;  // never scheduled
-  pending_ids_.erase(event_id);  // fired/cancelled ids are already gone: no-op
+  // Fired/cancelled ids are already gone: erase is a no-op, and only a real
+  // removal counts toward the cancelled stat.
+  cancelled_ += pending_ids_.erase(event_id);
   return true;
 }
 

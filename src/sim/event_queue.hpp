@@ -11,6 +11,17 @@
 
 namespace photorack::sim {
 
+/// Always-on lifecycle counters of one EventQueue.  Kept as a plain struct
+/// of integers (increments on the schedule/dispatch/cancel paths cost one
+/// add each) so every simulator can surface event-loop health in its report
+/// without an observability layer attached.
+struct EventQueueStats {
+  std::uint64_t scheduled = 0;     // schedule_at/schedule_after calls
+  std::uint64_t dispatched = 0;    // handlers actually executed
+  std::uint64_t cancelled = 0;     // cancels that removed a pending event
+  std::uint64_t pending_peak = 0;  // high-water mark of pending()
+};
+
 /// Discrete-event simulation kernel.
 ///
 /// Events are closures ordered by (time, insertion sequence); ties in time
@@ -48,6 +59,9 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return pending_ids_.empty(); }
   [[nodiscard]] std::uint64_t pending() const { return pending_ids_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  [[nodiscard]] EventQueueStats stats() const {
+    return EventQueueStats{next_seq_, executed_, cancelled_, pending_peak_};
+  }
 
  private:
   struct Entry {
@@ -70,6 +84,8 @@ class EventQueue {
   TimePs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t pending_peak_ = 0;
 };
 
 }  // namespace photorack::sim

@@ -120,5 +120,31 @@ TEST(Allocator, ReleaseOfUnplacedIsNoop) {
   EXPECT_EQ(alloc.pools().cpus_used, 0);
 }
 
+TEST(Allocator, CountersTrackAttemptsPlacementsAndReleases) {
+  rack::RackConfig small;
+  small.nodes = 2;
+  RackAllocator alloc(small, AllocationPolicy::kStaticNodes);
+  JobRequest req;
+  req.gpus = 8;  // two nodes: the second allocate must be rejected
+  const auto a = alloc.allocate(req);
+  EXPECT_TRUE(a.placed);
+  EXPECT_FALSE(alloc.allocate(req).placed);
+  EXPECT_EQ(alloc.counters().attempts, 2u);
+  EXPECT_EQ(alloc.counters().placements, 1u);
+  EXPECT_EQ(alloc.counters().rejections(), 1u);
+  EXPECT_EQ(alloc.counters().releases, 0u);
+
+  alloc.release(a);
+  EXPECT_THROW(alloc.release(a), std::logic_error);  // double release
+  EXPECT_EQ(alloc.counters().releases, 1u);
+
+  // Invalid requests never reach the attempt counter: rejections() keeps
+  // meaning "shape-valid demand the rack could not place".
+  JobRequest bad;
+  bad.cpus = -1;
+  EXPECT_THROW(alloc.allocate(bad), std::invalid_argument);
+  EXPECT_EQ(alloc.counters().attempts, 2u);
+}
+
 }  // namespace
 }  // namespace photorack::disagg

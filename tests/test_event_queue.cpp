@@ -215,5 +215,44 @@ TEST(EventQueueStress, RandomCancellationStormStaysConsistent) {
   EXPECT_EQ(q.pending(), 0u);
 }
 
+TEST(EventQueueStats, CountsScheduledDispatchedCancelledAndPendingPeak) {
+  EventQueue q;
+  EXPECT_EQ(q.stats().scheduled, 0u);
+  EXPECT_EQ(q.stats().dispatched, 0u);
+  EXPECT_EQ(q.stats().cancelled, 0u);
+  EXPECT_EQ(q.stats().pending_peak, 0u);
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 5; ++i)
+    ids.push_back(q.schedule_at(static_cast<TimePs>(i + 1), [] {}));
+  EXPECT_EQ(q.stats().scheduled, 5u);
+  EXPECT_EQ(q.stats().pending_peak, 5u);
+
+  // Only cancels that remove a pending event count; repeats are no-ops.
+  EXPECT_TRUE(q.cancel(ids[0]));
+  q.cancel(ids[0]);
+  EXPECT_EQ(q.stats().cancelled, 1u);
+
+  q.run();
+  const EventQueueStats s = q.stats();
+  EXPECT_EQ(s.scheduled, 5u);
+  EXPECT_EQ(s.dispatched, 4u);
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.pending_peak, 5u);  // high-water mark survives the drain
+}
+
+TEST(EventQueueStats, PendingPeakTracksHighWaterNotCurrent) {
+  EventQueue q;
+  // Handler at t=1 schedules two more events: pending dips then rises.
+  q.schedule_at(1, [&q] {
+    q.schedule_at(2, [] {});
+    q.schedule_at(3, [] {});
+  });
+  q.run();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.stats().pending_peak, 2u);
+  EXPECT_EQ(q.stats().dispatched, 3u);
+}
+
 }  // namespace
 }  // namespace photorack::sim
