@@ -7,6 +7,7 @@
 #include "cosim/rack_cosim.hpp"
 #include "cpusim/runner.hpp"
 #include "disagg/allocator.hpp"
+#include "fault/fault_model.hpp"
 #include "gpusim/gpu_config.hpp"
 #include "net/fabric.hpp"
 #include "obs/obs.hpp"
@@ -293,6 +294,44 @@ void register_cosim(ParamRegistry& reg) {
             "idle fraction of each pool's full power", {0, 1});
 }
 
+void register_fault(ParamRegistry& reg) {
+  // MTBF knobs accept 0 = "this component class never fails"; a class is
+  // armed by giving it a positive MTBF *and* setting fault.enabled.  With
+  // enabled=false the engine is never constructed, so every output byte
+  // matches a fault-free build (pinned by test_fault).
+  reg.section<fault::FaultConfig>("fault", "fault::FaultConfig",
+                                  "deterministic fault injection & resilience")
+      .bind("enabled", &fault::FaultConfig::enabled,
+            "arm the seed-derived fault timeline")
+      .bind_enum("policy", &fault::FaultConfig::policy,
+                 fault::resilience_policy_codec(),
+                 "victim handling: kill, requeue w/ backoff, or run degraded")
+      .bind("mcm_mtbf_ms", &fault::FaultConfig::mcm_mtbf_ms,
+            "mean time between MCM crash-stops (0 = never)", {0, 1e9})
+      .bind("mcm_mttr_ms", &fault::FaultConfig::mcm_mttr_ms,
+            "mean MCM repair time", {0.001, 1e9})
+      .bind("node_mtbf_ms", &fault::FaultConfig::node_mtbf_ms,
+            "mean time between node crash-stops (0 = never)", {0, 1e9})
+      .bind("node_mttr_ms", &fault::FaultConfig::node_mttr_ms,
+            "mean node repair time", {0.001, 1e9})
+      .bind("link_mtbf_ms", &fault::FaultConfig::link_mtbf_ms,
+            "mean time between wavelength-pair link cuts (0 = never)", {0, 1e9})
+      .bind("link_mttr_ms", &fault::FaultConfig::link_mttr_ms,
+            "mean link repair time", {0.001, 1e9})
+      .bind("laser_mtbf_ms", &fault::FaultConfig::laser_mtbf_ms,
+            "mean time between comb-laser degradations (0 = never)", {0, 1e9})
+      .bind("laser_mttr_ms", &fault::FaultConfig::laser_mttr_ms,
+            "mean laser repair time", {0.001, 1e9})
+      .bind("degrade_fraction", &fault::FaultConfig::degrade_fraction,
+            "pair capacity multiplier while a laser runs degraded", {0.001, 1})
+      .bind("max_retries", &fault::FaultConfig::max_retries,
+            "requeue attempts before a victim is killed", {0, 1000})
+      .bind("backoff_base_ms", &fault::FaultConfig::backoff_base_ms,
+            "first requeue backoff (doubles per retry)", {0.001, 1e6})
+      .bind("backoff_cap_ms", &fault::FaultConfig::backoff_cap_ms,
+            "requeue backoff ceiling", {0.001, 1e6});
+}
+
 void register_phot(ParamRegistry& reg) {
   // Only the ASSUMPTION knobs are registered: the geometry fields (mcms,
   // wavelengths_per_mcm, gbps_per_wavelength) are derived from the built
@@ -344,6 +383,7 @@ const ParamRegistry& registry() {
     register_gpusim(*r);
     register_net(*r);
     register_cosim(*r);
+    register_fault(*r);
     register_obs(*r);
     register_phot(*r);
     return r;

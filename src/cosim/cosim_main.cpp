@@ -51,6 +51,10 @@ void print_usage(std::ostream& os) {
         "                          (shape knobs: --set cosim.arrival.*)\n"
         "  --queue [cap]           FIFO-queue unplaceable jobs instead of\n"
         "                          dropping (optional backlog cap, default 64)\n"
+        "  --faults                arm the seed-derived fault timeline\n"
+        "                          (rates/policy via --set fault.*)\n"
+        "  --mtbf-ms <M>           arm faults with MCM and node MTBF = M ms\n"
+        "  --resilience <P>        victim policy: kill|requeue|degrade\n"
         "  --set <path>=<value>    set any registered cosim/net/rack/obs knob\n"
         "                          (repeatable; photorack_sweep --params lists)\n"
         "  --manifest <file>       write the resolved config tree as JSON\n"
@@ -112,6 +116,28 @@ CliOptions parse_cli(int argc, char** argv) {
       // Optional cap: consume the next token only when it looks like one.
       if (i + 1 < argc && argv[i + 1][0] != '-')
         opt.tree.set("cosim.queue_cap", argv[++i]);
+    } else if (arg == "--faults") {
+      opt.tree.set("fault.enabled", "true");
+    } else if (arg == "--mtbf-ms") {
+      // Sugar for the common symmetric case; per-class rates stay reachable
+      // through --set fault.{mcm,node,link,laser}_mtbf_ms.  Errors name the
+      // flag the user actually typed, not the registry path behind it.
+      const std::string v = value("--mtbf-ms");
+      try {
+        opt.tree.set("fault.enabled", "true");
+        opt.tree.set("fault.mcm_mtbf_ms", v);
+        opt.tree.set("fault.node_mtbf_ms", v);
+      } catch (const std::exception& e) {
+        throw std::invalid_argument("--mtbf-ms: " + std::string(e.what()));
+      }
+    } else if (arg == "--resilience") {
+      const std::string v = value("--resilience");
+      try {
+        (void)fault::resilience_policy_codec().parse(v);
+      } catch (const std::exception& e) {
+        throw std::invalid_argument("--resilience: " + std::string(e.what()));
+      }
+      opt.tree.set("fault.policy", v);
     } else if (arg == "--set") {
       const std::string kv = value("--set");
       const std::size_t eq = kv.find('=');
@@ -152,6 +178,7 @@ int main(int argc, char** argv) {
   try {
     cosim::CosimConfig cfg = opt.tree.build<cosim::CosimConfig>("cosim");
     cfg.fabric = opt.tree.build<net::FabricSliceConfig>("net");
+    cfg.fault = opt.tree.build<fault::FaultConfig>("fault");
     const rack::RackConfig rack = opt.tree.build<rack::RackConfig>("rack");
 
     if (!opt.manifest_path.empty()) {
@@ -251,6 +278,22 @@ int main(int argc, char** argv) {
                      sim::fmt_int(static_cast<long long>(report.jobs.censored_waiting)) +
                          " / " +
                          sim::fmt_int(static_cast<long long>(report.jobs.censored_running))});
+      if (report.fault.enabled) {
+        const auto& f = report.fault;
+        table.add_row({"availability", sim::fmt_pct(f.availability)});
+        table.add_row({"faults / repairs",
+                       sim::fmt_int(static_cast<long long>(f.faults)) + " / " +
+                           sim::fmt_int(static_cast<long long>(f.repairs))});
+        table.add_row({"interrupted (requeued/degraded/killed)",
+                       sim::fmt_int(static_cast<long long>(f.interrupted)) + " (" +
+                           sim::fmt_int(static_cast<long long>(f.requeued)) + "/" +
+                           sim::fmt_int(static_cast<long long>(f.degraded)) + "/" +
+                           sim::fmt_int(static_cast<long long>(f.killed)) + ")"});
+        table.add_row({"goodput jobs",
+                       sim::fmt_int(static_cast<long long>(f.goodput_jobs))});
+        table.add_row({"work lost (ms)", sim::fmt_fixed(f.work_lost_ms, 2)});
+        table.add_row({"mean MTTR (ms)", sim::fmt_fixed(f.mean_mttr_ms, 2)});
+      }
       table.add_row({"energy (kJ)", sim::fmt_fixed(report.energy_joules / 1e3, 2)});
       table.add_row({"mean power (kW)", sim::fmt_fixed(report.mean_power_w / 1e3, 2)});
       table.add_row({"peak power (kW)", sim::fmt_fixed(report.peak_power_w / 1e3, 2)});

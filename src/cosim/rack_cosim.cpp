@@ -103,6 +103,23 @@ RackCosim::RackCosim(const rack::RackConfig& rack, disagg::AllocationPolicy poli
     take_sample();  // the t=0 row: idle pools, lasers-on floor power
     schedule_next_sample();
   }
+  if (cfg_.fault.enabled) {
+    // The fault timeline is a pure function of (fault config, geometry,
+    // seed): derived here, armed as plain queue events.  Disabled runs skip
+    // this block entirely — no events, no RNG draws, no state vectors — so
+    // their event sequence numbers and output bytes are unchanged.
+    faults_on_ = true;
+    fault_sched_ = std::make_unique<fault::FaultScheduler>(
+        cfg_.fault, cfg_.fabric.mcms, rack_.nodes, cfg_.seed, cfg_.sim_time);
+    mcm_up_.assign(static_cast<std::size_t>(cfg_.fabric.mcms), 1);
+    link_cut_.assign(static_cast<std::size_t>(cfg_.fabric.mcms) * cfg_.fabric.mcms, 0);
+    laser_deg_.assign(static_cast<std::size_t>(cfg_.fabric.mcms), 0);
+    node_owner_.assign(static_cast<std::size_t>(rack_.nodes), 0);
+    fstats_.enabled = true;
+    fstats_.availability = fault_sched_->availability(cfg_.sim_time);
+    fstats_.mean_mttr_ms = fault_sched_->mean_mttr_ms();
+    fault_sched_->arm(queue_, [this](const fault::FaultEvent& ev) { on_fault(ev); });
+  }
   schedule_next_arrival();
 }
 
@@ -114,6 +131,9 @@ void RackCosim::setup_obs() {
     sc_allocate_ = obs_.profiler->scope("disagg.allocate");
     sc_release_ = obs_.profiler->scope("disagg.release");
     sc_sketch_ = obs_.profiler->scope("stats.sketch_insert");
+    // Registered only when faults are on so fault-free profile output keeps
+    // its historical scope set.
+    if (cfg_.fault.enabled) sc_fault_ = obs_.profiler->scope("fault.inject");
   }
   if (obs_.metrics) {
     auto& m = *obs_.metrics;
@@ -128,6 +148,12 @@ void RackCosim::setup_obs() {
     m_.offered = m.gauge("offered");
     m_.accepted = m.gauge("accepted");
     m_.wait_ms = m.histogram("wait_ms");
+    if (cfg_.fault.enabled) {
+      m_.faults = m.gauge("faults");
+      m_.repairs = m.gauge("repairs");
+      m_.interrupted = m.gauge("interrupted");
+      m_.killed = m.gauge("killed");
+    }
   }
   // The energy observer feeds the power counter track at every integration
   // step (ids registered above, so the metrics gauge is safe to set here).
@@ -165,6 +191,12 @@ void RackCosim::take_sample() {
   m.set(m_.energy_j, energy_.joules());
   m.set(m_.offered, static_cast<double>(stats_.offered()));
   m.set(m_.accepted, static_cast<double>(stats_.accepted()));
+  if (faults_on_) {
+    m.set(m_.faults, static_cast<double>(fstats_.faults));
+    m.set(m_.repairs, static_cast<double>(fstats_.repairs));
+    m.set(m_.interrupted, static_cast<double>(fstats_.interrupted));
+    m.set(m_.killed, static_cast<double>(fstats_.killed));
+  }
   m.sample(to_ms(queue_.now()));
 }
 
@@ -243,32 +275,45 @@ void RackCosim::schedule_next_arrival() {
   queue_.schedule_after(gap, [this]() { on_arrival(); });
 }
 
-bool RackCosim::try_start(const JobPlan& plan, sim::TimePs arrived) {
+bool RackCosim::try_start(const JobPlan& plan, sim::TimePs arrived, int retries,
+                          bool record) {
   std::shared_ptr<disagg::Allocation> alloc;
   {
     obs::ScopedTimer timer(obs_.profiler, sc_allocate_);
     alloc = std::make_shared<disagg::Allocation>(allocator_.allocate(plan.request));
   }
   if (!alloc->placed) return false;
-  stats_.accept();
+  // `record` is false only for fault-requeued jobs: their acceptance, wait
+  // and contention tails were recorded at FIRST placement and must not be
+  // double-counted.  Fault-free runs always record, so this path is the
+  // historical one byte for byte.
+  if (record) stats_.accept();
   ++live_jobs_;
-  auto flow_ids = std::make_shared<std::vector<std::uint64_t>>();
+  const std::uint64_t job_id = next_live_id_++;
+  LiveJob& job = live_map_[job_id];
+  job.plan = plan;
+  job.alloc = alloc;
+  job.arrived = arrived;
+  job.retries = retries;
   double requested = 0.0, satisfied = 0.0;
-  flow_ids->reserve(plan.flows.size());
+  job.flow_ids.reserve(plan.flows.size());
   for (const auto& spec : plan.flows) {
     const std::uint64_t id = engine_.open(spec, queue_.now());
-    flow_ids->push_back(id);
+    job.flow_ids.push_back(id);
     const net::RouteResult& route = engine_.result(id);
     requested += route.requested;
     satisfied += route.satisfied();
   }
+  job.flow_open.assign(job.flow_ids.size(), 1);
   const double speed =
       requested > 0.0
           ? std::clamp(satisfied / requested, cfg_.min_speed_fraction, 1.0)
           : 1.0;
   const double stretch = cfg_.contention_feedback ? 1.0 / speed : 1.0;
-  speed_.add(speed);
-  stretch_.add(stretch);
+  if (record) {
+    speed_.add(speed);
+    stretch_.add(stretch);
+  }
   const auto hold = std::max<sim::TimePs>(
       1, static_cast<sim::TimePs>(static_cast<double>(plan.base_hold) * stretch));
   // Tails are recorded at placement, when wait and hold are both known —
@@ -276,35 +321,54 @@ bool RackCosim::try_start(const JobPlan& plan, sim::TimePs arrived) {
   // long jobs still running.  Slowdown folds queueing and contention into
   // one number: time-in-system over uncontended service time.
   const sim::TimePs wait = queue_.now() - arrived;
-  {
-    obs::ScopedTimer timer(obs_.profiler, sc_sketch_);
-    stats_.record_wait(to_ms(wait));
-    stats_.record_slowdown(static_cast<double>(wait + hold) /
-                           static_cast<double>(plan.base_hold));
-    for (std::size_t i = 0; i < plan.flows.size(); ++i)
-      stats_.record_fct(to_ms(hold));
+  if (record) {
+    {
+      obs::ScopedTimer timer(obs_.profiler, sc_sketch_);
+      stats_.record_wait(to_ms(wait));
+      stats_.record_slowdown(static_cast<double>(wait + hold) /
+                             static_cast<double>(plan.base_hold));
+      for (std::size_t i = 0; i < plan.flows.size(); ++i)
+        stats_.record_fct(to_ms(hold));
+    }
+    if (obs_.metrics) obs_.metrics->observe(m_.wait_ms, to_ms(wait));
   }
-  if (obs_.metrics) obs_.metrics->observe(m_.wait_ms, to_ms(wait));
   const sim::TimePs placed_at = queue_.now();
   if (obs_.trace)
     obs_.trace->instant(obs::Track::kJobs, "placed", placed_at,
                         {{"wait_ms", to_ms(wait)}, {"speed", speed}});
-  queue_.schedule_after(
-      hold, [this, alloc, flow_ids, placed_at, breadth = plan.breadth, speed]() {
-        for (const std::uint64_t id : *flow_ids) engine_.close(id, queue_.now());
-        {
-          obs::ScopedTimer timer(obs_.profiler, sc_release_);
-          allocator_.release(*alloc);
-        }
-        --live_jobs_;
-        if (obs_.trace)
-          obs_.trace->complete(obs::Track::kJobs, "job", placed_at, queue_.now(),
-                               {{"breadth", static_cast<double>(breadth)},
-                                {"speed", speed}});
-        drain_backlog();
-        step_energy();
-      });
+  job.placed_at = placed_at;
+  job.segment_start = placed_at;
+  job.speed = speed;
+  job.remaining_base = static_cast<double>(plan.base_hold);
+  job.completion =
+      queue_.schedule_after(hold, [this, job_id]() { complete_job(job_id); });
+  if (faults_on_) bind_nodes(job_id);
   return true;
+}
+
+void RackCosim::complete_job(std::uint64_t job_id) {
+  const auto it = live_map_.find(job_id);
+  if (it == live_map_.end())
+    throw std::logic_error("complete_job: job already revoked or completed");
+  const LiveJob job = std::move(it->second);
+  live_map_.erase(it);
+  for (std::size_t i = 0; i < job.flow_ids.size(); ++i)
+    if (job.flow_open[i]) engine_.close(job.flow_ids[i], queue_.now());
+  {
+    obs::ScopedTimer timer(obs_.profiler, sc_release_);
+    allocator_.release(*job.alloc);
+  }
+  --live_jobs_;
+  if (faults_on_) {
+    ++fstats_.goodput_jobs;
+    unbind_nodes(job);
+  }
+  if (obs_.trace)
+    obs_.trace->complete(obs::Track::kJobs, "job", job.placed_at, queue_.now(),
+                         {{"breadth", static_cast<double>(job.plan.breadth)},
+                          {"speed", job.speed}});
+  drain_backlog();
+  step_energy();
 }
 
 void RackCosim::drain_backlog() {
@@ -314,8 +378,282 @@ void RackCosim::drain_backlog() {
   // narrower one behind it would — backfilling would reorder the queue and
   // make wait tails incomparable across policies.
   while (!backlog_.empty() &&
-         try_start(backlog_.front().plan, backlog_.front().arrived))
+         try_start(backlog_.front().plan, backlog_.front().arrived,
+                   backlog_.front().retries, backlog_.front().record))
     backlog_.pop_front();
+}
+
+void RackCosim::update_pair_scale(int src, int dst) {
+  const bool cut =
+      !mcm_up_[static_cast<std::size_t>(src)] ||
+      !mcm_up_[static_cast<std::size_t>(dst)] ||
+      link_cut_[static_cast<std::size_t>(src) * cfg_.fabric.mcms + dst];
+  const double scale =
+      cut ? 0.0
+          : (laser_deg_[static_cast<std::size_t>(src)] ? cfg_.fault.degrade_fraction
+                                                       : 1.0);
+  fabric_->set_pair_scale(src, dst, scale);
+}
+
+void RackCosim::update_mcm_scales(int mcm) {
+  for (int d = 0; d < cfg_.fabric.mcms; ++d) {
+    if (d == mcm) continue;
+    update_pair_scale(mcm, d);
+    update_pair_scale(d, mcm);
+  }
+}
+
+void RackCosim::bind_nodes(std::uint64_t job_id) {
+  LiveJob& job = live_map_.at(job_id);
+  if (allocator_.policy() == disagg::AllocationPolicy::kStaticNodes) {
+    // Pin the grant to concrete free nodes, first-fit, so a node fault has
+    // exact victims instead of probabilistic ones.  The allocator already
+    // guaranteed enough free nodes; disagreement here is a sequencing bug.
+    job.bound_nodes.reserve(static_cast<std::size_t>(job.alloc->nodes));
+    for (int n = 0; n < rack_.nodes &&
+                    static_cast<int>(job.bound_nodes.size()) < job.alloc->nodes;
+         ++n) {
+      if (node_owner_[static_cast<std::size_t>(n)] != 0) continue;
+      node_owner_[static_cast<std::size_t>(n)] = job_id;
+      job.bound_nodes.push_back(n);
+    }
+    if (static_cast<int>(job.bound_nodes.size()) != job.alloc->nodes)
+      throw std::logic_error("bind_nodes: allocator and node map disagree");
+  } else {
+    // Round-robin home node: the place whose pooled CPUs host this job's
+    // threads.  Pooled memory/NIC capacity has no single home — that is the
+    // disaggregation dividend the blast-radius campaign measures.
+    for (int tries = 0; tries < rack_.nodes; ++tries) {
+      const int cand =
+          static_cast<int>(next_home_++ % static_cast<std::size_t>(rack_.nodes));
+      if (node_owner_[static_cast<std::size_t>(cand)] != kNodeOffline) {
+        job.home_node = cand;
+        break;
+      }
+    }
+  }
+}
+
+void RackCosim::unbind_nodes(const LiveJob& job) {
+  for (const int n : job.bound_nodes)
+    node_owner_[static_cast<std::size_t>(n)] = 0;
+}
+
+std::vector<std::uint64_t> RackCosim::victims_of(const fault::FaultEvent& ev) const {
+  std::vector<std::uint64_t> out;
+  const bool disagg =
+      allocator_.policy() == disagg::AllocationPolicy::kDisaggregated;
+  for (const auto& [id, job] : live_map_) {
+    bool hit = false;
+    switch (ev.cls) {
+      case fault::ComponentClass::kMcm:
+      case fault::ComponentClass::kLink:
+        // Blast-radius asymmetry: only disaggregated jobs depend on the
+        // fabric to reach their memory.  A static job's flows model traffic
+        // that is node-local in that regime, so fabric faults pass it by.
+        if (!disagg) break;
+        for (std::size_t i = 0; i < job.flow_ids.size() && !hit; ++i) {
+          if (!job.flow_open[i]) continue;
+          const net::FlowSpec& spec = job.plan.flows[i];
+          hit = ev.cls == fault::ComponentClass::kMcm
+                    ? (spec.src == ev.a || spec.dst == ev.a)
+                    : (spec.src == ev.a && spec.dst == ev.b);
+        }
+        break;
+      case fault::ComponentClass::kNode:
+        hit = disagg ? job.home_node == ev.a
+                     : std::find(job.bound_nodes.begin(), job.bound_nodes.end(),
+                                 ev.a) != job.bound_nodes.end();
+        break;
+      case fault::ComponentClass::kLaser:
+        break;  // capacity-only: degrades future placements, strands no one
+    }
+    if (hit) out.push_back(id);
+  }
+  // live_map_ iteration order is unspecified; victims must be visited in a
+  // stable order for the timeline's effects to be bit-reproducible.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void RackCosim::revoke_job(std::uint64_t job_id, const fault::FaultEvent& ev) {
+  const auto it = live_map_.find(job_id);
+  LiveJob job = std::move(it->second);
+  live_map_.erase(it);
+  const sim::TimePs now = queue_.now();
+  // The pending completion must die with the job: a stale completion firing
+  // on a revoked id would double-release the allocation (audited by the
+  // event-queue cancel tests).
+  queue_.cancel(job.completion);
+  for (std::size_t i = 0; i < job.flow_ids.size(); ++i)
+    if (job.flow_open[i]) engine_.close(job.flow_ids[i], now);
+  allocator_.revoke(*job.alloc);
+  --live_jobs_;
+  unbind_nodes(job);
+  ++fstats_.interrupted;
+  fstats_.work_lost_ms += to_ms(now - job.placed_at);
+  if (obs_.trace)
+    obs_.trace->instant(
+        obs::Track::kFaults, "revoke", now,
+        {{"job", static_cast<double>(job_id)},
+         {"cls", static_cast<double>(static_cast<int>(ev.cls))}});
+  if (cfg_.fault.policy == fault::ResiliencePolicy::kKill) {
+    ++fstats_.killed;
+    if (obs_.trace) obs_.trace->instant(obs::Track::kFaults, "kill", now);
+  } else {
+    // kRequeue, and kDegrade victims that cannot run degraded (node crash).
+    schedule_retry(std::move(job.plan), job.arrived, job.retries + 1);
+  }
+}
+
+void RackCosim::resume_degraded(std::uint64_t job_id, const fault::FaultEvent& ev) {
+  LiveJob& job = live_map_.at(job_id);
+  const sim::TimePs now = queue_.now();
+  // Bank the progress made at the old speed before re-stretching the rest.
+  const double old_stretch = cfg_.contention_feedback ? 1.0 / job.speed : 1.0;
+  const double done_base =
+      static_cast<double>(now - job.segment_start) / old_stretch;
+  job.remaining_base = std::max(0.0, job.remaining_base - done_base);
+  // Drop the flows stranded on the dead component; survivors keep their
+  // admission-time reservations.
+  for (std::size_t i = 0; i < job.flow_ids.size(); ++i) {
+    if (!job.flow_open[i]) continue;
+    const net::FlowSpec& spec = job.plan.flows[i];
+    const bool dead = ev.cls == fault::ComponentClass::kMcm
+                          ? (spec.src == ev.a || spec.dst == ev.a)
+                          : (spec.src == ev.a && spec.dst == ev.b);
+    if (!dead) continue;
+    engine_.close(job.flow_ids[i], now);
+    job.flow_open[i] = 0;
+  }
+  double requested = 0.0, satisfied = 0.0;
+  for (std::size_t i = 0; i < job.flow_ids.size(); ++i) {
+    if (!job.flow_open[i]) continue;
+    const net::RouteResult& route = engine_.result(job.flow_ids[i]);
+    requested += route.requested;
+    satisfied += route.satisfied();
+  }
+  // A job whose every flow died crawls at the floor speed — an empty sum
+  // must not read as full speed.
+  const double speed =
+      requested > 0.0
+          ? std::clamp(satisfied / requested, cfg_.min_speed_fraction, 1.0)
+          : cfg_.min_speed_fraction;
+  const double stretch = cfg_.contention_feedback ? 1.0 / speed : 1.0;
+  queue_.cancel(job.completion);
+  const auto hold =
+      std::max<sim::TimePs>(1, static_cast<sim::TimePs>(job.remaining_base * stretch));
+  job.completion =
+      queue_.schedule_after(hold, [this, job_id]() { complete_job(job_id); });
+  job.speed = speed;
+  job.segment_start = now;
+  ++fstats_.degraded;
+  if (obs_.trace)
+    obs_.trace->instant(obs::Track::kFaults, "degrade", now,
+                        {{"job", static_cast<double>(job_id)}, {"speed", speed}});
+}
+
+void RackCosim::schedule_retry(JobPlan plan, sim::TimePs arrived, int retries) {
+  if (retries > cfg_.fault.max_retries) {
+    ++fstats_.killed;
+    if (obs_.trace)
+      obs_.trace->instant(obs::Track::kFaults, "retries_exhausted", queue_.now());
+    return;
+  }
+  // Exponential backoff, capped: base, 2*base, 4*base, ... up to the cap.
+  const double factor = std::ldexp(1.0, std::min(retries - 1, 60));
+  const double backoff_ms =
+      std::min(cfg_.fault.backoff_cap_ms, cfg_.fault.backoff_base_ms * factor);
+  const auto delay = std::max<sim::TimePs>(
+      1, static_cast<sim::TimePs>(backoff_ms * static_cast<double>(sim::kPsPerMs)));
+  ++fstats_.requeued;
+  queue_.schedule_after(delay, [this, plan = std::move(plan), arrived, retries]() {
+    engine_.refresh_view(queue_.now());
+    if (cfg_.admission == AdmissionPolicy::kQueue) {
+      if (backlog_.size() < static_cast<std::size_t>(cfg_.queue_cap)) {
+        backlog_.push_back(PendingJob{plan, arrived, retries, false});
+        drain_backlog();
+      } else {
+        ++fstats_.killed;  // backlog full: the retry has nowhere to wait
+      }
+    } else if (!try_start(plan, arrived, retries, false)) {
+      schedule_retry(plan, arrived, retries + 1);
+    }
+  });
+}
+
+void RackCosim::on_fault(const fault::FaultEvent& ev) {
+  obs::ScopedTimer timer(obs_.profiler, sc_fault_);
+  const sim::TimePs now = queue_.now();
+  if (obs_.trace)
+    obs_.trace->instant(obs::Track::kFaults,
+                        ev.kind == fault::FaultKind::kFail ? "fail" : "repair",
+                        now,
+                        {{"cls", static_cast<double>(static_cast<int>(ev.cls))},
+                         {"a", static_cast<double>(ev.a)},
+                         {"b", static_cast<double>(ev.b)}});
+  if (ev.kind == fault::FaultKind::kFail) {
+    ++fstats_.faults;
+    // Capacity first, victims second: a victim's surviving flows must be
+    // judged against the post-fault fabric.  Node capacity is the exception
+    // — static victims have to be revoked before their nodes can retire.
+    switch (ev.cls) {
+      case fault::ComponentClass::kMcm:
+        mcm_up_[static_cast<std::size_t>(ev.a)] = 0;
+        update_mcm_scales(ev.a);
+        break;
+      case fault::ComponentClass::kLink:
+        link_cut_[static_cast<std::size_t>(ev.a) * cfg_.fabric.mcms + ev.b] = 1;
+        update_pair_scale(ev.a, ev.b);
+        break;
+      case fault::ComponentClass::kLaser:
+        laser_deg_[static_cast<std::size_t>(ev.a)] = 1;
+        for (int d = 0; d < cfg_.fabric.mcms; ++d)
+          if (d != ev.a) update_pair_scale(ev.a, d);
+        break;
+      case fault::ComponentClass::kNode:
+        break;
+    }
+    engine_.refresh_view(now);
+    for (const std::uint64_t id : victims_of(ev)) {
+      // A crashed node cannot run degraded — its CPUs are gone.  Fabric
+      // faults can: drop the dead flows and re-stretch the remainder.
+      const bool degrade = cfg_.fault.policy == fault::ResiliencePolicy::kDegrade &&
+                           ev.cls != fault::ComponentClass::kNode;
+      if (degrade)
+        resume_degraded(id, ev);
+      else
+        revoke_job(id, ev);
+    }
+    if (ev.cls == fault::ComponentClass::kNode) {
+      allocator_.take_nodes_offline(1);
+      node_owner_[static_cast<std::size_t>(ev.a)] = kNodeOffline;
+    }
+  } else {
+    ++fstats_.repairs;
+    switch (ev.cls) {
+      case fault::ComponentClass::kMcm:
+        mcm_up_[static_cast<std::size_t>(ev.a)] = 1;
+        update_mcm_scales(ev.a);
+        break;
+      case fault::ComponentClass::kLink:
+        link_cut_[static_cast<std::size_t>(ev.a) * cfg_.fabric.mcms + ev.b] = 0;
+        update_pair_scale(ev.a, ev.b);
+        break;
+      case fault::ComponentClass::kLaser:
+        laser_deg_[static_cast<std::size_t>(ev.a)] = 0;
+        for (int d = 0; d < cfg_.fabric.mcms; ++d)
+          if (d != ev.a) update_pair_scale(ev.a, d);
+        break;
+      case fault::ComponentClass::kNode:
+        allocator_.bring_nodes_online(1);
+        node_owner_[static_cast<std::size_t>(ev.a)] = 0;
+        break;
+    }
+    engine_.refresh_view(now);
+    drain_backlog();  // restored capacity may admit backlogged work
+  }
+  step_energy();
 }
 
 void RackCosim::on_arrival() {
@@ -382,6 +720,7 @@ CosimReport RackCosim::report() const {
   report.peak_power_w = energy_.peak_power().value;
   report.photonic_power_w = photonic_w_;
   report.completed_at = queue_.now();
+  report.fault = fstats_;
   return report;
 }
 

@@ -3,11 +3,14 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "config/enum_codec.hpp"
 #include "disagg/allocator.hpp"
 #include "disagg/job_scheduler.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/fault_scheduler.hpp"
 #include "net/flow_sim.hpp"
 #include "obs/obs.hpp"
 #include "phot/power.hpp"
@@ -95,6 +98,12 @@ struct CosimConfig {
   /// with that pool's utilization.
   double idle_power_fraction = 0.30;
   phot::BaselineRackPower baseline{};  // nodes/gpus_per_node resynced to rack
+
+  // --- fault injection (the "fault" registry section) ---
+  /// Deterministic fault timeline + resilience policy.  Disabled by default;
+  /// when disabled the engine is never constructed, no events are scheduled
+  /// and every output byte matches a build without the feature.
+  fault::FaultConfig fault;
 };
 
 struct CosimReport {
@@ -108,6 +117,7 @@ struct CosimReport {
   double peak_power_w = 0.0;
   double photonic_power_w = 0.0;  // constant lasers-on fabric overhead
   sim::TimePs completed_at = 0;   // queue time when the report was taken
+  fault::FaultStats fault;        // all-zero defaults when faults are off
 };
 
 class RackCosim {
@@ -153,10 +163,34 @@ class RackCosim {
     std::vector<net::FlowSpec> flows;
   };
 
-  /// A planned job waiting in the kQueue backlog for resources.
+  /// A planned job waiting in the kQueue backlog for resources.  `retries`
+  /// and `record` carry fault-requeue state: a re-admitted victim keeps its
+  /// original arrival time and is never double-counted in the acceptance /
+  /// wait statistics (record = false).
   struct PendingJob {
     JobPlan plan;
     sim::TimePs arrived = 0;
+    int retries = 0;
+    bool record = true;
+  };
+
+  /// A running job the fault engine can find, revoke, degrade or complete.
+  /// Only populated state the completion/fault paths need; keyed by a
+  /// cosim-local id so the completion event is cancellable on revocation.
+  struct LiveJob {
+    JobPlan plan;
+    std::shared_ptr<disagg::Allocation> alloc;
+    std::vector<std::uint64_t> flow_ids;
+    std::vector<char> flow_open;      // parallel to flow_ids; 0 once closed
+    sim::TimePs arrived = 0;          // original arrival (survives requeues)
+    sim::TimePs placed_at = 0;        // this segment's placement time
+    sim::TimePs segment_start = 0;    // last (re)stretch point
+    double speed = 1.0;               // clamped satisfied fraction in force
+    double remaining_base = 0.0;      // unstretched work left at segment_start
+    std::uint64_t completion = 0;     // cancellable completion event id
+    int retries = 0;
+    int home_node = -1;               // disagg: node whose CPUs host the job
+    std::vector<int> bound_nodes;     // static: exclusively owned nodes
   };
 
   rack::RackConfig rack_;
@@ -179,10 +213,26 @@ class RackCosim {
   phot::EnergyTrace energy_;
   double photonic_w_ = 0.0;
 
+  // --- fault engine (all empty / untouched when cfg_.fault.enabled=false) ---
+  bool faults_on_ = false;
+  std::unique_ptr<fault::FaultScheduler> fault_sched_;
+  fault::FaultStats fstats_;
+  std::unordered_map<std::uint64_t, LiveJob> live_map_;
+  std::uint64_t next_live_id_ = 1;
+  std::vector<char> mcm_up_;    // per MCM: 1 while healthy
+  std::vector<char> link_cut_;  // per (src,dst): 1 while the pair is cut
+  std::vector<char> laser_deg_; // per src MCM: 1 while its comb is degraded
+  /// Per rack node: 0 = free, kNodeOffline = crashed, else the static job
+  /// id exclusively holding it.  Disagg jobs never own entries here; their
+  /// node dependency is the round-robin `home_node` on the LiveJob.
+  static constexpr std::uint64_t kNodeOffline = ~std::uint64_t{0};
+  std::vector<std::uint64_t> node_owner_;
+  std::size_t next_home_ = 0;
+
   // --- observability (null by default; see attach contract on the ctor) ---
   obs::Obs obs_{};
   obs::Profiler::ScopeId sc_arrival_ = 0, sc_allocate_ = 0, sc_release_ = 0,
-                         sc_sketch_ = 0;
+                         sc_sketch_ = 0, sc_fault_ = 0;
   /// Registered metric ids, valid only while obs_.metrics is attached.
   /// backlog_depth doubles as the censored-waiting count and live_jobs as
   /// the censored-running count (same quantities the report censors on).
@@ -191,6 +241,9 @@ class RackCosim {
                              pair_util_max = 0, pair_util_mean = 0,
                              satisfied_frac = 0, power_w = 0, energy_j = 0,
                              offered = 0, accepted = 0, wait_ms = 0;
+    // Registered (and sampled) only when cfg_.fault.enabled, so the metrics
+    // CSV schema is unchanged for fault-free runs.
+    obs::MetricsRegistry::Id faults = 0, repairs = 0, interrupted = 0, killed = 0;
   };
   MetricIds m_{};
 
@@ -199,11 +252,24 @@ class RackCosim {
   void step_energy();
   void schedule_next_arrival();
   void on_arrival();
-  bool try_start(const JobPlan& plan, sim::TimePs arrived);
+  bool try_start(const JobPlan& plan, sim::TimePs arrived, int retries = 0,
+                 bool record = true);
+  void complete_job(std::uint64_t job_id);
   void drain_backlog();
   void setup_obs();
   void take_sample();
   void schedule_next_sample();
+
+  // --- fault paths (reachable only when cfg_.fault.enabled) ---
+  void on_fault(const fault::FaultEvent& ev);
+  [[nodiscard]] std::vector<std::uint64_t> victims_of(const fault::FaultEvent& ev) const;
+  void revoke_job(std::uint64_t job_id, const fault::FaultEvent& ev);
+  void resume_degraded(std::uint64_t job_id, const fault::FaultEvent& ev);
+  void schedule_retry(JobPlan plan, sim::TimePs arrived, int retries);
+  void bind_nodes(std::uint64_t job_id);
+  void unbind_nodes(const LiveJob& job);
+  void update_pair_scale(int src, int dst);
+  void update_mcm_scales(int mcm);
 };
 
 /// Run-to-completion convenience over RackCosim.

@@ -107,18 +107,23 @@ Allocation RackAllocator::allocate(const JobRequest& req) {
   return a;
 }
 
-void RackAllocator::release(const Allocation& alloc) {
+void RackAllocator::release(const Allocation& alloc) { reclaim(alloc, false); }
+
+void RackAllocator::revoke(const Allocation& alloc) { reclaim(alloc, true); }
+
+void RackAllocator::reclaim(const Allocation& alloc, bool revoked) {
   if (!alloc.placed) return;
   const auto it = live_.find(alloc.id);
   if (it == live_.end())
-    throw std::logic_error("release: allocation id " + std::to_string(alloc.id) +
+    throw std::logic_error(std::string(revoked ? "revoke" : "release") +
+                           ": allocation id " + std::to_string(alloc.id) +
                            " was never granted or is already released");
   // Decrement by the grant this allocator recorded, never by the caller's
   // copy: mutated Allocation fields cannot skew the accounting, and the
   // pools can only ever return to exactly what allocate() charged.
   const Allocation granted = it->second;
   live_.erase(it);
-  ++counters_.releases;
+  ++(revoked ? counters_.revocations : counters_.releases);
   pools_.cpus_used -= granted.cpus;
   pools_.gpus_used -= granted.gpus;
   pools_.memory_gb_used -= granted.memory_gb;
@@ -143,6 +148,37 @@ void RackAllocator::release(const Allocation& alloc) {
     snap(marooned_cpus_);
     snap(marooned_memory_gb_);
   }
+}
+
+void RackAllocator::take_nodes_offline(int count) {
+  if (count <= 0) throw std::invalid_argument("take_nodes_offline: count must be > 0");
+  if (count > nodes_ - offline_nodes_)
+    throw std::logic_error("take_nodes_offline: only " +
+                           std::to_string(nodes_ - offline_nodes_) + " nodes online");
+  // Under static nodes a node is either whole-free or whole-granted; the
+  // fault path must revoke the victims before retiring their nodes, so an
+  // occupied node here is a sequencing bug, not a recoverable state.
+  if (policy_ == AllocationPolicy::kStaticNodes && count > free_nodes_)
+    throw std::logic_error("take_nodes_offline: node still allocated (revoke first)");
+  offline_nodes_ += count;
+  free_nodes_ -= count;
+  pools_.cpus_total -= count * cpus_per_node_;
+  pools_.gpus_total -= count * gpus_per_node_;
+  pools_.memory_gb_total -= count * memory_gb_per_node_;
+  pools_.nic_gbps_total -= count * nic_gbps_per_node_;
+}
+
+void RackAllocator::bring_nodes_online(int count) {
+  if (count <= 0) throw std::invalid_argument("bring_nodes_online: count must be > 0");
+  if (count > offline_nodes_)
+    throw std::logic_error("bring_nodes_online: only " +
+                           std::to_string(offline_nodes_) + " nodes offline");
+  offline_nodes_ -= count;
+  free_nodes_ += count;
+  pools_.cpus_total += count * cpus_per_node_;
+  pools_.gpus_total += count * gpus_per_node_;
+  pools_.memory_gb_total += count * memory_gb_per_node_;
+  pools_.nic_gbps_total += count * nic_gbps_per_node_;
 }
 
 double RackAllocator::marooned_cpu_fraction() const {

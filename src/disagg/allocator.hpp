@@ -57,9 +57,10 @@ struct PoolState {
 /// Always-on allocate()/release() call counters.  Plain integer increments
 /// on paths that already branch and hash — cheap enough to never gate.
 struct AllocatorCounters {
-  std::uint64_t attempts = 0;    // allocate() calls past validation
-  std::uint64_t placements = 0;  // allocations that were granted
-  std::uint64_t releases = 0;    // placed allocations returned
+  std::uint64_t attempts = 0;     // allocate() calls past validation
+  std::uint64_t placements = 0;   // allocations that were granted
+  std::uint64_t releases = 0;     // placed allocations returned voluntarily
+  std::uint64_t revocations = 0;  // placed allocations reclaimed by a fault
 
   [[nodiscard]] std::uint64_t rejections() const { return attempts - placements; }
 };
@@ -99,6 +100,26 @@ class RackAllocator {
   /// twice, throws std::logic_error before touching any pool.
   void release(const Allocation& alloc);
 
+  /// Forcibly reclaim a live grant on the fault path.  Accounting is
+  /// identical to release() — pools return to exactly what allocate()
+  /// charged — but the reclaim lands on the `revocations` counter so
+  /// reports can separate voluntary completion from fault revocation.
+  /// Same invariants: an unplaced allocation is a no-op; an id this
+  /// allocator never granted, an already-released id, or a double revoke
+  /// throws std::logic_error BEFORE any pool is touched.
+  void revoke(const Allocation& alloc);
+
+  /// Crash-stop `count` nodes: their capacity leaves every pool (and the
+  /// static-node free list).  The caller must revoke the victims bound to
+  /// the dying nodes FIRST — under static nodes taking an occupied node
+  /// offline throws std::logic_error.  Under disaggregation a fault may
+  /// transiently leave used > total; allocate() already rejects in that
+  /// state, so the invariant used <= total is restored as jobs drain.
+  void take_nodes_offline(int count);
+  /// Repair path: restore `count` previously offline nodes' capacity.
+  void bring_nodes_online(int count);
+  [[nodiscard]] int offline_nodes() const { return offline_nodes_; }
+
   [[nodiscard]] const PoolState& pools() const { return pools_; }
   [[nodiscard]] const AllocatorCounters& counters() const { return counters_; }
   [[nodiscard]] AllocationPolicy policy() const { return policy_; }
@@ -123,9 +144,12 @@ class RackAllocator {
   // stored record, never by the caller's (possibly mutated) copy.
   std::unordered_map<std::uint64_t, Allocation> live_;
 
+  int offline_nodes_ = 0;
   double marooned_cpus_ = 0.0;
   double marooned_memory_gb_ = 0.0;
   AllocatorCounters counters_;
+
+  void reclaim(const Allocation& alloc, bool revoked);
 };
 
 }  // namespace photorack::disagg

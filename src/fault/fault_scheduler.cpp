@@ -1,0 +1,190 @@
+#include "fault/fault_scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace photorack::fault {
+
+namespace {
+
+/// Stream-id bases for the per-component children of the fault root
+/// (sim::Rng(seed).child(3)).  Link and laser streams are keyed by the
+/// pair's source MCM: one stream drives that source's successive cuts, with
+/// the destination drawn inside the stream — bounding the stream count at
+/// O(mcms + nodes) instead of O(mcms^2).
+constexpr std::uint64_t kMcmStreamBase = 0x10000;
+constexpr std::uint64_t kNodeStreamBase = 0x20000;
+constexpr std::uint64_t kLinkStreamBase = 0x30000;
+constexpr std::uint64_t kLaserStreamBase = 0x40000;
+
+void validate(const FaultConfig& cfg) {
+  auto check_class = [](double mtbf, double mttr, const char* name) {
+    if (mtbf < 0.0)
+      throw std::invalid_argument(std::string("fault: ") + name +
+                                  "_mtbf_ms must be non-negative");
+    if (mtbf > 0.0 && mttr <= 0.0)
+      throw std::invalid_argument(std::string("fault: ") + name +
+                                  "_mttr_ms must be positive when the class is active");
+  };
+  check_class(cfg.mcm_mtbf_ms, cfg.mcm_mttr_ms, "mcm");
+  check_class(cfg.node_mtbf_ms, cfg.node_mttr_ms, "node");
+  check_class(cfg.link_mtbf_ms, cfg.link_mttr_ms, "link");
+  check_class(cfg.laser_mtbf_ms, cfg.laser_mttr_ms, "laser");
+  if (cfg.degrade_fraction <= 0.0 || cfg.degrade_fraction > 1.0)
+    throw std::invalid_argument("fault: degrade_fraction must be in (0,1]");
+  if (cfg.max_retries < 0)
+    throw std::invalid_argument("fault: max_retries must be non-negative");
+  if (cfg.backoff_base_ms <= 0.0 || cfg.backoff_cap_ms < cfg.backoff_base_ms)
+    throw std::invalid_argument(
+        "fault: want 0 < backoff_base_ms <= backoff_cap_ms");
+}
+
+sim::TimePs draw_gap(sim::Rng& rng, double mean_ms) {
+  return std::max<sim::TimePs>(
+      1, static_cast<sim::TimePs>(rng.exponential(mean_ms) *
+                                  static_cast<double>(sim::kPsPerMs)));
+}
+
+/// One component's alternating up/down renewal process.  `pick_pair` draws
+/// the affected pair for fabric classes (null for crash-stop classes).
+template <typename PickPair>
+void generate_component(std::vector<FaultEvent>& out, sim::Rng rng,
+                        ComponentClass cls, int index, double mtbf_ms,
+                        double mttr_ms, sim::TimePs horizon, PickPair pick_pair) {
+  sim::TimePs t = 0;
+  for (;;) {
+    const sim::TimePs up = draw_gap(rng, mtbf_ms);
+    if (up >= horizon - t) return;  // subtraction form: no overflow near the cap
+    t += up;
+    const auto [a, b] = pick_pair(rng, index);
+    const sim::TimePs down = draw_gap(rng, mttr_ms);
+    out.push_back(FaultEvent{t, FaultKind::kFail, cls, a, b});
+    out.push_back(FaultEvent{t + down, FaultKind::kRepair, cls, a, b});
+    t += down;
+  }
+}
+
+}  // namespace
+
+const config::EnumCodec<ComponentClass>& component_class_codec() {
+  static const config::EnumCodec<ComponentClass> codec(
+      "component class", {{"mcm", ComponentClass::kMcm},
+                          {"node", ComponentClass::kNode},
+                          {"link", ComponentClass::kLink},
+                          {"laser", ComponentClass::kLaser}});
+  return codec;
+}
+
+const config::EnumCodec<ResiliencePolicy>& resilience_policy_codec() {
+  static const config::EnumCodec<ResiliencePolicy> codec(
+      "resilience policy", {{"kill", ResiliencePolicy::kKill},
+                            {"requeue", ResiliencePolicy::kRequeue},
+                            {"degrade", ResiliencePolicy::kDegrade}});
+  return codec;
+}
+
+std::vector<FaultEvent> derive_timeline(const FaultConfig& cfg, int mcms, int nodes,
+                                        std::uint64_t seed, sim::TimePs horizon) {
+  validate(cfg);
+  if (mcms < 2) throw std::invalid_argument("fault: need >= 2 MCMs");
+  if (nodes < 1) throw std::invalid_argument("fault: need >= 1 node");
+
+  std::vector<FaultEvent> timeline;
+  if (horizon <= 0) return timeline;
+  // child() is const: deriving the fault root never advances the base
+  // generator, so with the engine disabled no other stream moves by a byte.
+  const sim::Rng root = sim::Rng(seed).child(3);
+
+  auto self = [](sim::Rng&, int index) { return std::pair<int, int>{index, -1}; };
+  auto pair_from = [mcms](sim::Rng& rng, int src) {
+    const int dst = static_cast<int>(
+        (src + 1 + rng.below(static_cast<std::uint64_t>(mcms - 1))) % mcms);
+    return std::pair<int, int>{src, dst};
+  };
+
+  if (cfg.mcm_mtbf_ms > 0.0)
+    for (int m = 0; m < mcms; ++m)
+      generate_component(timeline, root.child(kMcmStreamBase + m),
+                         ComponentClass::kMcm, m, cfg.mcm_mtbf_ms, cfg.mcm_mttr_ms,
+                         horizon, self);
+  if (cfg.node_mtbf_ms > 0.0)
+    for (int n = 0; n < nodes; ++n)
+      generate_component(timeline, root.child(kNodeStreamBase + n),
+                         ComponentClass::kNode, n, cfg.node_mtbf_ms,
+                         cfg.node_mttr_ms, horizon, self);
+  if (cfg.link_mtbf_ms > 0.0)
+    for (int s = 0; s < mcms; ++s)
+      generate_component(timeline, root.child(kLinkStreamBase + s),
+                         ComponentClass::kLink, s, cfg.link_mtbf_ms,
+                         cfg.link_mttr_ms, horizon, pair_from);
+  if (cfg.laser_mtbf_ms > 0.0)
+    for (int s = 0; s < mcms; ++s)
+      generate_component(timeline, root.child(kLaserStreamBase + s),
+                         ComponentClass::kLaser, s, cfg.laser_mtbf_ms,
+                         cfg.laser_mttr_ms, horizon, pair_from);
+
+  // Total deterministic order; per-component streams already alternate
+  // fail/repair, and distinct components never collide on the sort key.
+  std::sort(timeline.begin(), timeline.end(),
+            [](const FaultEvent& x, const FaultEvent& y) {
+              return std::tie(x.at, x.cls, x.a, x.b, x.kind) <
+                     std::tie(y.at, y.cls, y.a, y.b, y.kind);
+            });
+  return timeline;
+}
+
+FaultScheduler::FaultScheduler(const FaultConfig& cfg, int mcms, int nodes,
+                               std::uint64_t seed, sim::TimePs horizon)
+    : mcms_(mcms),
+      nodes_(nodes),
+      timeline_(derive_timeline(cfg, mcms, nodes, seed, horizon)) {}
+
+void FaultScheduler::arm(sim::EventQueue& queue,
+                         std::function<void(const FaultEvent&)> handler) const {
+  for (const FaultEvent& ev : timeline_)
+    queue.schedule_at(ev.at, [handler, ev]() { handler(ev); });
+}
+
+double FaultScheduler::availability(sim::TimePs horizon) const {
+  if (horizon <= 0) return 1.0;
+  // Pair each fail with its repair (per component; the timeline alternates
+  // within a component) and integrate crash-stop downtime over the window.
+  std::map<std::tuple<int, int, int>, sim::TimePs> down_since;
+  double downtime_ps = 0.0;
+  for (const FaultEvent& ev : timeline_) {
+    if (ev.cls != ComponentClass::kMcm && ev.cls != ComponentClass::kNode) continue;
+    const auto key = std::make_tuple(static_cast<int>(ev.cls), ev.a, ev.b);
+    if (ev.kind == FaultKind::kFail) {
+      down_since[key] = ev.at;
+    } else {
+      const sim::TimePs from = std::min(down_since[key], horizon);
+      const sim::TimePs to = std::min(ev.at, horizon);
+      downtime_ps += static_cast<double>(to - from);
+      down_since.erase(key);
+    }
+  }
+  const double components = static_cast<double>(mcms_ + nodes_);
+  const double window = static_cast<double>(horizon) * components;
+  return std::clamp(1.0 - downtime_ps / window, 0.0, 1.0);
+}
+
+double FaultScheduler::mean_mttr_ms() const {
+  std::map<std::tuple<int, int, int>, sim::TimePs> fail_at;
+  double total_ms = 0.0;
+  std::uint64_t repairs = 0;
+  for (const FaultEvent& ev : timeline_) {
+    const auto key = std::make_tuple(static_cast<int>(ev.cls), ev.a, ev.b);
+    if (ev.kind == FaultKind::kFail) {
+      fail_at[key] = ev.at;
+    } else {
+      total_ms += static_cast<double>(ev.at - fail_at[key]) /
+                  static_cast<double>(sim::kPsPerMs);
+      ++repairs;
+    }
+  }
+  return repairs ? total_ms / static_cast<double>(repairs) : 0.0;
+}
+
+}  // namespace photorack::fault

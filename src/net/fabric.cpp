@@ -33,14 +33,24 @@ int WavelengthFabric::direct_lambdas(int src, int dst) const {
 }
 
 double WavelengthFabric::direct_capacity(int src, int dst) const {
-  return direct_lambdas(src, dst) * gbps_per_lambda_;
+  // scale == 1 multiplies by exactly 1.0, so healthy capacity is unchanged
+  // bit for bit.
+  return direct_lambdas(src, dst) * gbps_per_lambda_ * pair_scale(src, dst);
 }
 
 double WavelengthFabric::free_direct(int src, int dst) const {
+  // The scale != 1 branch clamps at zero because reservations made before a
+  // degradation may exceed the reduced capacity; the healthy branch keeps
+  // the historical expression bit for bit (it can carry an epsilon-negative
+  // residue that downstream arithmetic depends on byte-identically).
+  const double scale = pair_scale(src, dst);
   double free = 0.0;
-  for (int a = 0; a < parallel_awgrs(); ++a)
-    if (covers(a, src, dst))
-      free += gbps_per_lambda_ - alloc_[static_cast<std::size_t>(a)][idx(src, dst)];
+  for (int a = 0; a < parallel_awgrs(); ++a) {
+    if (!covers(a, src, dst)) continue;
+    const double used = alloc_[static_cast<std::size_t>(a)][idx(src, dst)];
+    free += scale == 1.0 ? gbps_per_lambda_ - used
+                         : std::max(0.0, gbps_per_lambda_ * scale - used);
+  }
   return free;
 }
 
@@ -52,11 +62,18 @@ double WavelengthFabric::allocated(int src, int dst) const {
 }
 
 double WavelengthFabric::allocate_direct(int src, int dst, double gbps) {
+  const double scale = pair_scale(src, dst);
   double granted = 0.0;
   for (int a = 0; a < parallel_awgrs() && gbps > granted; ++a) {
     if (!covers(a, src, dst)) continue;
     auto& used = alloc_[static_cast<std::size_t>(a)][idx(src, dst)];
-    const double take = std::min(gbps - granted, gbps_per_lambda_ - used);
+    // Same clamping asymmetry as free_direct: the scaled wavelength may
+    // already hold more than its reduced capacity, which must grant zero,
+    // never a negative take.
+    const double avail = scale == 1.0
+                             ? gbps_per_lambda_ - used
+                             : std::max(0.0, gbps_per_lambda_ * scale - used);
+    const double take = std::min(gbps - granted, avail);
     used += take;
     granted += take;
   }
@@ -80,12 +97,23 @@ double WavelengthFabric::utilization() const {
     for (int s = 0; s < mcms_; ++s) {
       for (int d = 0; d < mcms_; ++d) {
         if (!covers(a, s, d)) continue;
-        cap += gbps_per_lambda_;
+        const double scale = pair_scale(s, d);
+        cap += scale == 1.0 ? gbps_per_lambda_ : gbps_per_lambda_ * scale;
         used += alloc_[static_cast<std::size_t>(a)][idx(s, d)];
       }
     }
   }
   return cap > 0.0 ? used / cap : 0.0;
+}
+
+void WavelengthFabric::set_pair_scale(int src, int dst, double scale) {
+  if (src == dst || src < 0 || dst < 0 || src >= mcms_ || dst >= mcms_)
+    throw std::invalid_argument("set_pair_scale: bad pair");
+  if (scale < 0.0 || scale > 1.0)
+    throw std::invalid_argument("set_pair_scale: scale must be in [0,1]");
+  if (scale_.empty())
+    scale_.assign(static_cast<std::size_t>(mcms_) * mcms_, 1.0);
+  scale_[idx(src, dst)] = scale;
 }
 
 }  // namespace photorack::net

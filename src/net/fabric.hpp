@@ -58,8 +58,28 @@ class WavelengthFabric {
   /// Release previously reserved direct capacity (same ordering).
   void release_direct(int src, int dst, double gbps);
 
-  /// Aggregate utilization in [0,1] over all covered pairs.
+  /// Aggregate utilization over all covered pairs.  Normally in [0,1];
+  /// under fault degradation existing reservations may transiently exceed
+  /// the scaled capacity.
   [[nodiscard]] double utilization() const;
+
+  // --- fault hooks (src/fault): per-pair capacity scaling ---
+  //
+  // scale = 1 is healthy, 0 a dead pair (endpoint crash-stop or link cut),
+  // anything between a degraded laser.  Scaling changes CAPACITY only:
+  // free_direct/allocate_direct see `capacity * scale` (clamped at the
+  // already-allocated amount), release_direct still returns exactly what
+  // was reserved.  The scale table is allocated lazily on the first
+  // set_pair_scale call, and every scaled expression collapses to the
+  // historical arithmetic when scale == 1 — a fault-free fabric stays
+  // byte-identical to one built before this hook existed.
+
+  /// Set the directed pair's capacity multiplier; throws
+  /// std::invalid_argument outside [0,1] or for src == dst.
+  void set_pair_scale(int src, int dst, double scale);
+  [[nodiscard]] double pair_scale(int src, int dst) const {
+    return scale_.empty() ? 1.0 : scale_[idx(src, dst)];
+  }
 
  private:
   int mcms_;
@@ -67,6 +87,7 @@ class WavelengthFabric {
   double gbps_per_lambda_;
   std::vector<int> lambdas_;             // wavelengths per port, per AWGR
   std::vector<std::vector<double>> alloc_;  // [awgr][src*mcms+dst] allocated Gb/s
+  std::vector<double> scale_;            // per-pair capacity multiplier (lazy)
 
   [[nodiscard]] std::size_t idx(int src, int dst) const {
     return static_cast<std::size_t>(src) * mcms_ + dst;

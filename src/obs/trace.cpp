@@ -46,7 +46,7 @@ std::string quoted(const std::string& s) {
   return out;
 }
 
-constexpr const char* kTrackNames[] = {"sim", "jobs", "flows", "power"};
+constexpr const char* kTrackNames[] = {"sim", "jobs", "flows", "power", "faults"};
 
 }  // namespace
 
@@ -78,7 +78,7 @@ void TraceRecorder::write_json(std::ostream& os) const {
   os << "{\"traceEvents\":[";
   bool first = true;
   // Thread-name metadata first, so viewers label the tracks.
-  for (int tid = 0; tid < 4; ++tid) {
+  for (int tid = 0; tid < 5; ++tid) {
     if (!first) os << ",";
     first = false;
     os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid

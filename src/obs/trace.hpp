@@ -16,10 +16,11 @@ namespace photorack::obs {
 /// thread_name metadata), so the job timeline, the flow timeline and the
 /// power counters stay visually separated.
 enum class Track : int {
-  kSim = 0,    // event-loop housekeeping (view refreshes, sampler ticks)
-  kJobs = 1,   // job lifecycle: arrival/enqueue/reject instants, hold spans
-  kFlows = 2,  // per-flow open->close spans
-  kPower = 3,  // power/energy counter tracks
+  kSim = 0,     // event-loop housekeeping (view refreshes, sampler ticks)
+  kJobs = 1,    // job lifecycle: arrival/enqueue/reject instants, hold spans
+  kFlows = 2,   // per-flow open->close spans
+  kPower = 3,   // power/energy counter tracks
+  kFaults = 4,  // fault engine: fail/repair/revoke/requeue/degrade instants
 };
 
 /// Deterministic Chrome-trace-event recorder keyed on SIMULATION time.

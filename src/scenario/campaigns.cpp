@@ -14,6 +14,7 @@
 #include "cosim/rack_cosim.hpp"
 #include "cpusim/miss_profile.hpp"
 #include "cpusim/runner.hpp"
+#include "fault/fault_model.hpp"
 #include "gpusim/gpu_runner.hpp"
 #include "obs/obs.hpp"
 #include "phot/links.hpp"
@@ -385,6 +386,7 @@ std::vector<Axis> sec6c_axes() { return {{"system.fabric", {"awgr"}}}; }
 cosim::CosimConfig cosim_config_from(const ScenarioSpec& spec) {
   cosim::CosimConfig cfg = spec.resolve<cosim::CosimConfig>("cosim");
   cfg.fabric = spec.resolve<net::FabricSliceConfig>("net");
+  cfg.fault = spec.resolve<fault::FaultConfig>("fault");
   if (spec.base_seed != 0) cfg.seed = spec.derived_seed();
   return cfg;
 }
@@ -525,6 +527,78 @@ std::vector<Axis> cosim_tails_axes() {
           {"cosim.horizon_ms", {"200"}}};
 }
 
+const std::vector<std::string> kCosimAvailabilityColumns = {
+    "admission",    "resilience",   "mcm_mtbf_ms", "horizon_ms",
+    "offered",      "accepted",     "faults",      "repairs",
+    "interrupted",  "requeued",     "degraded",    "killed",
+    "goodput",      "availability", "work_lost_ms", "mttr_ms"};
+
+std::vector<ResultRow> eval_cosim_availability(const ScenarioSpec& spec) {
+  const auto report = eval_cosim(spec, disagg::AllocationPolicy::kDisaggregated);
+  const auto& f = report.fault;
+  ResultRow row;
+  row.cells = {spec.at("cosim.admission"),
+               spec.at("fault.policy"),
+               spec.at("fault.mcm_mtbf_ms"),
+               spec.at("cosim.horizon_ms"),
+               num_to_string(static_cast<double>(report.jobs.offered)),
+               num_to_string(static_cast<double>(report.jobs.accepted)),
+               num_to_string(static_cast<double>(f.faults)),
+               num_to_string(static_cast<double>(f.repairs)),
+               num_to_string(static_cast<double>(f.interrupted)),
+               num_to_string(static_cast<double>(f.requeued)),
+               num_to_string(static_cast<double>(f.degraded)),
+               num_to_string(static_cast<double>(f.killed)),
+               num_to_string(static_cast<double>(f.goodput_jobs)),
+               num_to_string(f.availability),
+               num_to_string(f.work_lost_ms),
+               num_to_string(f.mean_mttr_ms)};
+  return {std::move(row)};
+}
+
+std::vector<Axis> cosim_availability_axes() {
+  return {{"cosim.admission", {"drop", "queue"}},
+          {"fault.policy", {"kill", "requeue", "degrade"}},
+          {"fault.enabled", {"true"}},
+          {"fault.mcm_mtbf_ms", {"40", "160", "640"}},
+          {"fault.node_mtbf_ms", {"320"}},
+          {"cosim.horizon_ms", {"200"}}};
+}
+
+const std::vector<std::string> kCosimBlastRadiusColumns = {
+    "policy",       "mcm_mtbf_ms",  "offered",     "accepted",
+    "faults",       "interrupted",  "requeued",    "killed",
+    "goodput",      "availability", "work_lost_ms"};
+
+std::vector<ResultRow> eval_cosim_blast_radius(const ScenarioSpec& spec) {
+  const auto report =
+      eval_cosim(spec, disagg::allocation_policy_codec().parse(spec.at("policy")));
+  const auto& f = report.fault;
+  ResultRow row;
+  row.cells = {spec.at("policy"),
+               spec.at("fault.mcm_mtbf_ms"),
+               num_to_string(static_cast<double>(report.jobs.offered)),
+               num_to_string(static_cast<double>(report.jobs.accepted)),
+               num_to_string(static_cast<double>(f.faults)),
+               num_to_string(static_cast<double>(f.interrupted)),
+               num_to_string(static_cast<double>(f.requeued)),
+               num_to_string(static_cast<double>(f.killed)),
+               num_to_string(static_cast<double>(f.goodput_jobs)),
+               num_to_string(f.availability),
+               num_to_string(f.work_lost_ms)};
+  return {std::move(row)};
+}
+
+std::vector<Axis> cosim_blast_radius_axes() {
+  return {{"policy", {"static", "disagg"}},
+          {"fault.enabled", {"true"}},
+          {"fault.mcm_mtbf_ms", {"60", "240"}},
+          {"fault.node_mtbf_ms", {"240"}},
+          {"fault.policy", {"requeue"}},
+          {"cosim.admission", {"queue"}},
+          {"cosim.horizon_ms", {"200"}}};
+}
+
 std::vector<Campaign> make_campaigns() {
   std::vector<Campaign> all;
 
@@ -607,6 +681,22 @@ std::vector<Campaign> make_campaigns() {
       kCosimTailsColumns,
       cosim_tails_axes(),
       eval_cosim_tails});
+
+  all.push_back(Campaign{
+      "cosim_availability",
+      "Availability and goodput under the seed-derived fault timeline",
+      "fault injection & resilience engine (deterministic MTBF sweep)",
+      kCosimAvailabilityColumns,
+      cosim_availability_axes(),
+      eval_cosim_availability});
+
+  all.push_back(Campaign{
+      "cosim_blast_radius",
+      "Fault blast radius: static node-local vs disaggregated fabric-bound",
+      "fault injection & resilience engine (identical timeline per policy)",
+      kCosimBlastRadiusColumns,
+      cosim_blast_radius_axes(),
+      eval_cosim_blast_radius});
 
   return all;
 }

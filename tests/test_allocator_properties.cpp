@@ -209,6 +209,134 @@ TEST_P(AllocatorProperties, UnplacedReleaseIsStillANoop) {
   EXPECT_EQ(alloc.live_allocations(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Fault-path revocation properties (the fault-engine PR satellite): revoke()
+// must account exactly like release() under arbitrary interleavings, drain
+// the allocator to exactly zero, and reject stale handles pre-mutation.
+// ---------------------------------------------------------------------------
+
+TEST_P(AllocatorProperties, InterleavedRevokeAndReleaseDrainToExactlyZero) {
+  const rack::RackConfig rack;
+  RackAllocator alloc(rack, GetParam());
+  sim::Rng rng(20260808);
+  std::vector<Allocation> live;
+  std::uint64_t revokes = 0, releases = 0;
+
+  for (int op = 0; op < 4000; ++op) {
+    if (live.empty() || rng.bernoulli(0.55)) {
+      const Allocation a = alloc.allocate(random_request(rng));
+      if (a.placed) live.push_back(a);
+    } else {
+      const std::size_t victim = rng.below(live.size());
+      // A fault revokes; a completion releases — the pools must not care.
+      if (rng.bernoulli(0.5)) {
+        alloc.revoke(live[victim]);
+        ++revokes;
+      } else {
+        alloc.release(live[victim]);
+        ++releases;
+      }
+      live[victim] = live.back();
+      live.pop_back();
+    }
+    expect_pools_within_capacity(alloc, rack.nodes);
+    ASSERT_EQ(alloc.live_allocations(), live.size()) << "op " << op;
+  }
+  ASSERT_GT(revokes, 0u);
+  EXPECT_EQ(alloc.counters().revocations, revokes);
+  EXPECT_EQ(alloc.counters().releases, releases);
+
+  // Forcibly revoke every survivor, shuffled: the allocator must return to
+  // the bit-exact pristine state, same as voluntary release.
+  while (!live.empty()) {
+    const std::size_t victim = rng.below(live.size());
+    alloc.revoke(live[victim]);
+    live[victim] = live.back();
+    live.pop_back();
+  }
+  expect_pools_empty(alloc, rack.nodes);
+}
+
+TEST_P(AllocatorProperties, DoubleRevokeAndRevokeAfterReleaseThrowPreMutation) {
+  RackAllocator alloc({}, GetParam());
+  JobRequest req;
+  req.cpus = 8;
+  req.memory_gb = 64.0;
+  const Allocation revoked_once = alloc.allocate(req);
+  const Allocation released_once = alloc.allocate(req);
+  ASSERT_TRUE(revoked_once.placed);
+  ASSERT_TRUE(released_once.placed);
+
+  alloc.revoke(revoked_once);
+  alloc.release(released_once);
+  const PoolState settled = alloc.pools();
+  const std::uint64_t revocations = alloc.counters().revocations;
+  const std::uint64_t releases = alloc.counters().releases;
+
+  // Every stale-handle combination must throw BEFORE touching any pool or
+  // counter: revoke-after-revoke, revoke-after-release, release-after-revoke.
+  EXPECT_THROW(alloc.revoke(revoked_once), std::logic_error);
+  EXPECT_THROW(alloc.revoke(released_once), std::logic_error);
+  EXPECT_THROW(alloc.release(revoked_once), std::logic_error);
+  EXPECT_EQ(alloc.pools().cpus_used, settled.cpus_used);
+  EXPECT_EQ(alloc.pools().gpus_used, settled.gpus_used);
+  EXPECT_DOUBLE_EQ(alloc.pools().memory_gb_used, settled.memory_gb_used);
+  EXPECT_DOUBLE_EQ(alloc.pools().nic_gbps_used, settled.nic_gbps_used);
+  EXPECT_EQ(alloc.counters().revocations, revocations);
+  EXPECT_EQ(alloc.counters().releases, releases);
+  EXPECT_EQ(alloc.live_allocations(), 0u);
+
+  // An unplaced revoke stays a no-op, mirroring release().
+  Allocation unplaced;
+  alloc.revoke(unplaced);
+  EXPECT_EQ(alloc.counters().revocations, revocations);
+}
+
+TEST_P(AllocatorProperties, OfflineNodesShrinkPoolsAndComeBackExactly) {
+  const rack::RackConfig rack;
+  RackAllocator alloc(rack, GetParam());
+  const PoolState pristine = alloc.pools();
+
+  alloc.take_nodes_offline(3);
+  EXPECT_EQ(alloc.offline_nodes(), 3);
+  EXPECT_EQ(alloc.free_nodes(), rack.nodes - 3);
+  EXPECT_EQ(alloc.pools().cpus_total, pristine.cpus_total - 3 * rack.node.cpus);
+  EXPECT_EQ(alloc.pools().gpus_total, pristine.gpus_total - 3 * rack.node.gpus);
+  EXPECT_LT(alloc.pools().memory_gb_total, pristine.memory_gb_total);
+
+  alloc.bring_nodes_online(3);
+  EXPECT_EQ(alloc.offline_nodes(), 0);
+  EXPECT_EQ(alloc.free_nodes(), rack.nodes);
+  EXPECT_EQ(alloc.pools().cpus_total, pristine.cpus_total);
+  EXPECT_EQ(alloc.pools().gpus_total, pristine.gpus_total);
+  EXPECT_DOUBLE_EQ(alloc.pools().memory_gb_total, pristine.memory_gb_total);
+  EXPECT_DOUBLE_EQ(alloc.pools().nic_gbps_total, pristine.nic_gbps_total);
+
+  // Bounds are enforced: cannot repair more than failed, nor fail more than
+  // exist.
+  EXPECT_THROW(alloc.bring_nodes_online(1), std::logic_error);
+  EXPECT_THROW(alloc.take_nodes_offline(rack.nodes + 1), std::logic_error);
+  EXPECT_THROW(alloc.take_nodes_offline(0), std::invalid_argument);
+}
+
+TEST(AllocatorOffline, StaticNodesRefuseToRetireAnOccupiedNode) {
+  rack::RackConfig rack;
+  rack.nodes = 2;
+  RackAllocator alloc(rack, AllocationPolicy::kStaticNodes);
+  JobRequest req;
+  req.cpus = rack.node.cpus;  // exactly one whole node
+  const Allocation a = alloc.allocate(req);
+  ASSERT_TRUE(a.placed);
+  // One node free, one granted: retiring both must throw (revoke first).
+  EXPECT_THROW(alloc.take_nodes_offline(2), std::logic_error);
+  alloc.take_nodes_offline(1);  // the free one retires fine
+  alloc.revoke(a);
+  alloc.take_nodes_offline(1);  // now the survivor can retire too
+  EXPECT_EQ(alloc.free_nodes(), 0);
+  alloc.bring_nodes_online(2);
+  EXPECT_EQ(alloc.free_nodes(), rack.nodes);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllPolicies, AllocatorProperties,
                          ::testing::Values(AllocationPolicy::kStaticNodes,
                                            AllocationPolicy::kDisaggregated),

@@ -241,6 +241,65 @@ TEST(EventQueueStats, CountsScheduledDispatchedCancelledAndPendingPeak) {
   EXPECT_EQ(s.pending_peak, 5u);  // high-water mark survives the drain
 }
 
+TEST(EventQueueStress, CancelStormUnderRevocationConservesEveryJob) {
+  // Shape of the fault engine's kill path: each "job" holds a pending
+  // completion event; "fault" handlers interleaved with them cancel batches
+  // of completions from INSIDE running handlers and schedule replacements
+  // (the requeue).  Every job must end exactly once — completed or revoked —
+  // no double fires, no lost events, with stats conserving throughout.
+  EventQueue q;
+  constexpr int kJobs = 2'000;
+  std::vector<std::uint64_t> completion(kJobs, 0);
+  std::vector<int> done(kJobs, 0);    // fires per job: must end at exactly 1
+  std::vector<char> revoked(kJobs, 0);
+
+  for (int j = 0; j < kJobs; ++j) {
+    const TimePs at = static_cast<TimePs>(10 + (j * 7) % 1000);
+    completion[j] = q.schedule_at(at, [&done, j] { ++done[j]; });
+  }
+  // Fault storm: 40 waves, each revoking a stripe of jobs mid-run and
+  // rescheduling their completions later — cancel of an already-fired
+  // completion must stay a no-op (those jobs keep their single fire).
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto rnd = [&state](std::uint64_t n) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (state >> 33) % n;
+  };
+  for (int wave = 0; wave < 40; ++wave) {
+    const TimePs at = static_cast<TimePs>(5 + wave * 25);
+    q.schedule_at(at, [&, at] {
+      for (int k = 0; k < 100; ++k) {
+        const int j = static_cast<int>(rnd(kJobs));
+        if (done[j] > 0 || revoked[j]) continue;  // completed or already dead
+        EXPECT_TRUE(q.cancel(completion[j]));
+        if (rnd(2)) {
+          // requeue: a fresh completion later (never at a time in the past)
+          completion[j] = q.schedule_at(at + 50 + static_cast<TimePs>(rnd(500)),
+                                        [&done, j] { ++done[j]; });
+        } else {
+          revoked[j] = 1;  // kill: the job never completes
+        }
+      }
+    });
+  }
+  q.run();
+  EXPECT_TRUE(q.empty());
+  int completed = 0, killed = 0;
+  for (int j = 0; j < kJobs; ++j) {
+    ASSERT_LE(done[j], 1) << "job " << j << " completed twice";
+    ASSERT_FALSE(done[j] == 1 && revoked[j]) << "job " << j << " fired after kill";
+    completed += done[j];
+    killed += revoked[j];
+  }
+  EXPECT_EQ(completed + killed, kJobs);
+  EXPECT_GT(killed, 0);
+  EXPECT_GT(completed, 0);
+  // Stats conservation: everything scheduled either dispatched or was
+  // cancelled-while-pending; lazily-skipped entries never double-count.
+  const EventQueueStats s = q.stats();
+  EXPECT_EQ(s.scheduled, s.dispatched + s.cancelled);
+}
+
 TEST(EventQueueStats, PendingPeakTracksHighWaterNotCurrent) {
   EventQueue q;
   // Handler at t=1 schedules two more events: pending dips then rises.
