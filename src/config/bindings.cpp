@@ -4,6 +4,7 @@
 // `photorack_sweep --params`, and recorded in every run manifest.
 #include "config/bindings.hpp"
 
+#include "cluster/cluster_cosim.hpp"
 #include "cosim/rack_cosim.hpp"
 #include "cpusim/runner.hpp"
 #include "disagg/allocator.hpp"
@@ -294,6 +295,26 @@ void register_cosim(ParamRegistry& reg) {
             "idle fraction of each pool's full power", {0, 1});
 }
 
+void register_cluster(ParamRegistry& reg) {
+  // `workers` is deliberately NOT registered: it changes wall-clock only
+  // (cluster runs are bit-identical at any worker count), and registry knobs
+  // are reserved for parameters that can move a result.
+  reg.section<cluster::ClusterConfig>(
+         "cluster", "cluster::ClusterConfig",
+         "multi-rack cluster co-simulation (racks + inter-rack fabric)")
+      .bind("racks", &cluster::ClusterConfig::racks,
+            "independent rack event domains", {1, 256})
+      .bind_enum("spill", &cluster::ClusterConfig::spill,
+                 cluster::spill_policy_codec(),
+                 "overflow placement: none, ring neighbor, or least-loaded")
+      .bind("interconnect_gbps", &cluster::ClusterConfig::interconnect_gbps,
+            "per directed rack-pair inter-rack link rate", {0.1, 1e6})
+      .bind("hop_ns", &cluster::ClusterConfig::hop_ns,
+            "one-way inter-rack latency (= sync window width)", {0, 1e9})
+      .bind("pj_per_bit", &cluster::ClusterConfig::interconnect_pj_per_bit,
+            "inter-rack transceiver energy while uplinks are lit", {0, 1e6});
+}
+
 void register_fault(ParamRegistry& reg) {
   // MTBF knobs accept 0 = "this component class never fails"; a class is
   // armed by giving it a positive MTBF *and* setting fault.enabled.  With
@@ -383,6 +404,7 @@ const ParamRegistry& registry() {
     register_gpusim(*r);
     register_net(*r);
     register_cosim(*r);
+    register_cluster(*r);
     register_fault(*r);
     register_obs(*r);
     register_phot(*r);

@@ -2,12 +2,14 @@
 //
 //   photorack_cosim [--policy static|disagg] [--rate R] [--duration-ms D]
 //                   [--horizon-ms H] [--seed S] [--mcms N] [--open-loop]
-//                   [--traffic-scale X] [--set path=value]
-//                   [--manifest file.json] [--quiet]
+//                   [--traffic-scale X] [--racks N] [--spill P]
+//                   [--set path=value] [--manifest file.json] [--quiet]
 //
 // Runs one co-simulation and prints the coupled report: acceptance and
 // utilization from the allocator, satisfaction/indirection from the fabric,
 // stretch from the contention feedback, and the integrated energy trace.
+// --racks/--spill switch to the multi-rack cluster co-simulation (the same
+// report, aggregated across racks, plus spill/interconnect telemetry).
 //
 // Configuration goes through the config registry: the named flags are sugar
 // for `--set` on the corresponding paths (--rate = cosim.arrivals_per_ms,
@@ -24,6 +26,7 @@
 #include <memory>
 #include <string>
 
+#include "cluster/cluster_cosim.hpp"
 #include "config/bindings.hpp"
 #include "config/manifest.hpp"
 #include "cosim/rack_cosim.hpp"
@@ -51,6 +54,10 @@ void print_usage(std::ostream& os) {
         "                          (shape knobs: --set cosim.arrival.*)\n"
         "  --queue [cap]           FIFO-queue unplaceable jobs instead of\n"
         "                          dropping (optional backlog cap, default 64)\n"
+        "  --racks <N>             cluster mode: N rack event domains run in\n"
+        "                          parallel under barrier synchronization\n"
+        "  --spill none|next|least cluster mode: where overflow jobs go\n"
+        "                          (interconnect knobs: --set cluster.*)\n"
         "  --faults                arm the seed-derived fault timeline\n"
         "                          (rates/policy via --set fault.*)\n"
         "  --mtbf-ms <M>           arm faults with MCM and node MTBF = M ms\n"
@@ -80,6 +87,7 @@ struct CliOptions {
   std::string profile_json_path;
   bool profile_table = false;
   bool quiet = false;
+  bool cluster = false;  // --racks/--spill given: run ClusterCosim
 };
 
 CliOptions parse_cli(int argc, char** argv) {
@@ -116,6 +124,19 @@ CliOptions parse_cli(int argc, char** argv) {
       // Optional cap: consume the next token only when it looks like one.
       if (i + 1 < argc && argv[i + 1][0] != '-')
         opt.tree.set("cosim.queue_cap", argv[++i]);
+    } else if (arg == "--racks") {
+      opt.cluster = true;
+      opt.tree.set("cluster.racks", value("--racks"));
+    } else if (arg == "--spill") {
+      // Validate eagerly so the error names the flag the user typed.
+      const std::string v = value("--spill");
+      try {
+        (void)cluster::spill_policy_codec().parse(v);
+      } catch (const std::exception& e) {
+        throw std::invalid_argument("--spill: " + std::string(e.what()));
+      }
+      opt.cluster = true;
+      opt.tree.set("cluster.spill", v);
     } else if (arg == "--faults") {
       opt.tree.set("fault.enabled", "true");
     } else if (arg == "--mtbf-ms") {
@@ -210,8 +231,21 @@ int main(int argc, char** argv) {
       obs_cfg.profile_enabled = true;
     obs::ObsBundle obs_bundle(obs_cfg);
 
-    const auto report = cosim::run_rack_cosim(
-        rack, opt.policy, workloads::UsageModel::cori(), cfg, obs_bundle.handles());
+    // Cluster mode reuses the rack report printer on the aggregated total;
+    // the cluster-only telemetry (spill, barriers, interconnect) is appended
+    // below.  Observability attaches to rack 0 in cluster mode.
+    cosim::CosimReport report;
+    cluster::ClusterReport cluster_report;
+    if (opt.cluster) {
+      const auto ccfg = opt.tree.build<cluster::ClusterConfig>("cluster");
+      cluster_report = cluster::run_cluster_cosim(rack, opt.policy,
+                                                  workloads::UsageModel::cori(),
+                                                  ccfg, cfg, obs_bundle.handles());
+      report = cluster_report.total;
+    } else {
+      report = cosim::run_rack_cosim(rack, opt.policy, workloads::UsageModel::cori(),
+                                     cfg, obs_bundle.handles());
+    }
 
     if (!opt.trace_path.empty())
       obs_bundle.trace()->write_json_file(opt.trace_path);
@@ -294,6 +328,27 @@ int main(int argc, char** argv) {
         table.add_row({"work lost (ms)", sim::fmt_fixed(f.work_lost_ms, 2)});
         table.add_row({"mean MTTR (ms)", sim::fmt_fixed(f.mean_mttr_ms, 2)});
       }
+      if (opt.cluster) {
+        table.add_row({"racks",
+                       sim::fmt_int(static_cast<long long>(cluster_report.racks.size()))});
+        std::string acceptance;
+        for (const auto& rr : cluster_report.racks) {
+          if (!acceptance.empty()) acceptance += " / ";
+          acceptance += sim::fmt_pct(rr.jobs.acceptance());
+        }
+        table.add_row({"per-rack acceptance", acceptance});
+        table.add_row({"spilled (failed)",
+                       sim::fmt_int(static_cast<long long>(cluster_report.spilled)) +
+                           " (" +
+                           sim::fmt_int(static_cast<long long>(cluster_report.spill_failed)) +
+                           ")"});
+        table.add_row({"sync barriers",
+                       sim::fmt_int(static_cast<long long>(cluster_report.barriers))});
+        table.add_row({"interconnect power (kW)",
+                       sim::fmt_fixed(cluster_report.interconnect_power_w / 1e3, 2)});
+        table.add_row({"interconnect utilization",
+                       sim::fmt_pct(cluster_report.interconnect_utilization)});
+      }
       table.add_row({"energy (kJ)", sim::fmt_fixed(report.energy_joules / 1e3, 2)});
       table.add_row({"mean power (kW)", sim::fmt_fixed(report.mean_power_w / 1e3, 2)});
       table.add_row({"peak power (kW)", sim::fmt_fixed(report.peak_power_w / 1e3, 2)});
@@ -332,8 +387,11 @@ int main(int argc, char** argv) {
     }
 
     std::cerr << "photorack_cosim: " << report.jobs.offered << " jobs offered, "
-              << report.jobs.accepted << " accepted, mean stretch "
-              << sim::fmt_fixed(report.mean_stretch, 3) << ", "
+              << report.jobs.accepted << " accepted, ";
+    if (opt.cluster)
+      std::cerr << cluster_report.racks.size() << " racks, "
+                << cluster_report.spilled << " spilled, ";
+    std::cerr << "mean stretch " << sim::fmt_fixed(report.mean_stretch, 3) << ", "
               << sim::fmt_fixed(report.energy_joules / 1e3, 1) << " kJ over "
               << sim::fmt_fixed(sim::to_s(report.completed_at) * 1e3, 1) << " ms\n";
     return 0;

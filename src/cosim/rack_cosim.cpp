@@ -111,9 +111,6 @@ RackCosim::RackCosim(const rack::RackConfig& rack, disagg::AllocationPolicy poli
     faults_on_ = true;
     fault_sched_ = std::make_unique<fault::FaultScheduler>(
         cfg_.fault, cfg_.fabric.mcms, rack_.nodes, cfg_.seed, cfg_.sim_time);
-    mcm_up_.assign(static_cast<std::size_t>(cfg_.fabric.mcms), 1);
-    link_cut_.assign(static_cast<std::size_t>(cfg_.fabric.mcms) * cfg_.fabric.mcms, 0);
-    laser_deg_.assign(static_cast<std::size_t>(cfg_.fabric.mcms), 0);
     node_owner_.assign(static_cast<std::size_t>(rack_.nodes), 0);
     fstats_.enabled = true;
     fstats_.availability = fault_sched_->availability(cfg_.sim_time);
@@ -305,10 +302,16 @@ bool RackCosim::try_start(const JobPlan& plan, sim::TimePs arrived, int retries,
     satisfied += route.satisfied();
   }
   job.flow_open.assign(job.flow_ids.size(), 1);
-  const double speed =
+  const double local_speed =
       requested > 0.0
           ? std::clamp(satisfied / requested, cfg_.min_speed_fraction, 1.0)
           : 1.0;
+  // Spilled jobs run behind a finite inter-rack pipe: the grant fraction
+  // caps speed multiplicatively.  Local jobs carry cap 1.0 — `x * 1.0` and
+  // re-clamping an already-in-range value are both exact, so standalone
+  // racks compute the historical speed bit for bit.
+  const double speed = std::clamp(local_speed * plan.remote_speed_cap,
+                                  cfg_.min_speed_fraction, 1.0);
   const double stretch = cfg_.contention_feedback ? 1.0 / speed : 1.0;
   if (record) {
     speed_.add(speed);
@@ -367,8 +370,14 @@ void RackCosim::complete_job(std::uint64_t job_id) {
     obs_.trace->complete(obs::Track::kJobs, "job", job.placed_at, queue_.now(),
                          {{"breadth", static_cast<double>(job.plan.breadth)},
                           {"speed", job.speed}});
+  close_remote(job.plan, /*placed=*/true);
   drain_backlog();
   step_energy();
+}
+
+void RackCosim::close_remote(const JobPlan& plan, bool placed) {
+  if (plan.remote_link >= 0 && remote_close_)
+    remote_close_(plan.remote_link, plan.remote_gbps, queue_.now(), placed);
 }
 
 void RackCosim::drain_backlog() {
@@ -383,23 +392,33 @@ void RackCosim::drain_backlog() {
     backlog_.pop_front();
 }
 
-void RackCosim::update_pair_scale(int src, int dst) {
-  const bool cut =
-      !mcm_up_[static_cast<std::size_t>(src)] ||
-      !mcm_up_[static_cast<std::size_t>(dst)] ||
-      link_cut_[static_cast<std::size_t>(src) * cfg_.fabric.mcms + dst];
-  const double scale =
-      cut ? 0.0
-          : (laser_deg_[static_cast<std::size_t>(src)] ? cfg_.fault.degrade_fraction
-                                                       : 1.0);
-  fabric_->set_pair_scale(src, dst, scale);
-}
+// The timeline alternates fail/repair strictly per component, so every fail
+// here is matched by exactly one later pop of the same value — the factor
+// stack never holds two entries from the same component instance, and when a
+// pair's last fault repairs, the empty product restores exactly 1.0.
 
-void RackCosim::update_mcm_scales(int mcm) {
+void RackCosim::scale_mcm_pairs(int mcm, double factor, bool fail) {
+  // A crashed MCM severs every pair touching it, both directions.
   for (int d = 0; d < cfg_.fabric.mcms; ++d) {
     if (d == mcm) continue;
-    update_pair_scale(mcm, d);
-    update_pair_scale(d, mcm);
+    if (fail) {
+      fabric_->push_pair_factor(mcm, d, factor);
+      fabric_->push_pair_factor(d, mcm, factor);
+    } else {
+      fabric_->pop_pair_factor(mcm, d, factor);
+      fabric_->pop_pair_factor(d, mcm, factor);
+    }
+  }
+}
+
+void RackCosim::scale_laser_pairs(int src, double factor, bool fail) {
+  // A degraded comb laser dims only the wavelengths its own port transmits.
+  for (int d = 0; d < cfg_.fabric.mcms; ++d) {
+    if (d == src) continue;
+    if (fail)
+      fabric_->push_pair_factor(src, d, factor);
+    else
+      fabric_->pop_pair_factor(src, d, factor);
   }
 }
 
@@ -497,6 +516,13 @@ void RackCosim::revoke_job(std::uint64_t job_id, const fault::FaultEvent& ev) {
         obs::Track::kFaults, "revoke", now,
         {{"job", static_cast<double>(job_id)},
          {"cls", static_cast<double>(static_cast<int>(ev.cls))}});
+  // A revoked spill hands back its inter-rack reservation immediately; any
+  // retry re-enters THIS rack's admission path as an untagged local job, so
+  // the grant can never be released twice.
+  close_remote(job.plan, /*placed=*/true);
+  job.plan.remote_speed_cap = 1.0;
+  job.plan.remote_link = -1;
+  job.plan.remote_gbps = 0.0;
   if (cfg_.fault.policy == fault::ResiliencePolicy::kKill) {
     ++fstats_.killed;
     if (obs_.trace) obs_.trace->instant(obs::Track::kFaults, "kill", now);
@@ -567,6 +593,14 @@ void RackCosim::schedule_retry(JobPlan plan, sim::TimePs arrived, int retries) {
   const auto delay = std::max<sim::TimePs>(
       1, static_cast<sim::TimePs>(backoff_ms * static_cast<double>(sim::kPsPerMs)));
   ++fstats_.requeued;
+  // Admission semantics for retries, pinned by test_fault: the backlog is a
+  // kQueue-only structure.  Under kDrop a retry never touches the backlog —
+  // it re-attempts placement directly and backs off again on failure, so a
+  // drop-mode rack's queue depth stays identically zero even under fault
+  // churn.  Under kQueue the retry competes for backlog space on the same
+  // queue_cap bound as a fresh arrival (no reserved headroom), and a full
+  // backlog kills it: a revoked job must not be able to wait in a place
+  // arrivals are being turned away from.
   queue_.schedule_after(delay, [this, plan = std::move(plan), arrived, retries]() {
     engine_.refresh_view(queue_.now());
     if (cfg_.admission == AdmissionPolicy::kQueue) {
@@ -599,17 +633,13 @@ void RackCosim::on_fault(const fault::FaultEvent& ev) {
     // — static victims have to be revoked before their nodes can retire.
     switch (ev.cls) {
       case fault::ComponentClass::kMcm:
-        mcm_up_[static_cast<std::size_t>(ev.a)] = 0;
-        update_mcm_scales(ev.a);
+        scale_mcm_pairs(ev.a, 0.0, /*fail=*/true);
         break;
       case fault::ComponentClass::kLink:
-        link_cut_[static_cast<std::size_t>(ev.a) * cfg_.fabric.mcms + ev.b] = 1;
-        update_pair_scale(ev.a, ev.b);
+        fabric_->push_pair_factor(ev.a, ev.b, 0.0);
         break;
       case fault::ComponentClass::kLaser:
-        laser_deg_[static_cast<std::size_t>(ev.a)] = 1;
-        for (int d = 0; d < cfg_.fabric.mcms; ++d)
-          if (d != ev.a) update_pair_scale(ev.a, d);
+        scale_laser_pairs(ev.a, cfg_.fault.degrade_fraction, /*fail=*/true);
         break;
       case fault::ComponentClass::kNode:
         break;
@@ -631,19 +661,17 @@ void RackCosim::on_fault(const fault::FaultEvent& ev) {
     }
   } else {
     ++fstats_.repairs;
+    // Each repair pops exactly the factor its fail pushed; faults still
+    // active on the same pairs keep their own contributions in the product.
     switch (ev.cls) {
       case fault::ComponentClass::kMcm:
-        mcm_up_[static_cast<std::size_t>(ev.a)] = 1;
-        update_mcm_scales(ev.a);
+        scale_mcm_pairs(ev.a, 0.0, /*fail=*/false);
         break;
       case fault::ComponentClass::kLink:
-        link_cut_[static_cast<std::size_t>(ev.a) * cfg_.fabric.mcms + ev.b] = 0;
-        update_pair_scale(ev.a, ev.b);
+        fabric_->pop_pair_factor(ev.a, ev.b, 0.0);
         break;
       case fault::ComponentClass::kLaser:
-        laser_deg_[static_cast<std::size_t>(ev.a)] = 0;
-        for (int d = 0; d < cfg_.fabric.mcms; ++d)
-          if (d != ev.a) update_pair_scale(ev.a, d);
+        scale_laser_pairs(ev.a, cfg_.fault.degrade_fraction, /*fail=*/false);
         break;
       case fault::ComponentClass::kNode:
         allocator_.bring_nodes_online(1);
@@ -667,6 +695,10 @@ void RackCosim::on_arrival() {
   sim::Rng job_rng = base_rng_.child(16 + next_job_index_++);
   JobPlan plan = make_plan(job_rng);
 
+  // A job the rack cannot admit is offered to the spill handler before being
+  // dropped; a standalone rack (no handler) takes the historical drop path
+  // unchanged.  The spilled job stays in `offered` here but is accepted (or
+  // lost) wherever it lands, so cluster-wide acceptance stays conservative.
   if (cfg_.admission == AdmissionPolicy::kQueue) {
     // Bounded FIFO: over-cap arrivals are dropped (they stay counted in
     // `offered`, so acceptance reflects the loss).
@@ -674,12 +706,19 @@ void RackCosim::on_arrival() {
       if (obs_.trace) obs_.trace->instant(obs::Track::kJobs, "enqueue", queue_.now());
       backlog_.push_back(PendingJob{std::move(plan), queue_.now()});
       drain_backlog();
+    } else if (spill_ && spill_(plan, queue_.now())) {
+      if (obs_.trace) obs_.trace->instant(obs::Track::kJobs, "spill", queue_.now());
     } else if (obs_.trace) {
       obs_.trace->instant(obs::Track::kJobs, "queue_drop", queue_.now());
     }
   } else {
-    if (!try_start(plan, queue_.now()) && obs_.trace)
-      obs_.trace->instant(obs::Track::kJobs, "reject", queue_.now());
+    if (!try_start(plan, queue_.now())) {
+      if (spill_ && spill_(plan, queue_.now())) {
+        if (obs_.trace) obs_.trace->instant(obs::Track::kJobs, "spill", queue_.now());
+      } else if (obs_.trace) {
+        obs_.trace->instant(obs::Track::kJobs, "reject", queue_.now());
+      }
+    }
   }
   // Step the trace on EVERY arrival, rejected ones included: the level only
   // changes on placements, but the integration point must advance to the
@@ -691,24 +730,67 @@ void RackCosim::on_arrival() {
   schedule_next_arrival();
 }
 
+void RackCosim::inject_remote_job(JobPlan plan, sim::TimePs deliver_at,
+                                  sim::TimePs arrived) {
+  queue_.schedule_at(deliver_at, [this, plan = std::move(plan), arrived]() mutable {
+    engine_.refresh_view(queue_.now());
+    if (obs_.trace)
+      obs_.trace->instant(obs::Track::kJobs, "remote_arrival", queue_.now());
+    // A spilled job is admitted like a local arrival (record = true: its
+    // acceptance, wait and tails are accounted where it runs) but is NOT
+    // offered here — the origin rack already counted the offer, so cluster
+    // totals add up.  A second rejection is final: the spill is lost and
+    // the inter-rack grant goes back (placed = false).
+    bool admitted = false;
+    if (cfg_.admission == AdmissionPolicy::kQueue) {
+      if (backlog_.size() < static_cast<std::size_t>(cfg_.queue_cap)) {
+        backlog_.push_back(PendingJob{std::move(plan), arrived, 0, true});
+        drain_backlog();
+        admitted = true;
+      }
+    } else {
+      admitted = try_start(plan, arrived);
+    }
+    if (!admitted) {
+      close_remote(plan, /*placed=*/false);
+      if (obs_.trace)
+        obs_.trace->instant(obs::Track::kJobs, "spill_lost", queue_.now());
+    }
+    step_energy();
+  });
+}
+
 void RackCosim::advance_to(sim::TimePs t) { queue_.run(t); }
 
 void RackCosim::finish() { queue_.run(); }
 
-CosimReport RackCosim::report() const {
-  CosimReport report;
+disagg::JobStreamStats RackCosim::censored_stream_stats(
+    std::uint64_t& censored) const {
   // Censored-jobs accounting: jobs still in the backlog have a wait that is
   // only a LOWER bound, but leaving them out entirely is worse — a backed-up
   // queue would report the rosy tails of the jobs that escaped it.  Fold
-  // each queued job's wait-so-far into a report-time copy of the sketch and
-  // surface the censored counts alongside.
-  disagg::JobStreamStats stats_with_censored = stats_;
-  for (const PendingJob& pending : backlog_)
-    stats_with_censored.record_wait(
-        static_cast<double>(queue_.now() - pending.arrived) /
-        static_cast<double>(sim::kPsPerMs));
-  report.jobs = stats_with_censored.report();
-  report.jobs.censored_waiting = backlog_.size();
+  // each queued job's wait-so-far into a report-time copy of the sketch.
+  // Fault-requeued entries (record = false) are skipped: their wait was
+  // recorded at FIRST placement, and folding them again would both
+  // double-count the job in the wait sketch and break the invariant
+  //   wait count == accepted + censored_waiting
+  // that ties the sketch to the acceptance counters.
+  disagg::JobStreamStats out = stats_;
+  censored = 0;
+  for (const PendingJob& pending : backlog_) {
+    if (!pending.record) continue;
+    ++censored;
+    out.record_wait(static_cast<double>(queue_.now() - pending.arrived) /
+                    static_cast<double>(sim::kPsPerMs));
+  }
+  return out;
+}
+
+CosimReport RackCosim::report() const {
+  CosimReport report;
+  std::uint64_t censored_waiting = 0;
+  report.jobs = censored_stream_stats(censored_waiting).report();
+  report.jobs.censored_waiting = censored_waiting;
   report.jobs.censored_running = live_jobs_;
   report.jobs.events = queue_.stats();
   report.flows = engine_.report();

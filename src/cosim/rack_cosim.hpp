@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -150,19 +151,69 @@ class RackCosim {
   [[nodiscard]] std::uint64_t live_jobs() const { return live_jobs_; }
   [[nodiscard]] std::size_t queued_jobs() const { return backlog_.size(); }
 
- private:
   // Everything one job will do, drawn up front from the job's own RNG child
   // stream at arrival — *before* placement.  Acceptance therefore never
   // perturbs later jobs' draws: the offered stream is identical across
   // policies and feedback modes, which is what makes closed-vs-open and
-  // static-vs-disaggregated controlled comparisons.
+  // static-vs-disaggregated controlled comparisons.  Public so a cluster
+  // coordinator (cluster::ClusterCosim) can carry a plan from the rack that
+  // drew it to the rack that runs it; the remote_* tags are inert for
+  // rack-local jobs (cap 1.0 multiplies speed by exactly 1.0, link -1 never
+  // fires the close handler), so a standalone rack is bit-identical to one
+  // built before spill-over existed.
   struct JobPlan {
     disagg::JobRequest request;
     int breadth = 1;
     sim::TimePs base_hold = 1;
     std::vector<net::FlowSpec> flows;
+    // --- cluster spill-over tags ---
+    double remote_speed_cap = 1.0;  // inter-rack grant / requested Gb/s
+    int remote_link = -1;           // InterRackFabric link id; -1 = local
+    double remote_gbps = 0.0;       // reserved inter-rack bandwidth
   };
 
+  /// Offered a job the rack cannot admit (drop-mode placement failure or a
+  /// full kQueue backlog).  Return true to take ownership — the rack then
+  /// counts the job as offered-but-not-accepted locally and neither drops
+  /// nor traces it.  Called inside the event loop; a cluster coordinator
+  /// must only record the request (per-rack outbox) and act at a barrier.
+  using SpillHandler =
+      std::function<bool(const JobPlan& plan, sim::TimePs arrived)>;
+  /// A spilled job released its inter-rack reservation: on completion or
+  /// revocation (placed = true) or because it could not be admitted at the
+  /// target rack either (placed = false — the spill was lost).
+  using RemoteCloseHandler =
+      std::function<void(int link, double gbps, sim::TimePs at, bool placed)>;
+
+  void set_spill_handler(SpillHandler h) { spill_ = std::move(h); }
+  void set_remote_close_handler(RemoteCloseHandler h) {
+    remote_close_ = std::move(h);
+  }
+
+  /// Deliver a job spilled from another rack: at `deliver_at` (the spill
+  /// time plus the inter-rack hop) the plan joins this rack's admission
+  /// path exactly like a local arrival, except the job is NOT offered here
+  /// (its origin already counted it) and keeps its original `arrived` time
+  /// so wait statistics include the transfer.  If this rack cannot admit it
+  /// either, the remote-close handler fires with placed = false.
+  void inject_remote_job(JobPlan plan, sim::TimePs deliver_at,
+                         sim::TimePs arrived);
+
+  /// Timestamp of this rack's next pending event (INT64_MAX when drained) —
+  /// the quantity a conservative-window cluster loop takes the minimum of.
+  [[nodiscard]] sim::TimePs next_event_time() { return queue_.next_time(); }
+
+  // --- report-assembly accessors (cluster aggregation; see report()) ---
+  /// Copy of the stream statistics with censored waits folded in: every
+  /// *recorded* backlog entry contributes its wait-so-far, and `censored`
+  /// receives that count.  Fault-requeued entries (record = false) are
+  /// excluded — their original wait was already recorded at first placement.
+  [[nodiscard]] disagg::JobStreamStats censored_stream_stats(
+      std::uint64_t& censored) const;
+  [[nodiscard]] const sim::RunningStats& speed_stats() const { return speed_; }
+  [[nodiscard]] const sim::RunningStats& stretch_stats() const { return stretch_; }
+
+ private:
   /// A planned job waiting in the kQueue backlog for resources.  `retries`
   /// and `record` carry fault-requeue state: a re-admitted victim keeps its
   /// original arrival time and is never double-counted in the acceptance /
@@ -219,15 +270,16 @@ class RackCosim {
   fault::FaultStats fstats_;
   std::unordered_map<std::uint64_t, LiveJob> live_map_;
   std::uint64_t next_live_id_ = 1;
-  std::vector<char> mcm_up_;    // per MCM: 1 while healthy
-  std::vector<char> link_cut_;  // per (src,dst): 1 while the pair is cut
-  std::vector<char> laser_deg_; // per src MCM: 1 while its comb is degraded
   /// Per rack node: 0 = free, kNodeOffline = crashed, else the static job
   /// id exclusively holding it.  Disagg jobs never own entries here; their
   /// node dependency is the round-robin `home_node` on the LiveJob.
   static constexpr std::uint64_t kNodeOffline = ~std::uint64_t{0};
   std::vector<std::uint64_t> node_owner_;
   std::size_t next_home_ = 0;
+
+  // --- cluster hooks (null for a standalone rack — zero behavior change) ---
+  SpillHandler spill_;
+  RemoteCloseHandler remote_close_;
 
   // --- observability (null by default; see attach contract on the ctor) ---
   obs::Obs obs_{};
@@ -268,8 +320,14 @@ class RackCosim {
   void schedule_retry(JobPlan plan, sim::TimePs arrived, int retries);
   void bind_nodes(std::uint64_t job_id);
   void unbind_nodes(const LiveJob& job);
-  void update_pair_scale(int src, int dst);
-  void update_mcm_scales(int mcm);
+  // Fault capacity effects ride the fabric's composable factor stack
+  // (push_pair_factor / pop_pair_factor), so overlapping faults on the same
+  // pair — an MCM crash atop a degraded laser — compose multiplicatively
+  // and each repair removes exactly its own contribution.  `fail` pushes,
+  // repair pops the same value.
+  void scale_mcm_pairs(int mcm, double factor, bool fail);   // both directions
+  void scale_laser_pairs(int src, double factor, bool fail); // src side only
+  void close_remote(const JobPlan& plan, bool placed);
 };
 
 /// Run-to-completion convenience over RackCosim.

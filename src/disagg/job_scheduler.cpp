@@ -25,6 +25,19 @@ TailStats tails_of(const sim::QuantileSketch& sketch) {
 }
 }  // namespace
 
+void JobStreamStats::merge(const JobStreamStats& other) {
+  offered_ += other.offered_;
+  accepted_ += other.accepted_;
+  cpu_util_.merge(other.cpu_util_);
+  gpu_util_.merge(other.gpu_util_);
+  mem_util_.merge(other.mem_util_);
+  marooned_cpu_.merge(other.marooned_cpu_);
+  marooned_mem_.merge(other.marooned_mem_);
+  wait_ms_.merge(other.wait_ms_);
+  slowdown_.merge(other.slowdown_);
+  fct_ms_.merge(other.fct_ms_);
+}
+
 JobSimReport JobStreamStats::report() const {
   JobSimReport report;
   report.offered = offered_;

@@ -96,6 +96,11 @@ class JobStreamStats {
   [[nodiscard]] std::uint64_t offered() const { return offered_; }
   [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
   [[nodiscard]] JobSimReport report() const;
+  /// Fold another stream's telemetry into this one (counter sums, mean and
+  /// sketch merges).  Sketch merges are exact and order-independent, so a
+  /// cluster report aggregated rack-by-rack carries the same tails as one
+  /// stream that saw every job — sharding never moves a quantile.
+  void merge(const JobStreamStats& other);
 
  private:
   std::uint64_t offered_ = 0;

@@ -106,13 +106,55 @@ double WavelengthFabric::utilization() const {
   return cap > 0.0 ? used / cap : 0.0;
 }
 
-void WavelengthFabric::set_pair_scale(int src, int dst, double scale) {
+void WavelengthFabric::check_pair(int src, int dst, double value,
+                                  const char* who) const {
   if (src == dst || src < 0 || dst < 0 || src >= mcms_ || dst >= mcms_)
-    throw std::invalid_argument("set_pair_scale: bad pair");
-  if (scale < 0.0 || scale > 1.0)
-    throw std::invalid_argument("set_pair_scale: scale must be in [0,1]");
+    throw std::invalid_argument(std::string(who) + ": bad pair");
+  if (value < 0.0 || value > 1.0)
+    throw std::invalid_argument(std::string(who) + ": value must be in [0,1]");
+}
+
+void WavelengthFabric::recompute_scale(int src, int dst) {
+  // Product over a value-sorted copy: the effective scale depends only on
+  // the SET of live factors, never on push order, so two fault histories
+  // that leave the same faults active read identical capacity bits.  No
+  // factors multiplies nothing into 1.0 — the exact healthy scale.
+  std::vector<double> live = factors_[idx(src, dst)];
+  std::sort(live.begin(), live.end());
+  double scale = 1.0;
+  for (const double f : live) scale *= f;
+  scale_[idx(src, dst)] = scale;
+}
+
+void WavelengthFabric::push_pair_factor(int src, int dst, double factor) {
+  check_pair(src, dst, factor, "push_pair_factor");
   if (scale_.empty())
     scale_.assign(static_cast<std::size_t>(mcms_) * mcms_, 1.0);
+  if (factors_.empty())
+    factors_.assign(static_cast<std::size_t>(mcms_) * mcms_, {});
+  factors_[idx(src, dst)].push_back(factor);
+  recompute_scale(src, dst);
+}
+
+void WavelengthFabric::pop_pair_factor(int src, int dst, double factor) {
+  check_pair(src, dst, factor, "pop_pair_factor");
+  if (factors_.empty())
+    throw std::logic_error("pop_pair_factor: no factors live on the fabric");
+  auto& live = factors_[idx(src, dst)];
+  const auto it = std::find(live.begin(), live.end(), factor);
+  if (it == live.end())
+    throw std::logic_error("pop_pair_factor: factor not live on this pair");
+  live.erase(it);
+  recompute_scale(src, dst);
+}
+
+void WavelengthFabric::set_pair_scale(int src, int dst, double scale) {
+  check_pair(src, dst, scale, "set_pair_scale");
+  if (scale_.empty())
+    scale_.assign(static_cast<std::size_t>(mcms_) * mcms_, 1.0);
+  // Absolute override: any composed fault factors on the pair are dropped so
+  // the pair reads exactly `scale` afterwards.
+  if (!factors_.empty()) factors_[idx(src, dst)].clear();
   scale_[idx(src, dst)] = scale;
 }
 

@@ -74,8 +74,27 @@ class WavelengthFabric {
   // historical arithmetic when scale == 1 — a fault-free fabric stays
   // byte-identical to one built before this hook existed.
 
-  /// Set the directed pair's capacity multiplier; throws
-  /// std::invalid_argument outside [0,1] or for src == dst.
+  // Faults COMPOSE: several independent faults (an MCM crash, a link cut, a
+  // degraded comb laser) can degrade the same directed pair at once, and
+  // each repair must undo exactly its own fault's contribution.  An
+  // absolute setter cannot express that — repairing one fault would clobber
+  // the scale another still-active fault imposed — so each fault pushes a
+  // multiplicative factor and pops the same value on repair.  The effective
+  // scale is the product of the pair's live factors, recomputed in
+  // ascending-value order so it is independent of the push sequence, and an
+  // empty factor list restores exactly 1.0 (bit-exact healthy arithmetic).
+
+  /// Contribute one fault's capacity factor to the directed pair; throws
+  /// std::invalid_argument outside [0,1] or for a bad pair.
+  void push_pair_factor(int src, int dst, double factor);
+  /// Remove one previously pushed factor (matched by value); throws
+  /// std::logic_error when no such factor is live on the pair.
+  void pop_pair_factor(int src, int dst, double factor);
+
+  /// Set the directed pair's capacity multiplier absolutely, dropping any
+  /// pushed factors on the pair; throws std::invalid_argument outside [0,1]
+  /// or for src == dst.  Test/diagnostic hook — fault paths use the
+  /// composable push/pop API above.
   void set_pair_scale(int src, int dst, double scale);
   [[nodiscard]] double pair_scale(int src, int dst) const {
     return scale_.empty() ? 1.0 : scale_[idx(src, dst)];
@@ -87,7 +106,11 @@ class WavelengthFabric {
   double gbps_per_lambda_;
   std::vector<int> lambdas_;             // wavelengths per port, per AWGR
   std::vector<std::vector<double>> alloc_;  // [awgr][src*mcms+dst] allocated Gb/s
-  std::vector<double> scale_;            // per-pair capacity multiplier (lazy)
+  std::vector<double> scale_;            // per-pair effective multiplier (lazy)
+  std::vector<std::vector<double>> factors_;  // per-pair live fault factors (lazy)
+
+  void check_pair(int src, int dst, double value, const char* who) const;
+  void recompute_scale(int src, int dst);
 
   [[nodiscard]] std::size_t idx(int src, int dst) const {
     return static_cast<std::size_t>(src) * mcms_ + dst;

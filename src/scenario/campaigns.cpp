@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "cluster/cluster_cosim.hpp"
 #include "config/bindings.hpp"
 #include "core/rack_system.hpp"
 #include "cosim/rack_cosim.hpp"
@@ -599,6 +600,56 @@ std::vector<Axis> cosim_blast_radius_axes() {
           {"cosim.horizon_ms", {"200"}}};
 }
 
+// ---------------------------------------------------------------------------
+// Cluster co-simulation: rack-scale vs cluster-scale disaggregation (Ajibola
+// et al. framing from PAPERS.md).  spill=none keeps every rack an island —
+// overflow is lost but the inter-rack uplinks stay dark; next/least light
+// the uplinks and trade interconnect watts for cluster-wide acceptance.
+// Rows are deterministic at any --jobs level AND any cluster worker count
+// (the conservative-window loop; byte-compared in CI's cluster smoke step).
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string> kClusterEnergyColumns = {
+    "policy",          "spill",        "racks",        "arrivals_per_ms",
+    "offered",         "accepted",     "acceptance",   "spilled",
+    "spill_failed",    "energy_kj",    "interconnect_kw", "kj_per_job",
+    "barriers"};
+
+std::vector<ResultRow> eval_cluster_energy(const ScenarioSpec& spec) {
+  const auto report = cluster::run_cluster_cosim(
+      spec.resolve<rack::RackConfig>("rack"),
+      disagg::allocation_policy_codec().parse(spec.at("policy")),
+      workloads::UsageModel::cori(), spec.resolve<cluster::ClusterConfig>("cluster"),
+      cosim_config_from(spec));
+  const auto& jobs = report.total.jobs;
+  const double kj = report.total.energy_joules / 1e3;
+  ResultRow row;
+  row.cells = {spec.at("policy"),
+               spec.at("cluster.spill"),
+               spec.at("cluster.racks"),
+               spec.at("cosim.arrivals_per_ms"),
+               num_to_string(static_cast<double>(jobs.offered)),
+               num_to_string(static_cast<double>(jobs.accepted)),
+               num_to_string(jobs.acceptance()),
+               num_to_string(static_cast<double>(report.spilled)),
+               num_to_string(static_cast<double>(report.spill_failed)),
+               num_to_string(kj),
+               num_to_string(report.interconnect_power_w / 1e3),
+               num_to_string(jobs.accepted
+                                 ? kj / static_cast<double>(jobs.accepted)
+                                 : 0.0),
+               num_to_string(static_cast<double>(report.barriers))};
+  return {std::move(row)};
+}
+
+std::vector<Axis> cluster_energy_axes() {
+  return {{"policy", {"disagg"}},
+          {"cluster.spill", {"none", "next", "least"}},
+          {"cluster.racks", {"4"}},
+          {"cosim.arrivals_per_ms", {"6", "12"}},
+          {"cosim.horizon_ms", {"120"}}};
+}
+
 std::vector<Campaign> make_campaigns() {
   std::vector<Campaign> all;
 
@@ -697,6 +748,14 @@ std::vector<Campaign> make_campaigns() {
       kCosimBlastRadiusColumns,
       cosim_blast_radius_axes(),
       eval_cosim_blast_radius});
+
+  all.push_back(Campaign{
+      "cluster_energy",
+      "Rack-scale vs cluster-scale disaggregation: acceptance and energy",
+      "multi-rack cluster co-simulation (deterministic parallel event loop)",
+      kClusterEnergyColumns,
+      cluster_energy_axes(),
+      eval_cluster_energy});
 
   return all;
 }

@@ -34,6 +34,17 @@ bool EventQueue::step() {
   return false;
 }
 
+TimePs EventQueue::next_time() {
+  while (!heap_.empty()) {
+    if (pending_ids_.count(heap_.top().seq) == 0) {
+      heap_.pop();  // cancelled: discard while peeking
+      continue;
+    }
+    return heap_.top().time;
+  }
+  return INT64_MAX;
+}
+
 std::uint64_t EventQueue::run(TimePs until) {
   std::uint64_t n = 0;
   while (!heap_.empty()) {

@@ -55,6 +55,13 @@ class EventQueue {
   /// Returns the number of events executed.
   std::uint64_t run(TimePs until = INT64_MAX);
 
+  /// Timestamp of the next pending event, or INT64_MAX when drained.
+  /// Prunes lazily-cancelled entries off the heap top first, so the answer
+  /// is the time step() would actually execute next — the lower bound a
+  /// conservative-window coordinator (cluster::ClusterCosim) synchronizes
+  /// on.  Does not advance time or run anything.
+  [[nodiscard]] TimePs next_time();
+
   [[nodiscard]] TimePs now() const { return now_; }
   [[nodiscard]] bool empty() const { return pending_ids_.empty(); }
   [[nodiscard]] std::uint64_t pending() const { return pending_ids_.size(); }

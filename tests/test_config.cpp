@@ -101,7 +101,8 @@ TEST(EnumCodecs, ParseErrorListsChoices) {
 TEST(Registry, KnowsEveryLayerSection) {
   const auto& reg = config::registry();
   for (const char* name :
-       {"system", "rack", "mcm", "cpusim", "gpusim", "net", "cosim", "phot"})
+       {"system", "rack", "mcm", "cpusim", "gpusim", "net", "cosim", "cluster",
+        "phot"})
     EXPECT_NE(reg.find_section(name), nullptr) << name;
   EXPECT_GE(reg.params().size(), 60u);
 }

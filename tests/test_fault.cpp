@@ -160,6 +160,55 @@ TEST(FaultFabric, PairScaleRejectsBadPairAndBadScale) {
   EXPECT_THROW(fabric.set_pair_scale(1, 2, 1.5), std::invalid_argument);
 }
 
+// The ISSUE 9 overlap fix: two faults degrading the same wavelength pair
+// must compose, and each repair must remove exactly its own contribution —
+// the last repair restores the healthy capacity bit for bit.  (The old
+// absolute set_pair_scale let the second fault clobber the first, so the
+// earlier repair "healed" a pair whose other fault was still active.)
+TEST(FaultFabric, OverlappingPairFactorsComposeAndUnwindExactly) {
+  net::WavelengthFabric fabric(
+      350, rack::build_rack_design(rack::FabricKind::kParallelAwgrs).awgr);
+  const double cap = fabric.direct_capacity(3, 9);
+  ASSERT_GT(cap, 0.0);
+
+  fabric.push_pair_factor(3, 9, 0.5);  // laser degradation
+  EXPECT_EQ(fabric.direct_capacity(3, 9), 0.5 * cap);
+  fabric.push_pair_factor(3, 9, 0.0);  // overlapping link cut dominates
+  EXPECT_EQ(fabric.direct_capacity(3, 9), 0.0);
+
+  fabric.pop_pair_factor(3, 9, 0.5);  // laser repairs first: pair stays dark
+  EXPECT_EQ(fabric.direct_capacity(3, 9), 0.0);
+  fabric.pop_pair_factor(3, 9, 0.0);  // link repair: healthy again, exactly
+  EXPECT_EQ(fabric.direct_capacity(3, 9), cap);
+  EXPECT_EQ(fabric.free_direct(3, 9), cap);
+
+  // Popping a factor that is not live is a repair-without-fail bug upstream.
+  EXPECT_THROW(fabric.pop_pair_factor(3, 9, 0.5), std::logic_error);
+}
+
+TEST(FaultFabric, FactorProductIsPushOrderIndependent) {
+  net::WavelengthFabric a(
+      350, rack::build_rack_design(rack::FabricKind::kParallelAwgrs).awgr);
+  net::WavelengthFabric b(
+      350, rack::build_rack_design(rack::FabricKind::kParallelAwgrs).awgr);
+  a.push_pair_factor(3, 9, 0.5);
+  a.push_pair_factor(3, 9, 0.25);
+  b.push_pair_factor(3, 9, 0.25);
+  b.push_pair_factor(3, 9, 0.5);
+  EXPECT_EQ(a.direct_capacity(3, 9), b.direct_capacity(3, 9));
+  EXPECT_EQ(a.direct_capacity(3, 9), 0.125 * a.direct_capacity(9, 3));
+}
+
+TEST(FaultFabric, SetPairScaleIsAnAbsoluteOverride) {
+  net::WavelengthFabric fabric(
+      350, rack::build_rack_design(rack::FabricKind::kParallelAwgrs).awgr);
+  const double cap = fabric.direct_capacity(3, 9);
+  fabric.push_pair_factor(3, 9, 0.5);
+  fabric.set_pair_scale(3, 9, 1.0);  // clears the live factors with it
+  EXPECT_EQ(fabric.direct_capacity(3, 9), cap);
+  EXPECT_THROW(fabric.pop_pair_factor(3, 9, 0.5), std::logic_error);
+}
+
 // ---------------------------------------------------------------------------
 // Co-simulation integration.
 // ---------------------------------------------------------------------------
@@ -305,6 +354,128 @@ TEST(FaultCosim, DisaggregatedBlastRadiusExceedsStatic) {
   EXPECT_EQ(stat.fault.mean_mttr_ms, disagg.fault.mean_mttr_ms);
   // Different blast radius: fabric-bound jobs see far more revocations.
   EXPECT_GT(disagg.fault.interrupted, stat.fault.interrupted);
+}
+
+// ---------------------------------------------------------------------------
+// Retry-admission semantics (ISSUE 9): the backlog is a kQueue-only
+// structure, retries compete for it on the same queue_cap bound as fresh
+// arrivals, and the censored-wait accounting excludes fault-requeued
+// entries whose wait was already recorded at first placement.
+// ---------------------------------------------------------------------------
+
+cosim::CosimConfig faulty_requeue_cosim() {
+  auto cfg = quick_cosim();
+  cfg.fault.enabled = true;
+  cfg.fault.policy = ResiliencePolicy::kRequeue;
+  cfg.fault.mcm_mtbf_ms = 60.0;
+  cfg.fault.node_mtbf_ms = 240.0;
+  return cfg;
+}
+
+// Under kDrop a retry never touches the backlog: it re-attempts placement
+// directly and backs off on failure, so a drop-mode run keeps wait
+// identically zero and the backlog identically empty no matter how many
+// jobs the fault engine requeues.
+TEST(FaultCosim, DropModeRetriesNeverTouchTheBacklog) {
+  auto cfg = faulty_requeue_cosim();
+  cfg.admission = cosim::AdmissionPolicy::kDrop;
+
+  cosim::RackCosim sim({}, disagg::AllocationPolicy::kDisaggregated,
+                       workloads::UsageModel::cori(), cfg);
+  for (sim::TimePs t = 10 * sim::kPsPerMs; t <= cfg.sim_time;
+       t += 10 * sim::kPsPerMs) {
+    sim.advance_to(t);
+    EXPECT_EQ(sim.queued_jobs(), 0u);
+  }
+  sim.finish();
+  const auto report = sim.report();
+  EXPECT_GT(report.fault.requeued, 0u);
+  EXPECT_EQ(report.jobs.censored_waiting, 0u);
+  EXPECT_EQ(report.jobs.wait_ms.count, report.jobs.accepted);
+  EXPECT_EQ(report.jobs.wait_ms.p999, 0.0);  // drop mode: placement or death
+}
+
+// Under kQueue a retry has no reserved headroom: the backlog never exceeds
+// queue_cap with retries in flight, and a retry that finds it full is
+// killed, not stashed.
+TEST(FaultCosim, RetriesRespectTheQueueCapBound) {
+  auto cfg = faulty_requeue_cosim();
+  cfg.arrivals_per_ms = 8.0;  // overload so the backlog is routinely full
+  cfg.admission = cosim::AdmissionPolicy::kQueue;
+  cfg.queue_cap = 2;
+
+  cosim::RackCosim sim({}, disagg::AllocationPolicy::kDisaggregated,
+                       workloads::UsageModel::cori(), cfg);
+  for (sim::TimePs t = sim::kPsPerMs; t <= cfg.sim_time; t += sim::kPsPerMs) {
+    sim.advance_to(t);
+    EXPECT_LE(sim.queued_jobs(), 2u);
+  }
+  sim.finish();
+  const auto report = sim.report();
+  EXPECT_GT(report.fault.requeued, 0u);
+  EXPECT_GT(report.fault.killed, 0u);  // some retries found the backlog full
+  EXPECT_EQ(sim.queued_jobs(), 0u);
+  EXPECT_EQ(sim.live_jobs(), 0u);
+}
+
+// The censored-wait fix: fault-requeued backlog entries (record = false)
+// already recorded their wait at first placement, so a mid-run report must
+// not fold them into the censored counts — censored_waiting undercounts the
+// raw backlog whenever a retry is parked in it, and the wait sketch ties
+// out exactly against the acceptance counters at every instant.
+TEST(FaultCosim, CensoredWaitExcludesFaultRequeuedEntries) {
+  auto cfg = faulty_requeue_cosim();
+  cfg.arrivals_per_ms = 8.0;
+  cfg.admission = cosim::AdmissionPolicy::kQueue;
+  cfg.queue_cap = 64;
+
+  cosim::RackCosim sim({}, disagg::AllocationPolicy::kDisaggregated,
+                       workloads::UsageModel::cori(), cfg);
+  bool saw_parked_retry = false;
+  for (sim::TimePs t = sim::kPsPerMs; t <= cfg.sim_time; t += sim::kPsPerMs) {
+    sim.advance_to(t);
+    const auto mid = sim.report();
+    EXPECT_EQ(mid.jobs.wait_ms.count,
+              mid.jobs.accepted + mid.jobs.censored_waiting);
+    EXPECT_LE(mid.jobs.censored_waiting, sim.queued_jobs());
+    saw_parked_retry |= mid.jobs.censored_waiting < sim.queued_jobs();
+  }
+  // Deterministic for the fixed seed: at least one sampling instant caught a
+  // fault-requeued job waiting in the backlog (the case the fix excludes).
+  EXPECT_TRUE(saw_parked_retry);
+  sim.finish();
+  const auto fin = sim.report();
+  EXPECT_EQ(fin.jobs.censored_waiting, 0u);
+  EXPECT_EQ(fin.jobs.wait_ms.count, fin.jobs.accepted);
+}
+
+// Requeue re-entrancy: a retry that lands in the backlog immediately drains
+// it (schedule_retry -> push -> drain_backlog while a drain may already be
+// on the stack).  The pin: the run stays FIFO-fair and conserves every job
+// — nothing is lost, double-placed, or left behind — and the whole
+// trajectory is reproducible.
+TEST(FaultCosim, RequeuePushThenDrainConservesJobsAndStaysDeterministic) {
+  auto cfg = faulty_requeue_cosim();
+  cfg.admission = cosim::AdmissionPolicy::kQueue;
+  cfg.queue_cap = 64;  // ample: no retry should die on a full backlog
+
+  cosim::RackCosim sim({}, disagg::AllocationPolicy::kDisaggregated,
+                       workloads::UsageModel::cori(), cfg);
+  sim.finish();
+  const auto a = sim.report();
+  EXPECT_GT(a.fault.requeued, 0u);
+  // Conservation: the drain leaves nothing parked or running, so every
+  // accepted job either completed or was killed by retry exhaustion.
+  EXPECT_EQ(sim.queued_jobs(), 0u);
+  EXPECT_EQ(sim.live_jobs(), 0u);
+  EXPECT_EQ(a.fault.goodput_jobs + a.fault.killed, a.jobs.accepted);
+  EXPECT_EQ(a.jobs.censored_waiting, 0u);
+  EXPECT_EQ(a.jobs.censored_running, 0u);
+
+  const auto b = run_with(disagg::AllocationPolicy::kDisaggregated, cfg);
+  expect_job_stats_identical(a, b);
+  EXPECT_EQ(a.fault.requeued, b.fault.requeued);
+  EXPECT_EQ(a.fault.killed, b.fault.killed);
 }
 
 // ---------------------------------------------------------------------------
