@@ -16,8 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "collectives/collective.hpp"
+#include "collectives/runner.hpp"
 #include "core/rack_system.hpp"
 #include "cpusim/miss_profile.hpp"
+#include "net/flow_sim.hpp"
 #include "cpusim/runner.hpp"
 #include "net/routing.hpp"
 #include "sim/event_queue.hpp"
@@ -164,6 +167,48 @@ void BM_LatencySweepRecordReplay(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * std::size(kSweepGrid));
 }
 BENCHMARK(BM_LatencySweepRecordReplay);
+
+// One full collective step (all phases, open/advance/close on the live
+// fabric) per iteration — the inner loop of every ML training job in the
+// co-simulation, isolated so the pattern/scale cost is visible.
+rack::AwgrFabricPlan collective_slice_plan(int mcms) {
+  rack::AwgrFabricPlan plan;
+  plan.parallel_awgrs = 1;
+  plan.awgr_radix = mcms;
+  plan.port_wavelength_cap = mcms;
+  plan.lambdas_per_port.assign(1, mcms);
+  plan.full_coverage_awgrs = 1;
+  plan.min_direct_lambdas_per_pair = 1;
+  plan.direct_pair_bandwidth = phot::Gbps{25.0};
+  return plan;
+}
+
+void BM_CollectiveStep(benchmark::State& state, collectives::Pattern pattern,
+                       int endpoints) {
+  std::uint64_t flows = 0;
+  for (auto _ : state) {
+    net::WavelengthFabric fabric(24, collective_slice_plan(24));
+    net::FlowEngine engine(fabric, 10 * sim::kPsPerUs, 42);
+    sim::EventQueue queue;
+    collectives::CollectiveSpec spec;
+    spec.pattern = pattern;
+    spec.endpoints.resize(static_cast<std::size_t>(endpoints));
+    for (int i = 0; i < endpoints; ++i) spec.endpoints[static_cast<std::size_t>(i)] = i % 24;
+    spec.bytes = 64e6;
+    collectives::CollectiveRunner runner(engine, queue, spec);
+    collectives::CollectiveResult result;
+    runner.start([&](const collectives::CollectiveResult& r) { result = r; });
+    queue.run();
+    benchmark::DoNotOptimize(result);
+    flows = result.flows;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["flows"] = static_cast<double>(flows);
+}
+BENCHMARK_CAPTURE(BM_CollectiveStep, ring_8, collectives::Pattern::kRingAllReduce, 8);
+BENCHMARK_CAPTURE(BM_CollectiveStep, ring_24, collectives::Pattern::kRingAllReduce, 24);
+BENCHMARK_CAPTURE(BM_CollectiveStep, alltoall_8, collectives::Pattern::kAllToAll, 8);
+BENCHMARK_CAPTURE(BM_CollectiveStep, alltoall_24, collectives::Pattern::kAllToAll, 24);
 
 void BM_IndirectRouting(benchmark::State& state) {
   core::RackSystem system(rack::FabricKind::kParallelAwgrs);

@@ -245,6 +245,9 @@ ClusterReport ClusterCosim::report() const {
   total.jobs.censored_running = censored_running;
 
   sim::RunningStats speed, stretch;
+  // ML training tails merge exactly like the job stream: counter sums plus
+  // order-independent sketch merges, so sharding never moves a quantile.
+  cosim::MlStreamStats ml;
   for (std::size_t r = 0; r < racks_.size(); ++r) {
     const cosim::CosimReport& rr = out.racks[r];
     total.jobs.events.scheduled += rr.jobs.events.scheduled;
@@ -285,6 +288,8 @@ ClusterReport ClusterCosim::report() const {
     total.fault.killed += rr.fault.killed;
     total.fault.goodput_jobs += rr.fault.goodput_jobs;
     total.fault.work_lost_ms += rr.fault.work_lost_ms;
+    ml.merge(racks_[r]->ml_stream_stats());
+    total.ml.enabled = total.ml.enabled || rr.ml.enabled;
   }
   if (const double n = static_cast<double>(total.flows.flows); n > 0.0) {
     total.flows.offered_gbps_mean /= n;
@@ -303,6 +308,11 @@ ClusterReport ClusterCosim::report() const {
   total.mean_speed_fraction = speed.count() ? speed.mean() : 1.0;
   total.mean_stretch = stretch.count() ? stretch.mean() : 1.0;
   total.max_stretch = stretch.count() ? stretch.max() : 1.0;
+  {
+    const bool enabled = total.ml.enabled;
+    total.ml = ml.report();
+    total.ml.enabled = enabled;
+  }
   // The lit uplinks are part of what cluster-scale disaggregation costs:
   // fold them into the energy totals (rack-scale runs add exactly zero).
   total.energy_joules += out.interconnect_energy_j;

@@ -1,0 +1,116 @@
+#include "collectives/collective.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace photorack::collectives {
+
+const config::EnumCodec<Pattern>& pattern_codec() {
+  static const config::EnumCodec<Pattern> codec{
+      "collective pattern",
+      {{"ring", Pattern::kRingAllReduce},
+       {"alltoall", Pattern::kAllToAll},
+       {"ps", Pattern::kParamServer},
+       {"broadcast", Pattern::kBroadcast}}};
+  return codec;
+}
+
+namespace {
+
+std::vector<Phase> compile_ring(int ranks, double bytes) {
+  // Reduce-scatter (ranks-1 rounds) then all-gather (ranks-1 rounds); every
+  // round shifts one shard of bytes/ranks to the next rank on the ring.
+  const double shard = bytes / ranks;
+  std::vector<Phase> program(2 * (ranks - 1));
+  for (Phase& phase : program) {
+    phase.flows.reserve(ranks);
+    for (int i = 0; i < ranks; ++i) {
+      phase.flows.push_back({i, (i + 1) % ranks, shard});
+    }
+  }
+  return program;
+}
+
+std::vector<Phase> compile_alltoall(int ranks, double bytes) {
+  // Rotation schedule: round k pairs every rank with the one k hops ahead,
+  // so each round is a perfect matching of disjoint ordered pairs.
+  const double shard = bytes / (ranks - 1);
+  std::vector<Phase> program(ranks - 1);
+  for (int k = 1; k < ranks; ++k) {
+    Phase& phase = program[k - 1];
+    phase.flows.reserve(ranks);
+    for (int i = 0; i < ranks; ++i) {
+      phase.flows.push_back({i, (i + k) % ranks, shard});
+    }
+  }
+  return program;
+}
+
+std::vector<Phase> compile_param_server(int ranks, double bytes) {
+  // Workers push full gradients into rank 0 (in-cast), then rank 0 fans the
+  // reduced model back out (out-cast).
+  std::vector<Phase> program(2);
+  program[0].flows.reserve(ranks - 1);
+  program[1].flows.reserve(ranks - 1);
+  for (int i = 1; i < ranks; ++i) {
+    program[0].flows.push_back({i, 0, bytes});
+    program[1].flows.push_back({0, i, bytes});
+  }
+  return program;
+}
+
+std::vector<Phase> compile_broadcast(int ranks, double bytes) {
+  // Recursive doubling: after phase p, ranks [0, 2^(p+1)) hold the payload.
+  std::vector<Phase> program;
+  for (int covered = 1; covered < ranks; covered *= 2) {
+    Phase phase;
+    const int senders = std::min(covered, ranks - covered);
+    phase.flows.reserve(senders);
+    for (int i = 0; i < senders; ++i) {
+      phase.flows.push_back({i, i + covered, bytes});
+    }
+    program.push_back(std::move(phase));
+  }
+  return program;
+}
+
+}  // namespace
+
+std::vector<Phase> compile(Pattern pattern, int ranks, double bytes) {
+  if (ranks < 1) {
+    throw std::invalid_argument("collective ranks must be >= 1, got " +
+                                std::to_string(ranks));
+  }
+  if (!(bytes >= 0.0)) {
+    throw std::invalid_argument("collective bytes must be >= 0");
+  }
+  if (ranks == 1) return {};
+  switch (pattern) {
+    case Pattern::kRingAllReduce:
+      return compile_ring(ranks, bytes);
+    case Pattern::kAllToAll:
+      return compile_alltoall(ranks, bytes);
+    case Pattern::kParamServer:
+      return compile_param_server(ranks, bytes);
+    case Pattern::kBroadcast:
+      return compile_broadcast(ranks, bytes);
+  }
+  throw std::invalid_argument("unhandled collective pattern");
+}
+
+double lower_bound_seconds(Pattern pattern, int ranks, double bytes, double gbps) {
+  if (!(gbps > 0.0)) {
+    throw std::invalid_argument("collective bandwidth must be > 0 Gb/s");
+  }
+  double seconds = 0.0;
+  for (const Phase& phase : compile(pattern, ranks, bytes)) {
+    double slowest = 0.0;
+    for (const PhaseFlow& flow : phase.flows) {
+      slowest = std::max(slowest, flow.bytes * 8.0 / (gbps * 1e9));
+    }
+    seconds += slowest;
+  }
+  return seconds;
+}
+
+}  // namespace photorack::collectives

@@ -5,6 +5,7 @@
 #include "config/bindings.hpp"
 
 #include "cluster/cluster_cosim.hpp"
+#include "collectives/collective.hpp"
 #include "cosim/rack_cosim.hpp"
 #include "cpusim/runner.hpp"
 #include "disagg/allocator.hpp"
@@ -353,6 +354,39 @@ void register_fault(ParamRegistry& reg) {
             "requeue backoff ceiling", {0.001, 1e6});
 }
 
+void register_ml(ParamRegistry& reg) {
+  // `electronic` is deliberately NOT registered: it is the campaign-level
+  // fabric baseline switch (set by the free "fabric" axis), not a knob a
+  // manifest should carry independently of that axis.  With enabled=false
+  // (or mix_fraction=0) the ML branch never draws, so every output byte
+  // matches a build without the section (pinned by test_collectives).
+  reg.section<collectives::MlConfig>(
+         "ml", "collectives::MlConfig",
+         "ML training jobs: collectives on the wavelength fabric")
+      .bind("enabled", &collectives::MlConfig::enabled,
+            "admit training jobs into the co-sim job stream")
+      .bind_enum("pattern", &collectives::MlConfig::pattern,
+                 collectives::pattern_codec(),
+                 "collective pattern of each training step")
+      .bind("accelerators", &collectives::MlConfig::accelerators,
+            "accelerators (collective ranks) per training job", {2, 4096})
+      .bind("gradient_mb", &collectives::MlConfig::gradient_mb,
+            "gradient payload per step, in MB", {0.001, 1e6})
+      .bind("steps", &collectives::MlConfig::steps,
+            "training steps per job", {1, 100000})
+      .bind("compute_ms", &collectives::MlConfig::compute_ms,
+            "per-step compute segment before the collective", {0, 1e6})
+      .bind("mix_fraction", &collectives::MlConfig::mix_fraction,
+            "fraction of arrivals that are ML jobs (1 = pure ML)", {0, 1})
+      .bind("demand_gbps", &collectives::MlConfig::demand_gbps,
+            "per-flow bandwidth demand of a collective phase", {0.1, 1e4})
+      .bind("electronic_derate", &collectives::MlConfig::electronic_derate,
+            "achieved-rate multiplier of the electronic baseline fabric",
+            {0.001, 1})
+      .bind("jitter_frac", &collectives::MlConfig::jitter_frac,
+            "per-step compute jitter amplitude (straggler model)", {0, 10});
+}
+
 void register_phot(ParamRegistry& reg) {
   // Only the ASSUMPTION knobs are registered: the geometry fields (mcms,
   // wavelengths_per_mcm, gbps_per_wavelength) are derived from the built
@@ -406,6 +440,7 @@ const ParamRegistry& registry() {
     register_cosim(*r);
     register_cluster(*r);
     register_fault(*r);
+    register_ml(*r);
     register_obs(*r);
     register_phot(*r);
     return r;

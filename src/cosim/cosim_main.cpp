@@ -27,6 +27,7 @@
 #include <string>
 
 #include "cluster/cluster_cosim.hpp"
+#include "collectives/collective.hpp"
 #include "config/bindings.hpp"
 #include "config/manifest.hpp"
 #include "cosim/rack_cosim.hpp"
@@ -60,6 +61,10 @@ void print_usage(std::ostream& os) {
         "                          (interconnect knobs: --set cluster.*)\n"
         "  --faults                arm the seed-derived fault timeline\n"
         "                          (rates/policy via --set fault.*)\n"
+        "  --ml                    admit ML training jobs (collective-gated\n"
+        "                          steps; shape knobs: --set ml.*)\n"
+        "  --collective <P>        ML collective pattern, implies --ml:\n"
+        "                          ring|alltoall|ps|broadcast\n"
         "  --mtbf-ms <M>           arm faults with MCM and node MTBF = M ms\n"
         "  --resilience <P>        victim policy: kill|requeue|degrade\n"
         "  --set <path>=<value>    set any registered cosim/net/rack/obs knob\n"
@@ -151,6 +156,18 @@ CliOptions parse_cli(int argc, char** argv) {
       } catch (const std::exception& e) {
         throw std::invalid_argument("--mtbf-ms: " + std::string(e.what()));
       }
+    } else if (arg == "--ml") {
+      opt.tree.set("ml.enabled", "true");
+    } else if (arg == "--collective") {
+      // Validate eagerly so the error names the flag the user typed.
+      const std::string v = value("--collective");
+      try {
+        (void)collectives::pattern_codec().parse(v);
+      } catch (const std::exception& e) {
+        throw std::invalid_argument("--collective: " + std::string(e.what()));
+      }
+      opt.tree.set("ml.enabled", "true");
+      opt.tree.set("ml.pattern", v);
     } else if (arg == "--resilience") {
       const std::string v = value("--resilience");
       try {
@@ -200,6 +217,7 @@ int main(int argc, char** argv) {
     cosim::CosimConfig cfg = opt.tree.build<cosim::CosimConfig>("cosim");
     cfg.fabric = opt.tree.build<net::FabricSliceConfig>("net");
     cfg.fault = opt.tree.build<fault::FaultConfig>("fault");
+    cfg.ml = opt.tree.build<collectives::MlConfig>("ml");
     const rack::RackConfig rack = opt.tree.build<rack::RackConfig>("rack");
 
     if (!opt.manifest_path.empty()) {
@@ -327,6 +345,24 @@ int main(int argc, char** argv) {
                        sim::fmt_int(static_cast<long long>(f.goodput_jobs))});
         table.add_row({"work lost (ms)", sim::fmt_fixed(f.work_lost_ms, 2)});
         table.add_row({"mean MTTR (ms)", sim::fmt_fixed(f.mean_mttr_ms, 2)});
+      }
+      if (report.ml.enabled) {
+        const auto& ml = report.ml;
+        table.add_row({"ML jobs offered/accepted/completed",
+                       sim::fmt_int(static_cast<long long>(ml.jobs_offered)) + " / " +
+                           sim::fmt_int(static_cast<long long>(ml.jobs_accepted)) +
+                           " / " +
+                           sim::fmt_int(static_cast<long long>(ml.jobs_completed))});
+        table.add_row({"training steps",
+                       sim::fmt_int(static_cast<long long>(ml.steps)) + " (" +
+                           sim::fmt_int(static_cast<long long>(ml.collective_phases)) +
+                           " collective phases)"});
+        table.add_row({"step p50/p99 (ms)",
+                       sim::fmt_fixed(ml.step_ms.p50, 3) + " / " +
+                           sim::fmt_fixed(ml.step_ms.p99, 3)});
+        table.add_row({"collective fraction p50", sim::fmt_pct(ml.coll_frac.p50)});
+        table.add_row({"straggler stretch p99",
+                       sim::fmt_fixed(ml.straggler.p99, 3)});
       }
       if (opt.cluster) {
         table.add_row({"racks",

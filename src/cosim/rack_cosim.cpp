@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 #include "rack/rack_builder.hpp"
+#include "workloads/ml_profiles.hpp"
 
 namespace photorack::cosim {
 
@@ -59,6 +61,24 @@ CosimConfig validated(CosimConfig cfg, const rack::RackConfig& rack) {
     throw std::invalid_argument("RackCosim: idle_power_fraction must be in [0,1]");
   if (cfg.admission == AdmissionPolicy::kQueue && cfg.queue_cap < 1)
     throw std::invalid_argument("RackCosim: queue_cap must be >= 1 under queueing");
+  if (cfg.ml.enabled) {
+    if (cfg.ml.accelerators < 2)
+      throw std::invalid_argument("RackCosim: ml.accelerators must be >= 2");
+    if (cfg.ml.steps < 1)
+      throw std::invalid_argument("RackCosim: ml.steps must be >= 1");
+    if (cfg.ml.gradient_mb < 0.0)
+      throw std::invalid_argument("RackCosim: ml.gradient_mb must be >= 0");
+    if (cfg.ml.compute_ms < 0.0)
+      throw std::invalid_argument("RackCosim: ml.compute_ms must be >= 0");
+    if (cfg.ml.mix_fraction < 0.0 || cfg.ml.mix_fraction > 1.0)
+      throw std::invalid_argument("RackCosim: ml.mix_fraction must be in [0,1]");
+    if (cfg.ml.demand_gbps <= 0.0)
+      throw std::invalid_argument("RackCosim: ml.demand_gbps must be positive");
+    if (cfg.ml.electronic_derate <= 0.0 || cfg.ml.electronic_derate > 1.0)
+      throw std::invalid_argument("RackCosim: ml.electronic_derate must be in (0,1]");
+    if (cfg.ml.jitter_frac < 0.0)
+      throw std::invalid_argument("RackCosim: ml.jitter_frac must be >= 0");
+  }
   // The power trace describes the rack the allocator manages.
   cfg.baseline.nodes = rack.nodes;
   cfg.baseline.gpus_per_node = rack.node.gpus;
@@ -66,6 +86,47 @@ CosimConfig validated(CosimConfig cfg, const rack::RackConfig& rack) {
 }
 
 }  // namespace
+
+void MlStreamStats::record_step(double step_ms, double coll_frac, double straggler,
+                                int phases) {
+  ++steps_;
+  phases_ += static_cast<std::uint64_t>(phases);
+  step_ms_.add(step_ms);
+  coll_frac_.add(coll_frac);
+  straggler_.add(straggler);
+}
+
+void MlStreamStats::merge(const MlStreamStats& other) {
+  offered_ += other.offered_;
+  accepted_ += other.accepted_;
+  completed_ += other.completed_;
+  steps_ += other.steps_;
+  phases_ += other.phases_;
+  step_ms_.merge(other.step_ms_);
+  coll_frac_.merge(other.coll_frac_);
+  straggler_.merge(other.straggler_);
+}
+
+MlStats MlStreamStats::report() const {
+  const auto tails = [](const sim::QuantileSketch& sketch) {
+    disagg::TailStats t;
+    t.count = sketch.count();
+    t.p50 = sketch.quantile_or(0.5, 0.0);
+    t.p99 = sketch.quantile_or(0.99, 0.0);
+    t.p999 = sketch.quantile_or(0.999, 0.0);
+    return t;
+  };
+  MlStats out;
+  out.jobs_offered = offered_;
+  out.jobs_accepted = accepted_;
+  out.jobs_completed = completed_;
+  out.steps = steps_;
+  out.collective_phases = phases_;
+  out.step_ms = tails(step_ms_);
+  out.coll_frac = tails(coll_frac_);
+  out.straggler = tails(straggler_);
+  return out;
+}
 
 RackCosim::RackCosim(const rack::RackConfig& rack, disagg::AllocationPolicy policy,
                      const workloads::UsageModel& usage, CosimConfig cfg,
@@ -210,6 +271,13 @@ void RackCosim::schedule_next_sample() {
 }
 
 RackCosim::JobPlan RackCosim::make_plan(sim::Rng& rng) const {
+  // The ML branch is decided FIRST, before any HPC draw, and the predicate
+  // short-circuits without touching `rng` when ml is off (or mix is 0) —
+  // so a rack with `ml.*` at defaults draws the historical HPC stream byte
+  // for byte.
+  if (cfg_.ml.enabled && cfg_.ml.mix_fraction > 0.0 &&
+      (cfg_.ml.mix_fraction >= 1.0 || rng.uniform() < cfg_.ml.mix_fraction))
+    return make_ml_plan(rng);
   JobPlan plan;
   // The one definition of the §II-A demand shape, shared with
   // disagg::JobStreamSim — both simulators must offer identical job mixes
@@ -239,6 +307,66 @@ RackCosim::JobPlan RackCosim::make_plan(sim::Rng& rng) const {
   if (plan.request.gpus > 0)
     for (int i = 0; i < plan.breadth; ++i)
       plan.flows.push_back(draw_flow(cfg_.traffic_scale * cfg_.gpu_traffic_mult));
+  return plan;
+}
+
+RackCosim::JobPlan RackCosim::make_ml_plan(sim::Rng& rng) const {
+  const collectives::MlConfig& ml = cfg_.ml;
+  JobPlan plan;
+  plan.ml.is_ml = true;
+  plan.ml.pattern = ml.pattern;
+  plan.ml.bytes = ml.gradient_mb * 1e6;
+  plan.ml.steps = ml.steps;
+
+  // Resource demand: a gang of `accelerators` GPUs plus the host-side
+  // footprint from the per-accelerator profile.
+  const auto prof = workloads::MlAcceleratorProfile::a100_like();
+  const int per_node = std::max(1, rack_.node.gpus);
+  plan.breadth = (ml.accelerators + per_node - 1) / per_node;
+  plan.request.cpus =
+      static_cast<int>(std::ceil(prof.cpus_per_accel * ml.accelerators));
+  plan.request.gpus = ml.accelerators;
+  plan.request.memory_gb = prof.job_memory_gb(ml.accelerators, ml.gradient_mb);
+  plan.request.nic_gbps = prof.nic_gbps_per_accel * ml.accelerators;
+
+  // Rank endpoints: distinct MCMs while they last (partial Fisher-Yates over
+  // the endpoint range), then uniform wrap when a job has more ranks than
+  // the fabric has endpoints — wrapped ranks share an MCM and exchange
+  // locally, exactly like co-packaged accelerators.
+  const int mcms = cfg_.fabric.mcms;
+  std::vector<int> pool(static_cast<std::size_t>(mcms));
+  std::iota(pool.begin(), pool.end(), 0);
+  plan.ml.endpoints.reserve(static_cast<std::size_t>(ml.accelerators));
+  for (int i = 0; i < ml.accelerators; ++i) {
+    if (i < mcms) {
+      const std::size_t j = static_cast<std::size_t>(i) +
+                            rng.below(static_cast<std::uint64_t>(mcms - i));
+      std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+      plan.ml.endpoints.push_back(pool[static_cast<std::size_t>(i)]);
+    } else {
+      plan.ml.endpoints.push_back(
+          static_cast<int>(rng.below(static_cast<std::uint64_t>(mcms))));
+    }
+  }
+
+  // Compute segment, stretched by the slowest rank's jitter draw — the
+  // bulk-synchronous gate waits on the straggler.  No draws at jitter 0, so
+  // jitter-free streams match a build without the knob.
+  double jitter_mult = 1.0;
+  if (ml.jitter_frac > 0.0)
+    for (int i = 0; i < ml.accelerators; ++i)
+      jitter_mult = std::max(jitter_mult, 1.0 + ml.jitter_frac * rng.uniform());
+  plan.ml.compute = std::max<sim::TimePs>(
+      1, static_cast<sim::TimePs>(ml.compute_ms * jitter_mult *
+                                  static_cast<double>(sim::kPsPerMs)));
+
+  // base_hold anchors at the uncontended closed-form job time, so ML
+  // slowdown keeps the HPC meaning: time in system over ideal service time.
+  const double ideal_coll_s = collectives::lower_bound_seconds(
+      ml.pattern, ml.accelerators, plan.ml.bytes, ml.demand_gbps);
+  const double ideal_ps =
+      ml.steps * (static_cast<double>(plan.ml.compute) + ideal_coll_s * 1e12);
+  plan.base_hold = std::max<sim::TimePs>(1, static_cast<sim::TimePs>(ideal_ps));
   return plan;
 }
 
@@ -292,6 +420,33 @@ bool RackCosim::try_start(const JobPlan& plan, sim::TimePs arrived, int retries,
   job.alloc = alloc;
   job.arrived = arrived;
   job.retries = retries;
+  if (plan.ml.is_ml) {
+    // Training jobs skip the HPC hold/stretch machinery entirely: their
+    // lifetime is the event-driven step loop (compute segment, then a
+    // collective on the live fabric), so contention acts through achieved
+    // collective rates instead of a one-shot admission-time stretch.
+    if (record) mlstats_.accept();
+    const sim::TimePs wait = queue_.now() - arrived;
+    if (record) {
+      {
+        obs::ScopedTimer timer(obs_.profiler, sc_sketch_);
+        stats_.record_wait(to_ms(wait));
+      }
+      if (obs_.metrics) obs_.metrics->observe(m_.wait_ms, to_ms(wait));
+    }
+    if (obs_.trace)
+      obs_.trace->instant(
+          obs::Track::kJobs, "ml_placed", queue_.now(),
+          {{"wait_ms", to_ms(wait)},
+           {"ranks", static_cast<double>(plan.ml.endpoints.size())}});
+    job.placed_at = queue_.now();
+    job.segment_start = queue_.now();
+    job.speed = 1.0;
+    job.remaining_base = static_cast<double>(plan.base_hold);
+    if (faults_on_) bind_nodes(job_id);
+    start_ml_step(job_id);
+    return true;
+  }
   double requested = 0.0, satisfied = 0.0;
   job.flow_ids.reserve(plan.flows.size());
   for (const auto& spec : plan.flows) {
@@ -349,6 +504,64 @@ bool RackCosim::try_start(const JobPlan& plan, sim::TimePs arrived, int retries,
   return true;
 }
 
+void RackCosim::start_ml_step(std::uint64_t job_id) {
+  LiveJob& job = live_map_.at(job_id);
+  job.step_started = queue_.now();
+  // The compute event reuses the cancellable completion slot, so revoking a
+  // mid-compute victim kills it exactly like an HPC completion; during the
+  // collective this id is stale-but-fired and cancel is a safe no-op (the
+  // runner's abort covers the live phase event).
+  const auto compute = std::max<sim::TimePs>(1, job.plan.ml.compute);
+  job.completion = queue_.schedule_after(
+      compute, [this, job_id]() { on_ml_compute_done(job_id); });
+}
+
+void RackCosim::on_ml_compute_done(std::uint64_t job_id) {
+  LiveJob& job = live_map_.at(job_id);
+  collectives::CollectiveSpec spec;
+  spec.pattern = job.plan.ml.pattern;
+  spec.endpoints = job.plan.ml.endpoints;
+  spec.bytes = job.plan.ml.bytes;
+  spec.demand_gbps = cfg_.ml.demand_gbps;
+  // The electronic-baseline derate and a spilled job's inter-rack grant cap
+  // compose multiplicatively on the achieved rate (local photonic jobs carry
+  // exactly 1.0 for both).
+  spec.rate_scale =
+      std::clamp((cfg_.ml.electronic ? cfg_.ml.electronic_derate : 1.0) *
+                     job.plan.remote_speed_cap,
+                 cfg_.min_speed_fraction, 1.0);
+  spec.min_rate_fraction = cfg_.min_speed_fraction;
+  job.collective_started = queue_.now();
+  job.runner = std::make_unique<collectives::CollectiveRunner>(engine_, queue_,
+                                                               std::move(spec));
+  job.runner->start([this, job_id](const collectives::CollectiveResult& result) {
+    on_ml_collective_done(job_id, result);
+  });
+}
+
+void RackCosim::on_ml_collective_done(std::uint64_t job_id,
+                                      const collectives::CollectiveResult& result) {
+  LiveJob& job = live_map_.at(job_id);
+  job.runner.reset();
+  const double step_ms = to_ms(queue_.now() - job.step_started);
+  const double coll_ms = to_ms(queue_.now() - job.collective_started);
+  {
+    obs::ScopedTimer timer(obs_.profiler, sc_sketch_);
+    mlstats_.record_step(step_ms, step_ms > 0.0 ? coll_ms / step_ms : 0.0,
+                         result.straggler_stretch, result.phases);
+  }
+  if (obs_.trace)
+    obs_.trace->complete(obs::Track::kJobs, "ml_step", job.step_started,
+                         queue_.now(),
+                         {{"coll_ms", coll_ms},
+                          {"straggler", result.straggler_stretch}});
+  ++job.ml_step;
+  if (job.ml_step < job.plan.ml.steps)
+    start_ml_step(job_id);
+  else
+    complete_job(job_id);
+}
+
 void RackCosim::complete_job(std::uint64_t job_id) {
   const auto it = live_map_.find(job_id);
   if (it == live_map_.end())
@@ -365,6 +578,15 @@ void RackCosim::complete_job(std::uint64_t job_id) {
   if (faults_on_) {
     ++fstats_.goodput_jobs;
     unbind_nodes(job);
+  }
+  if (job.plan.ml.is_ml) {
+    // ML slowdown is known only at completion (steps ran at live collective
+    // speeds, not an admission-time stretch); revoked jobs never reach here,
+    // so a fault-requeued training job still records exactly once.
+    mlstats_.complete();
+    obs::ScopedTimer timer(obs_.profiler, sc_sketch_);
+    stats_.record_slowdown(static_cast<double>(queue_.now() - job.arrived) /
+                           static_cast<double>(job.plan.base_hold));
   }
   if (obs_.trace)
     obs_.trace->complete(obs::Track::kJobs, "job", job.placed_at, queue_.now(),
@@ -471,6 +693,19 @@ std::vector<std::uint64_t> RackCosim::victims_of(const fault::FaultEvent& ev) co
         // fabric to reach their memory.  A static job's flows model traffic
         // that is node-local in that regime, so fabric faults pass it by.
         if (!disagg) break;
+        if (job.plan.ml.is_ml) {
+          // A training job touches the fabric only during collective phases;
+          // mid-compute it has no open flows and a fabric fault passes it by.
+          if (job.runner) {
+            for (const net::FlowSpec& spec : job.runner->open_specs()) {
+              hit = ev.cls == fault::ComponentClass::kMcm
+                        ? (spec.src == ev.a || spec.dst == ev.a)
+                        : (spec.src == ev.a && spec.dst == ev.b);
+              if (hit) break;
+            }
+          }
+          break;
+        }
         for (std::size_t i = 0; i < job.flow_ids.size() && !hit; ++i) {
           if (!job.flow_open[i]) continue;
           const net::FlowSpec& spec = job.plan.flows[i];
@@ -504,6 +739,9 @@ void RackCosim::revoke_job(std::uint64_t job_id, const fault::FaultEvent& ev) {
   // on a revoked id would double-release the allocation (audited by the
   // event-queue cancel tests).
   queue_.cancel(job.completion);
+  // A mid-collective victim also holds phase flows and a pending phase
+  // event inside its runner; abort tears both down before the release.
+  if (job.runner) job.runner->abort();
   for (std::size_t i = 0; i < job.flow_ids.size(); ++i)
     if (job.flow_open[i]) engine_.close(job.flow_ids[i], now);
   allocator_.revoke(*job.alloc);
@@ -648,8 +886,11 @@ void RackCosim::on_fault(const fault::FaultEvent& ev) {
     for (const std::uint64_t id : victims_of(ev)) {
       // A crashed node cannot run degraded — its CPUs are gone.  Fabric
       // faults can: drop the dead flows and re-stretch the remainder.
+      // Training jobs cannot either: a collective with a dead phase flow is
+      // a broken gradient exchange, so ML victims always revoke.
       const bool degrade = cfg_.fault.policy == fault::ResiliencePolicy::kDegrade &&
-                           ev.cls != fault::ComponentClass::kNode;
+                           ev.cls != fault::ComponentClass::kNode &&
+                           !live_map_.at(id).plan.ml.is_ml;
       if (degrade)
         resume_degraded(id, ev);
       else
@@ -694,6 +935,7 @@ void RackCosim::on_arrival() {
   // every placement decision before it.
   sim::Rng job_rng = base_rng_.child(16 + next_job_index_++);
   JobPlan plan = make_plan(job_rng);
+  if (plan.ml.is_ml) mlstats_.offer();
 
   // A job the rack cannot admit is offered to the spill handler before being
   // dropped; a standalone rack (no handler) takes the historical drop path
@@ -803,6 +1045,8 @@ CosimReport RackCosim::report() const {
   report.photonic_power_w = photonic_w_;
   report.completed_at = queue_.now();
   report.fault = fstats_;
+  report.ml = mlstats_.report();
+  report.ml.enabled = cfg_.ml.enabled;
   return report;
 }
 

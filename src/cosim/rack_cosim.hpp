@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "collectives/collective.hpp"
+#include "collectives/runner.hpp"
 #include "config/enum_codec.hpp"
 #include "disagg/allocator.hpp"
 #include "disagg/job_scheduler.hpp"
@@ -105,6 +107,44 @@ struct CosimConfig {
   /// when disabled the engine is never constructed, no events are scheduled
   /// and every output byte matches a build without the feature.
   fault::FaultConfig fault;
+
+  // --- ML training jobs (the "ml" registry section) ---
+  /// Collective-communication training stream (src/collectives).  Disabled
+  /// by default; when disabled (or mix_fraction == 0) no plan ever branches
+  /// to the ML path, no extra RNG draws happen, and every output byte
+  /// matches a build without the feature.
+  collectives::MlConfig ml;
+};
+
+/// Tail telemetry of the training-job stream (all zero when `ml.*` is off).
+struct MlStats {
+  bool enabled = false;
+  std::uint64_t jobs_offered = 0;
+  std::uint64_t jobs_accepted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t steps = 0;             // training steps finished
+  std::uint64_t collective_phases = 0; // flow phases executed across all steps
+  disagg::TailStats step_ms;           // per-step wall time (compute + collective)
+  disagg::TailStats coll_frac;         // collective time / step time, in [0,1]
+  disagg::TailStats straggler;         // per-collective straggler stretch, >= 1
+};
+
+/// Sketch-backed accumulator behind MlStats; merges are exact and
+/// order-independent so cluster aggregation never moves a quantile
+/// (same contract as disagg::JobStreamStats).
+class MlStreamStats {
+ public:
+  void offer() { ++offered_; }
+  void accept() { ++accepted_; }
+  void complete() { ++completed_; }
+  void record_step(double step_ms, double coll_frac, double straggler, int phases);
+  void merge(const MlStreamStats& other);
+  [[nodiscard]] MlStats report() const;
+
+ private:
+  std::uint64_t offered_ = 0, accepted_ = 0, completed_ = 0;
+  std::uint64_t steps_ = 0, phases_ = 0;
+  sim::QuantileSketch step_ms_, coll_frac_, straggler_;
 };
 
 struct CosimReport {
@@ -119,6 +159,7 @@ struct CosimReport {
   double photonic_power_w = 0.0;  // constant lasers-on fabric overhead
   sim::TimePs completed_at = 0;   // queue time when the report was taken
   fault::FaultStats fault;        // all-zero defaults when faults are off
+  MlStats ml;                     // all-zero defaults when ml.* is off
 };
 
 class RackCosim {
@@ -170,6 +211,21 @@ class RackCosim {
     double remote_speed_cap = 1.0;  // inter-rack grant / requested Gb/s
     int remote_link = -1;           // InterRackFabric link id; -1 = local
     double remote_gbps = 0.0;       // reserved inter-rack bandwidth
+
+    /// Training-job plan (src/collectives): inert for HPC jobs (is_ml =
+    /// false, all other fields never read), so a rack without `ml.*` runs
+    /// the historical job path byte for byte.  Fully drawn at arrival like
+    /// everything else in the plan, so spilling an ML job to another rack
+    /// carries its collective schedule with it.
+    struct MlPlan {
+      bool is_ml = false;
+      collectives::Pattern pattern = collectives::Pattern::kRingAllReduce;
+      std::vector<int> endpoints;  // fabric MCM per rank
+      double bytes = 0.0;          // gradient payload per collective
+      int steps = 0;
+      sim::TimePs compute = 0;     // per-step compute segment (jitter folded in)
+    };
+    MlPlan ml;
   };
 
   /// Offered a job the rack cannot admit (drop-mode placement failure or a
@@ -212,6 +268,7 @@ class RackCosim {
       std::uint64_t& censored) const;
   [[nodiscard]] const sim::RunningStats& speed_stats() const { return speed_; }
   [[nodiscard]] const sim::RunningStats& stretch_stats() const { return stretch_; }
+  [[nodiscard]] const MlStreamStats& ml_stream_stats() const { return mlstats_; }
 
  private:
   /// A planned job waiting in the kQueue backlog for resources.  `retries`
@@ -242,6 +299,14 @@ class RackCosim {
     int retries = 0;
     int home_node = -1;               // disagg: node whose CPUs host the job
     std::vector<int> bound_nodes;     // static: exclusively owned nodes
+
+    // --- training-job state (null/zero for HPC jobs) ---
+    /// Live collective execution; behind a unique_ptr so the runner's queued
+    /// phase event survives LiveJob moves (unordered_map rehash).
+    std::unique_ptr<collectives::CollectiveRunner> runner;
+    int ml_step = 0;                  // steps finished so far
+    sim::TimePs step_started = 0;     // current step's compute-segment start
+    sim::TimePs collective_started = 0;
   };
 
   rack::RackConfig rack_;
@@ -260,6 +325,7 @@ class RackCosim {
   std::uint64_t live_jobs_ = 0;
   std::deque<PendingJob> backlog_;
   disagg::JobStreamStats stats_;  // shared with JobStreamSim: same telemetry
+  MlStreamStats mlstats_;         // training-stream tails (untouched when ml off)
   sim::RunningStats speed_, stretch_;
   phot::EnergyTrace energy_;
   double photonic_w_ = 0.0;
@@ -300,6 +366,7 @@ class RackCosim {
   MetricIds m_{};
 
   [[nodiscard]] JobPlan make_plan(sim::Rng& rng) const;
+  [[nodiscard]] JobPlan make_ml_plan(sim::Rng& rng) const;
   [[nodiscard]] double compute_power_w() const;
   void step_energy();
   void schedule_next_arrival();
@@ -308,6 +375,12 @@ class RackCosim {
                  bool record = true);
   void complete_job(std::uint64_t job_id);
   void drain_backlog();
+
+  // --- training-job step loop (reachable only for is_ml plans) ---
+  void start_ml_step(std::uint64_t job_id);
+  void on_ml_compute_done(std::uint64_t job_id);
+  void on_ml_collective_done(std::uint64_t job_id,
+                             const collectives::CollectiveResult& result);
   void setup_obs();
   void take_sample();
   void schedule_next_sample();

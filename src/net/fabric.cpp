@@ -91,6 +91,15 @@ void WavelengthFabric::release_direct(int src, int dst, double gbps) {
   if (gbps > 1e-9) throw std::logic_error("release_direct: released more than allocated");
 }
 
+std::vector<double> WavelengthFabric::allocation_snapshot() const {
+  std::vector<double> snapshot;
+  snapshot.reserve(alloc_.size() * static_cast<std::size_t>(mcms_) * mcms_);
+  for (const auto& table : alloc_) {
+    snapshot.insert(snapshot.end(), table.begin(), table.end());
+  }
+  return snapshot;
+}
+
 double WavelengthFabric::utilization() const {
   double cap = 0.0, used = 0.0;
   for (int a = 0; a < parallel_awgrs(); ++a) {

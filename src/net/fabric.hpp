@@ -58,6 +58,11 @@ class WavelengthFabric {
   /// Release previously reserved direct capacity (same ordering).
   void release_direct(int src, int dst, double gbps);
 
+  /// Flat copy of every AWGR's per-pair allocation table (awgr-major), for
+  /// bit-exact state comparison: a phase loop that opens and then closes a
+  /// flow set must leave this snapshot unchanged.
+  [[nodiscard]] std::vector<double> allocation_snapshot() const;
+
   /// Aggregate utilization over all covered pairs.  Normally in [0,1];
   /// under fault degradation existing reservations may transiently exceed
   /// the scaled capacity.

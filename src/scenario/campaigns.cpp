@@ -10,6 +10,7 @@
 #include <tuple>
 
 #include "cluster/cluster_cosim.hpp"
+#include "collectives/collective.hpp"
 #include "config/bindings.hpp"
 #include "core/rack_system.hpp"
 #include "cosim/rack_cosim.hpp"
@@ -388,6 +389,7 @@ cosim::CosimConfig cosim_config_from(const ScenarioSpec& spec) {
   cosim::CosimConfig cfg = spec.resolve<cosim::CosimConfig>("cosim");
   cfg.fabric = spec.resolve<net::FabricSliceConfig>("net");
   cfg.fault = spec.resolve<fault::FaultConfig>("fault");
+  cfg.ml = spec.resolve<collectives::MlConfig>("ml");
   if (spec.base_seed != 0) cfg.seed = spec.derived_seed();
   return cfg;
 }
@@ -601,6 +603,145 @@ std::vector<Axis> cosim_blast_radius_axes() {
 }
 
 // ---------------------------------------------------------------------------
+// ML collective campaigns (src/collectives): training jobs whose step time
+// is gated by the slowest collective flow, on the photonic fabric vs an
+// electronic baseline (fig12-style framing via Kumar et al., PAPERS.md).
+// The "fabric" axis is free: the evaluator maps electronic onto the
+// unregistered MlConfig::electronic switch so the comparison is one row
+// pair per pattern/gradient point.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string> kMlCollectivesColumns = {
+    "fabric",       "pattern",       "gradient_mb",  "accelerators",
+    "compute_ms",   "offered",       "accepted",     "completed",
+    "steps",        "step_p50_ms",   "step_p99_ms",  "coll_frac_p50",
+    "straggler_p99", "ideal_coll_ms"};
+
+std::vector<ResultRow> eval_ml_collectives(const ScenarioSpec& spec) {
+  obs::ObsBundle obs_bundle(spec.resolve<obs::ObsConfig>("obs"));
+  cosim::CosimConfig cfg = cosim_config_from(spec);
+  const std::string fabric = spec.at("fabric");
+  if (fabric == "electronic")
+    cfg.ml.electronic = true;
+  else if (fabric != "photonic")
+    throw std::invalid_argument("unknown fabric '" + fabric +
+                                "' (want photonic|electronic)");
+  const auto report = cosim::run_rack_cosim(
+      spec.resolve<rack::RackConfig>("rack"), disagg::AllocationPolicy::kDisaggregated,
+      workloads::UsageModel::cori(), cfg, obs_bundle.handles());
+  // Closed-form uncontended collective time at the effective per-flow rate:
+  // the lower bound the measured step times are judged against.
+  const double effective_gbps =
+      cfg.ml.demand_gbps * (cfg.ml.electronic ? cfg.ml.electronic_derate : 1.0);
+  const double ideal_coll_ms =
+      1e3 * collectives::lower_bound_seconds(cfg.ml.pattern, cfg.ml.accelerators,
+                                             cfg.ml.gradient_mb * 1e6,
+                                             effective_gbps);
+  const auto& ml = report.ml;
+  ResultRow row;
+  row.cells = {fabric,
+               spec.at("ml.pattern"),
+               spec.at("ml.gradient_mb"),
+               num_to_string(static_cast<double>(cfg.ml.accelerators)),
+               num_to_string(cfg.ml.compute_ms),
+               num_to_string(static_cast<double>(ml.jobs_offered)),
+               num_to_string(static_cast<double>(ml.jobs_accepted)),
+               num_to_string(static_cast<double>(ml.jobs_completed)),
+               num_to_string(static_cast<double>(ml.steps)),
+               num_to_string(ml.step_ms.p50),
+               num_to_string(ml.step_ms.p99),
+               num_to_string(ml.coll_frac.p50),
+               num_to_string(ml.straggler.p99),
+               num_to_string(ideal_coll_ms)};
+  return {std::move(row)};
+}
+
+std::vector<Axis> ml_collectives_axes() {
+  return {{"fabric", {"photonic", "electronic"}},
+          {"ml.pattern", {"ring", "alltoall", "ps", "broadcast"}},
+          {"ml.gradient_mb", {"8", "64"}},
+          {"ml.enabled", {"true"}},
+          {"cosim.arrivals_per_ms", {"0.05"}},
+          {"cosim.horizon_ms", {"120"}}};
+}
+
+const std::vector<std::string> kMlVsHpcColumns = {
+    "workload",     "arrivals_per_ms", "offered",      "accepted",
+    "acceptance",   "wait_p99_ms",     "slowdown_p99", "step_p99_ms",
+    "satisfied_frac", "energy_kj"};
+
+std::vector<ResultRow> eval_ml_vs_hpc(const ScenarioSpec& spec) {
+  obs::ObsBundle obs_bundle(spec.resolve<obs::ObsConfig>("obs"));
+  cosim::CosimConfig cfg = cosim_config_from(spec);
+  const std::string workload = spec.at("workload");
+  if (workload == "ml") {
+    cfg.ml.enabled = true;
+    cfg.ml.mix_fraction = 1.0;
+  } else if (workload != "hpc") {
+    throw std::invalid_argument("unknown workload '" + workload +
+                                "' (want hpc|ml)");
+  }
+  const auto report = cosim::run_rack_cosim(
+      spec.resolve<rack::RackConfig>("rack"), disagg::AllocationPolicy::kDisaggregated,
+      workloads::UsageModel::cori(), cfg, obs_bundle.handles());
+  ResultRow row;
+  row.cells = {workload,
+               spec.at("cosim.arrivals_per_ms"),
+               num_to_string(static_cast<double>(report.jobs.offered)),
+               num_to_string(static_cast<double>(report.jobs.accepted)),
+               num_to_string(report.jobs.acceptance()),
+               num_to_string(report.jobs.wait_ms.p99),
+               num_to_string(report.jobs.slowdown.p99),
+               num_to_string(report.ml.step_ms.p99),
+               num_to_string(report.flows.satisfied_fraction),
+               num_to_string(report.energy_joules / 1e3)};
+  return {std::move(row)};
+}
+
+std::vector<Axis> ml_vs_hpc_axes() {
+  return {{"workload", {"hpc", "ml"}},
+          {"cosim.arrivals_per_ms", {"1", "4"}},
+          {"cosim.admission", {"queue"}},
+          {"cosim.horizon_ms", {"120"}}};
+}
+
+const std::vector<std::string> kMlMixedRackColumns = {
+    "mix_fraction", "arrivals_per_ms", "offered",       "ml_offered",
+    "accepted",     "ml_accepted",     "wait_p99_ms",   "step_p50_ms",
+    "step_p99_ms",  "straggler_p99",   "mean_stretch",  "energy_kj"};
+
+std::vector<ResultRow> eval_ml_mixed_rack(const ScenarioSpec& spec) {
+  obs::ObsBundle obs_bundle(spec.resolve<obs::ObsConfig>("obs"));
+  const auto report = cosim::run_rack_cosim(
+      spec.resolve<rack::RackConfig>("rack"), disagg::AllocationPolicy::kDisaggregated,
+      workloads::UsageModel::cori(), cosim_config_from(spec),
+      obs_bundle.handles());
+  const auto& ml = report.ml;
+  ResultRow row;
+  row.cells = {spec.at("ml.mix_fraction"),
+               spec.at("cosim.arrivals_per_ms"),
+               num_to_string(static_cast<double>(report.jobs.offered)),
+               num_to_string(static_cast<double>(ml.jobs_offered)),
+               num_to_string(static_cast<double>(report.jobs.accepted)),
+               num_to_string(static_cast<double>(ml.jobs_accepted)),
+               num_to_string(report.jobs.wait_ms.p99),
+               num_to_string(ml.step_ms.p50),
+               num_to_string(ml.step_ms.p99),
+               num_to_string(ml.straggler.p99),
+               num_to_string(report.mean_stretch),
+               num_to_string(report.energy_joules / 1e3)};
+  return {std::move(row)};
+}
+
+std::vector<Axis> ml_mixed_rack_axes() {
+  return {{"ml.enabled", {"true"}},
+          {"ml.mix_fraction", {"0.2", "0.5"}},
+          {"cosim.arrivals_per_ms", {"4"}},
+          {"cosim.admission", {"queue"}},
+          {"cosim.horizon_ms", {"120"}}};
+}
+
+// ---------------------------------------------------------------------------
 // Cluster co-simulation: rack-scale vs cluster-scale disaggregation (Ajibola
 // et al. framing from PAPERS.md).  spill=none keeps every rack an island —
 // overflow is lost but the inter-rack uplinks stay dark; next/least light
@@ -748,6 +889,30 @@ std::vector<Campaign> make_campaigns() {
       kCosimBlastRadiusColumns,
       cosim_blast_radius_axes(),
       eval_cosim_blast_radius});
+
+  all.push_back(Campaign{
+      "ml_collectives",
+      "Training-step time per collective pattern: photonic vs electronic fabric",
+      "ML collectives on the wavelength fabric (Kumar et al., fig12-style)",
+      kMlCollectivesColumns,
+      ml_collectives_axes(),
+      eval_ml_collectives});
+
+  all.push_back(Campaign{
+      "ml_vs_hpc",
+      "Pure ML job streams vs the paper's HPC mix on one rack",
+      "ML collectives on the wavelength fabric (workload comparison)",
+      kMlVsHpcColumns,
+      ml_vs_hpc_axes(),
+      eval_ml_vs_hpc});
+
+  all.push_back(Campaign{
+      "ml_mixed_rack",
+      "HPC+ML sharing one rack: interference at rising ML mix fractions",
+      "ML collectives on the wavelength fabric (mixed tenancy)",
+      kMlMixedRackColumns,
+      ml_mixed_rack_axes(),
+      eval_ml_mixed_rack});
 
   all.push_back(Campaign{
       "cluster_energy",

@@ -1,0 +1,28 @@
+#pragma once
+
+namespace photorack::workloads {
+
+/// Per-accelerator resource footprint of a synchronous data-parallel
+/// training job, for turning an `ml.*` knob set (accelerators, gradient MB)
+/// into a rack resource request.  Numbers are A100-class: a training rank
+/// pins a few host cores for the input pipeline, holds optimizer + activation
+/// state in (disaggregated) memory proportional to the model shard, and
+/// drives NIC bandwidth for checkpoint/input traffic outside the collective
+/// itself.  Kept free of `disagg` types so the workloads layer stays below
+/// the scheduler in the dependency order: the cosim builds the JobRequest.
+struct MlAcceleratorProfile {
+  double cpus_per_accel = 0.5;      ///< host cores feeding one accelerator
+  double memory_gb_per_accel = 8.0; ///< optimizer/activation state per rank
+  double nic_gbps_per_accel = 2.0;  ///< input + checkpoint traffic per rank
+
+  /// Disaggregated-memory demand of a whole job: per-rank state plus three
+  /// resident copies of the gradient payload (grads, momentum, variance).
+  [[nodiscard]] double job_memory_gb(int accelerators, double gradient_mb) const {
+    return memory_gb_per_accel * accelerators + 3.0 * gradient_mb * 1e-3;
+  }
+
+  /// The default profile used by the cosim's training-job stream.
+  [[nodiscard]] static MlAcceleratorProfile a100_like() { return {}; }
+};
+
+}  // namespace photorack::workloads
